@@ -1,0 +1,40 @@
+// Ablation E: PCIe host-link sharing. The paper's nodes put 4 GPUs behind
+// one host; model uploads then contend for the host link (§II-B names
+// PCIe the transfer bottleneck). This bench compares shared-per-node
+// links against dedicated per-GPU links, under the upload-heavy LB
+// scheduler (many misses) and the locality-preserving LALBO3 (few).
+#include <cstdio>
+
+#include "cluster/experiment.h"
+#include "metrics/reporter.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+int main() {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 35;
+  auto workload = trace::build_standard_workload(wconfig);
+  if (!workload.ok()) return 1;
+
+  std::printf("=== Ablation: PCIe host-link sharing (working set 35) ===\n");
+  metrics::Table table(
+      {"PCIe", "Scheduler", "AvgLatency(s)", "MissRatio", "Makespan(s)"});
+  for (bool shared : {true, false}) {
+    for (core::PolicyName policy : {core::PolicyName::kLb, core::PolicyName::kLalbO3}) {
+      cluster::ClusterConfig config;
+      config.policy = policy;
+      config.shared_pcie_per_node = shared;
+      const auto r = cluster::run_experiment(config, *workload);
+      table.add_row({shared ? "shared/node" : "dedicated", r.policy,
+                     metrics::Table::fmt(r.avg_latency_s),
+                     metrics::Table::fmt_percent(r.miss_ratio),
+                     metrics::Table::fmt(r.makespan_s)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expectation: dedicated links help the miss-heavy LB scheduler far "
+      "more than LALBO3, whose locality avoids uploads altogether.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 4a reproduction: average function latency of LB / LALB / LALBO3
+// across working set sizes 15 / 25 / 35 (12 GPUs, 6 min x 325 req/min).
+//
+// Paper reference points: LALB reduces LB's average latency by 97.74%
+// (WS 15), 93.33% (WS 25), 79.43% (WS 35); LALBO3 by ~96.93% at WS 35.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/reporter.h"
+
+using namespace gfaas;
+
+int main() {
+  const auto grid = bench::run_grid();
+
+  std::printf("=== Fig 4a: Average Function Latency (s) ===\n");
+  metrics::Table table({"WS", "LB", "LALB", "LALBO3", "LALB vs LB", "LALBO3 vs LB"});
+  for (std::size_t ws : {15u, 25u, 35u}) {
+    table.add_row(
+        {std::to_string(ws),
+         metrics::Table::fmt(bench::cell(grid, ws, core::PolicyName::kLb).avg_latency_s),
+         metrics::Table::fmt(
+             bench::cell(grid, ws, core::PolicyName::kLalb).avg_latency_s),
+         metrics::Table::fmt(
+             bench::cell(grid, ws, core::PolicyName::kLalbO3).avg_latency_s),
+         "-" + metrics::Table::fmt_percent(bench::reduction_vs_lb(
+                   grid, ws, core::PolicyName::kLalb, bench::metric_latency)),
+         "-" + metrics::Table::fmt_percent(bench::reduction_vs_lb(
+                   grid, ws, core::PolicyName::kLalbO3, bench::metric_latency))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper: LALB -97.74%% (WS15), -93.33%% (WS25), -79.43%% (WS35); "
+      "LALBO3 -96.93%% (WS35).\n");
+  return 0;
+}

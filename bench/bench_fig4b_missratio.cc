@@ -1,0 +1,35 @@
+// Figure 4b reproduction: cache miss ratio of LB / LALB / LALBO3 across
+// working set sizes 15 / 25 / 35.
+//
+// Paper reference points: LALB reduces LB's miss ratio by 94.11% (WS 15)
+// and 65.21% (WS 35); LALBO3 by 81.15% (WS 35).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/reporter.h"
+
+using namespace gfaas;
+
+int main() {
+  const auto grid = bench::run_grid();
+
+  std::printf("=== Fig 4b: Cache Miss Ratio ===\n");
+  metrics::Table table({"WS", "LB", "LALB", "LALBO3", "LALB vs LB", "LALBO3 vs LB"});
+  for (std::size_t ws : {15u, 25u, 35u}) {
+    table.add_row(
+        {std::to_string(ws),
+         metrics::Table::fmt_percent(
+             bench::cell(grid, ws, core::PolicyName::kLb).miss_ratio),
+         metrics::Table::fmt_percent(
+             bench::cell(grid, ws, core::PolicyName::kLalb).miss_ratio),
+         metrics::Table::fmt_percent(
+             bench::cell(grid, ws, core::PolicyName::kLalbO3).miss_ratio),
+         "-" + metrics::Table::fmt_percent(bench::reduction_vs_lb(
+                   grid, ws, core::PolicyName::kLalb, bench::metric_miss_ratio)),
+         "-" + metrics::Table::fmt_percent(bench::reduction_vs_lb(
+                   grid, ws, core::PolicyName::kLalbO3, bench::metric_miss_ratio))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper: LALB -94.11%% (WS15), -65.21%% (WS35); LALBO3 -81.15%% (WS35).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 6 reproduction: time-averaged number of duplicates of the most
+// popular model across the 12 GPUs, per scheduler and working set.
+//
+// Paper reference points: LALB reduces LB's duplicates by 48.96% (WS 15)
+// and 35.32% (WS 35); LALBO3 by 49.48% (WS 15) and 33.47% (WS 35); the
+// count can never exceed the GPU count (12).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/reporter.h"
+
+using namespace gfaas;
+
+int main() {
+  const auto grid = bench::run_grid();
+
+  std::printf("=== Fig 6: Average Duplicates of the Top-1 Model ===\n");
+  metrics::Table table({"WS", "LB", "LALB", "LALBO3", "LALB vs LB", "LALBO3 vs LB"});
+  for (std::size_t ws : {15u, 25u, 35u}) {
+    table.add_row(
+        {std::to_string(ws),
+         metrics::Table::fmt(bench::cell(grid, ws, core::PolicyName::kLb).avg_top_duplicates),
+         metrics::Table::fmt(
+             bench::cell(grid, ws, core::PolicyName::kLalb).avg_top_duplicates),
+         metrics::Table::fmt(
+             bench::cell(grid, ws, core::PolicyName::kLalbO3).avg_top_duplicates),
+         "-" + metrics::Table::fmt_percent(bench::reduction_vs_lb(
+                   grid, ws, core::PolicyName::kLalb, bench::metric_duplicates)),
+         "-" + metrics::Table::fmt_percent(bench::reduction_vs_lb(
+                   grid, ws, core::PolicyName::kLalbO3, bench::metric_duplicates))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper: LALB -48.96%% (WS15), -35.32%% (WS35); LALBO3 -49.48%% (WS15), "
+      "-33.47%% (WS35); bounded by 12 GPUs.\n");
+  return 0;
+}

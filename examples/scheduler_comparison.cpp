@@ -1,0 +1,53 @@
+// Side-by-side comparison of the three schedulers on the paper's standard
+// workload (§V): LB (baseline) vs LALB vs LALB+O3, across working set
+// sizes 15/25/35 on 12 virtual GPUs, 6 minutes x 325 requests/min.
+//
+//   ./example_scheduler_comparison [working_set ...]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "metrics/reporter.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> working_sets = {15, 25, 35};
+  if (argc > 1) {
+    working_sets.clear();
+    for (int i = 1; i < argc; ++i) {
+      working_sets.push_back(static_cast<std::size_t>(std::atoi(argv[i])));
+    }
+  }
+
+  metrics::Table table({"WS", "Scheduler", "AvgLatency(s)", "P99(s)", "MissRatio",
+                        "FalseMiss", "SM-Util", "TopDups", "Makespan(s)"});
+
+  for (std::size_t ws : working_sets) {
+    trace::WorkloadConfig wconfig;
+    wconfig.working_set_size = ws;
+    auto workload = trace::build_standard_workload(wconfig);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload build failed: %s\n",
+                   workload.status().to_string().c_str());
+      return 1;
+    }
+    for (core::PolicyName policy :
+         {core::PolicyName::kLb, core::PolicyName::kLalb, core::PolicyName::kLalbO3}) {
+      cluster::ClusterConfig config;
+      config.policy = policy;
+      const cluster::ExperimentResult r = cluster::run_experiment(config, *workload);
+      table.add_row({std::to_string(ws), r.policy, metrics::Table::fmt(r.avg_latency_s),
+                     metrics::Table::fmt(r.p99_latency_s),
+                     metrics::Table::fmt_percent(r.miss_ratio),
+                     metrics::Table::fmt_percent(r.false_miss_ratio),
+                     metrics::Table::fmt_percent(r.sm_utilization),
+                     metrics::Table::fmt(r.avg_top_duplicates),
+                     metrics::Table::fmt(r.makespan_s)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

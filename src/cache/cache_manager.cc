@@ -1,0 +1,193 @@
+#include "cache/cache_manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "datastore/keys.h"
+
+namespace gfaas::cache {
+
+GpuCacheState::GpuCacheState(GpuId gpu, Bytes capacity, PolicyKind policy)
+    : gpu_(gpu), capacity_(capacity), policy_(make_policy(policy)) {
+  GFAAS_CHECK(capacity > 0);
+}
+
+bool GpuCacheState::contains(ModelId model) const {
+  return sizes_.count(model.value()) > 0;
+}
+
+Status GpuCacheState::insert(ModelId model, Bytes size) {
+  if (contains(model)) {
+    return Status::AlreadyExists("model " + std::to_string(model.value()) +
+                                 " already cached on gpu " + std::to_string(gpu_.value()));
+  }
+  if (size <= 0) return Status::InvalidArgument("model size must be positive");
+  if (size > free()) {
+    return Status::ResourceExhausted(
+        "model " + std::to_string(model.value()) + " (" + format_bytes(size) +
+        ") exceeds free space " + format_bytes(free()));
+  }
+  sizes_[model.value()] = size;
+  used_ += size;
+  policy_->on_insert(model);
+  return Status::Ok();
+}
+
+Status GpuCacheState::touch(ModelId model) {
+  if (!contains(model)) {
+    return Status::NotFound("model " + std::to_string(model.value()) + " not cached");
+  }
+  policy_->on_access(model);
+  return Status::Ok();
+}
+
+Status GpuCacheState::remove(ModelId model) {
+  auto it = sizes_.find(model.value());
+  if (it == sizes_.end()) {
+    return Status::NotFound("model " + std::to_string(model.value()) + " not cached");
+  }
+  if (pinned(model)) {
+    return Status::FailedPrecondition("model " + std::to_string(model.value()) +
+                                      " is pinned");
+  }
+  used_ -= it->second;
+  sizes_.erase(it);
+  policy_->on_remove(model);
+  return Status::Ok();
+}
+
+void GpuCacheState::pin(ModelId model) { ++pin_counts_[model.value()]; }
+
+void GpuCacheState::unpin(ModelId model) {
+  auto it = pin_counts_.find(model.value());
+  GFAAS_CHECK(it != pin_counts_.end() && it->second > 0)
+      << "unpin without pin for model " << model.value();
+  if (--it->second == 0) pin_counts_.erase(it);
+}
+
+bool GpuCacheState::pinned(ModelId model) const {
+  auto it = pin_counts_.find(model.value());
+  return it != pin_counts_.end() && it->second > 0;
+}
+
+StatusOr<std::vector<ModelId>> GpuCacheState::plan_eviction(Bytes needed) const {
+  if (needed <= free()) return std::vector<ModelId>{};
+  Bytes reclaimable = free();
+  std::vector<ModelId> victims;
+  for (ModelId victim : policy_->eviction_order()) {
+    if (pinned(victim)) continue;
+    victims.push_back(victim);
+    reclaimable += size_of(victim);
+    if (reclaimable >= needed) return victims;
+  }
+  return Status::ResourceExhausted(
+      "cannot free " + format_bytes(needed) + " on gpu " + std::to_string(gpu_.value()) +
+      " (only " + format_bytes(reclaimable) + " reclaimable)");
+}
+
+Bytes GpuCacheState::size_of(ModelId model) const {
+  auto it = sizes_.find(model.value());
+  return it == sizes_.end() ? 0 : it->second;
+}
+
+CacheManager::CacheManager(PolicyKind policy, datastore::KvStore* store)
+    : policy_(policy), store_(store) {}
+
+void CacheManager::add_gpu(GpuId gpu, Bytes capacity) {
+  GFAAS_CHECK(gpu.valid());
+  const auto index = static_cast<std::size_t>(gpu.value());
+  if (gpus_.size() <= index) gpus_.resize(index + 1);
+  GFAAS_CHECK(gpus_[index] == nullptr) << "gpu " << gpu.value() << " already added";
+  gpus_[index] = std::make_unique<GpuCacheState>(gpu, capacity, policy_);
+}
+
+const GpuCacheState& CacheManager::state(GpuId gpu) const {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < gpus_.size() && gpus_[index] != nullptr)
+      << "unknown gpu " << gpu.value();
+  return *gpus_[index];
+}
+
+GpuCacheState& CacheManager::mutable_state(GpuId gpu) {
+  return const_cast<GpuCacheState&>(state(gpu));
+}
+
+bool CacheManager::is_cached(GpuId gpu, ModelId model) const {
+  return state(gpu).contains(model);
+}
+
+std::vector<GpuId> CacheManager::locations(ModelId model) const {
+  std::vector<GpuId> out;
+  for (const auto& gpu_state : gpus_) {
+    if (gpu_state != nullptr && gpu_state->contains(model)) {
+      out.push_back(gpu_state->gpu());
+    }
+  }
+  return out;
+}
+
+Status CacheManager::record_access(GpuId gpu, ModelId model) {
+  Status s = mutable_state(gpu).touch(model);
+  if (!s.ok()) return s;
+  ++stats_.hits;
+  mirror_to_store(gpu);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ModelId>> CacheManager::plan_eviction(GpuId gpu, Bytes size) const {
+  return state(gpu).plan_eviction(size);
+}
+
+Status CacheManager::record_eviction(GpuId gpu, ModelId model) {
+  Status s = mutable_state(gpu).remove(model);
+  if (!s.ok()) return s;
+  ++stats_.evictions;
+  mirror_to_store(gpu);
+  mirror_locations(model);
+  return Status::Ok();
+}
+
+Status CacheManager::record_insertion(GpuId gpu, ModelId model, Bytes size) {
+  Status s = mutable_state(gpu).insert(model, size);
+  if (!s.ok()) return s;
+  ++stats_.misses;
+  mirror_to_store(gpu);
+  mirror_locations(model);
+  return Status::Ok();
+}
+
+Status CacheManager::pin(GpuId gpu, ModelId model) {
+  GpuCacheState& st = mutable_state(gpu);
+  if (!st.contains(model)) {
+    return Status::NotFound("cannot pin uncached model " + std::to_string(model.value()));
+  }
+  st.pin(model);
+  return Status::Ok();
+}
+
+Status CacheManager::unpin(GpuId gpu, ModelId model) {
+  GpuCacheState& st = mutable_state(gpu);
+  if (!st.contains(model)) {
+    return Status::NotFound("cannot unpin uncached model " +
+                            std::to_string(model.value()));
+  }
+  st.unpin(model);
+  return Status::Ok();
+}
+
+void CacheManager::mirror_to_store(GpuId gpu) {
+  if (store_ == nullptr) return;
+  std::vector<std::int64_t> ids;
+  for (ModelId m : state(gpu).eviction_order()) ids.push_back(m.value());
+  store_->put(datastore::keys::gpu_lru(gpu), datastore::keys::encode_id_list(ids));
+}
+
+void CacheManager::mirror_locations(ModelId model) {
+  if (store_ == nullptr) return;
+  std::vector<std::int64_t> ids;
+  for (GpuId g : locations(model)) ids.push_back(g.value());
+  store_->put(datastore::keys::model_locations(model),
+              datastore::keys::encode_id_list(ids));
+}
+
+}  // namespace gfaas::cache

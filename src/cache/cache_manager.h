@@ -1,0 +1,131 @@
+// Global Cache Manager (paper §III-D).
+//
+// Treats the models uploaded to each GPU's memory as cache items. Each
+// GPU's memory is managed with a separate replacement list (scalability
+// note in §VI); a global model -> GPUs index answers the Scheduler's
+// "where is this model cached" query in O(#locations) (also §VI). On a
+// miss the manager plans the victim list — enough models, in policy
+// order, to make room for the incoming one — and the GPU Manager kills
+// those processes. Models currently running a request are pinned and
+// skipped by eviction planning.
+//
+// State is mirrored into the Datastore (gpu/<id>/lru and
+// model/<id>/locations) after every mutation, exactly the channel the
+// paper routes through etcd.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.h"
+#include "common/bytes.h"
+#include "common/id.h"
+#include "common/status.h"
+#include "datastore/kv_store.h"
+
+namespace gfaas::cache {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+
+  double miss_ratio() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(misses) / static_cast<double>(total) : 0.0;
+  }
+};
+
+// Cache bookkeeping for one GPU.
+class GpuCacheState {
+ public:
+  GpuCacheState(GpuId gpu, Bytes capacity, PolicyKind policy);
+
+  GpuId gpu() const { return gpu_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+
+  bool contains(ModelId model) const;
+  std::size_t model_count() const { return sizes_.size(); }
+  // Replacement order, evict-first first.
+  std::vector<ModelId> eviction_order() const { return policy_->eviction_order(); }
+
+  Status insert(ModelId model, Bytes size);
+  Status touch(ModelId model);
+  Status remove(ModelId model);
+
+  void pin(ModelId model);
+  void unpin(ModelId model);
+  bool pinned(ModelId model) const;
+
+  // Victims (in policy order, skipping pinned models) whose removal frees
+  // at least `needed` bytes beyond current free space. Fails if even
+  // evicting everything unpinned would not fit.
+  StatusOr<std::vector<ModelId>> plan_eviction(Bytes needed) const;
+
+  Bytes size_of(ModelId model) const;
+
+ private:
+  GpuId gpu_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_map<std::int64_t, Bytes> sizes_;      // model id -> bytes
+  std::unordered_map<std::int64_t, int> pin_counts_;   // model id -> pins
+};
+
+class CacheManager {
+ public:
+  // `store` receives LRU-list / location mirrors; may be null in unit
+  // tests that exercise the manager standalone.
+  CacheManager(PolicyKind policy, datastore::KvStore* store = nullptr);
+
+  // Registers a GPU's memory as a managed cache (called at cluster build).
+  void add_gpu(GpuId gpu, Bytes capacity);
+  std::size_t gpu_count() const { return gpus_.size(); }
+
+  // --- queries used by the Scheduler ---
+  bool is_cached(GpuId gpu, ModelId model) const;
+  // All GPUs that currently hold the model (any order cost O(#locations)).
+  std::vector<GpuId> locations(ModelId model) const;
+  // Whether the model is cached on ANY gpu (false-miss accounting).
+  bool cached_anywhere(ModelId model) const { return !locations(model).empty(); }
+
+  // --- mutations driven by the GPU Manager ---
+  // Records a hit: refreshes the replacement order. Fails if not cached.
+  Status record_access(GpuId gpu, ModelId model);
+  // Plans the victims needed to fit `size` on the GPU (may be empty).
+  StatusOr<std::vector<ModelId>> plan_eviction(GpuId gpu, Bytes size) const;
+  // Applies an eviction decided by plan_eviction.
+  Status record_eviction(GpuId gpu, ModelId model);
+  // Records a newly uploaded model.
+  Status record_insertion(GpuId gpu, ModelId model, Bytes size);
+
+  // Pins while a request is using the model (in queue or running) so the
+  // model under execution can never be chosen as a victim.
+  Status pin(GpuId gpu, ModelId model);
+  Status unpin(GpuId gpu, ModelId model);
+
+  const GpuCacheState& state(GpuId gpu) const;
+  CacheStats& stats() { return stats_; }
+  const CacheStats& stats() const { return stats_; }
+
+  // Number of GPUs holding each model, for the duplicate-count metric
+  // (Fig. 6 tracks the most popular model's duplicates).
+  std::size_t duplicate_count(ModelId model) const { return locations(model).size(); }
+
+ private:
+  GpuCacheState& mutable_state(GpuId gpu);
+  void mirror_to_store(GpuId gpu);
+  void mirror_locations(ModelId model);
+
+  PolicyKind policy_;
+  datastore::KvStore* store_;
+  std::vector<std::unique_ptr<GpuCacheState>> gpus_;  // indexed by GpuId value
+  CacheStats stats_;
+};
+
+}  // namespace gfaas::cache

@@ -1,0 +1,108 @@
+#include "cache/policy.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::cache {
+
+namespace {
+void erase_model(std::vector<ModelId>& order, ModelId model) {
+  auto it = std::find(order.begin(), order.end(), model);
+  GFAAS_CHECK(it != order.end()) << "model " << model.value() << " not tracked";
+  order.erase(it);
+}
+}  // namespace
+
+std::string policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kMru: return "mru";
+    case PolicyKind::kFifo: return "fifo";
+    case PolicyKind::kLfu: return "lfu";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kMru: return std::make_unique<MruPolicy>();
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+  }
+  GFAAS_CHECK(false) << "unknown policy kind";
+  return nullptr;
+}
+
+void LruPolicy::on_insert(ModelId model) {
+  GFAAS_CHECK(std::find(order_.begin(), order_.end(), model) == order_.end());
+  order_.push_back(model);  // inserted = most recently used
+}
+
+void LruPolicy::on_access(ModelId model) {
+  erase_model(order_, model);
+  order_.push_back(model);
+}
+
+void LruPolicy::on_remove(ModelId model) { erase_model(order_, model); }
+
+void MruPolicy::on_insert(ModelId model) {
+  GFAAS_CHECK(std::find(order_.begin(), order_.end(), model) == order_.end());
+  order_.push_back(model);
+}
+
+void MruPolicy::on_access(ModelId model) {
+  erase_model(order_, model);
+  order_.push_back(model);
+}
+
+void MruPolicy::on_remove(ModelId model) { erase_model(order_, model); }
+
+std::vector<ModelId> MruPolicy::eviction_order() const {
+  std::vector<ModelId> out(order_.rbegin(), order_.rend());
+  return out;
+}
+
+void FifoPolicy::on_insert(ModelId model) {
+  GFAAS_CHECK(std::find(order_.begin(), order_.end(), model) == order_.end());
+  order_.push_back(model);
+}
+
+void FifoPolicy::on_remove(ModelId model) { erase_model(order_, model); }
+
+void LfuPolicy::on_insert(ModelId model) {
+  for (const auto& e : entries_) GFAAS_CHECK(e.model != model);
+  entries_.push_back(Entry{model, 1, next_seq_++});
+}
+
+void LfuPolicy::on_access(ModelId model) {
+  for (auto& e : entries_) {
+    if (e.model == model) {
+      ++e.count;
+      return;
+    }
+  }
+  GFAAS_CHECK(false) << "model " << model.value() << " not tracked";
+}
+
+void LfuPolicy::on_remove(ModelId model) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.model == model; });
+  GFAAS_CHECK(it != entries_.end());
+  entries_.erase(it);
+}
+
+std::vector<ModelId> LfuPolicy::eviction_order() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count < b.count;
+    return a.insert_seq < b.insert_seq;
+  });
+  std::vector<ModelId> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back(e.model);
+  return out;
+}
+
+}  // namespace gfaas::cache

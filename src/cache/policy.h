@@ -1,0 +1,102 @@
+// Pluggable cache replacement policies.
+//
+// The paper's Cache Manager "largely follows the LRU replacement policy"
+// (§III-D) and notes in §VI that the design supports other policies by
+// swapping the sorted list. This interface is that swap point: a policy
+// maintains the eviction ordering for the models resident on ONE GPU.
+// LRU is the default everywhere; LFU/FIFO/MRU exist for the replacement-
+// policy ablation bench.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+
+namespace gfaas::cache {
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual void on_insert(ModelId model) = 0;
+  virtual void on_access(ModelId model) = 0;
+  virtual void on_remove(ModelId model) = 0;
+
+  // Models in eviction order: front = evict first.
+  virtual std::vector<ModelId> eviction_order() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+enum class PolicyKind { kLru, kMru, kFifo, kLfu };
+
+std::string policy_kind_name(PolicyKind kind);
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind);
+
+// Least Recently Used: on_access moves to the MRU end.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(ModelId model) override;
+  void on_access(ModelId model) override;
+  void on_remove(ModelId model) override;
+  std::vector<ModelId> eviction_order() const override { return order_; }
+  std::string name() const override { return "lru"; }
+  std::size_t size() const override { return order_.size(); }
+
+ private:
+  std::vector<ModelId> order_;  // front = LRU; N per GPU is small (< 8)
+};
+
+// Most Recently Used (pathological for this workload; ablation only).
+class MruPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(ModelId model) override;
+  void on_access(ModelId model) override;
+  void on_remove(ModelId model) override;
+  std::vector<ModelId> eviction_order() const override;
+  std::string name() const override { return "mru"; }
+  std::size_t size() const override { return order_.size(); }
+
+ private:
+  std::vector<ModelId> order_;  // front = LRU end
+};
+
+// First-In First-Out: access order is ignored.
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(ModelId model) override;
+  void on_access(ModelId /*model*/) override {}
+  void on_remove(ModelId model) override;
+  std::vector<ModelId> eviction_order() const override { return order_; }
+  std::string name() const override { return "fifo"; }
+  std::size_t size() const override { return order_.size(); }
+
+ private:
+  std::vector<ModelId> order_;  // front = oldest
+};
+
+// Least Frequently Used with insertion-order tie-break.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(ModelId model) override;
+  void on_access(ModelId model) override;
+  void on_remove(ModelId model) override;
+  std::vector<ModelId> eviction_order() const override;
+  std::string name() const override { return "lfu"; }
+  std::size_t size() const override { return entries_.size(); }
+
+ private:
+  struct Entry {
+    ModelId model;
+    std::int64_t count;
+    std::int64_t insert_seq;
+  };
+  std::vector<Entry> entries_;
+  std::int64_t next_seq_ = 0;
+};
+
+}  // namespace gfaas::cache

@@ -1,0 +1,158 @@
+#include "cluster/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::cluster {
+
+SchedulerEngine::SchedulerEngine(sim::Executor* executor, cache::CacheManager* cache,
+                                 const models::LatencyOracle* oracle,
+                                 std::vector<gpu::VirtualGpu*> gpus,
+                                 std::vector<GpuManager*> managers,
+                                 std::unique_ptr<core::SchedulingPolicy> policy)
+    : executor_(executor),
+      cache_(cache),
+      oracle_(oracle),
+      gpus_(std::move(gpus)),
+      managers_(std::move(managers)),
+      policy_(std::move(policy)),
+      local_queues_(gpus_.size()) {
+  GFAAS_CHECK(executor_ && cache_ && oracle_ && policy_);
+  GFAAS_CHECK(!gpus_.empty() && !managers_.empty());
+}
+
+GpuManager& SchedulerEngine::manager_for(GpuId gpu) {
+  for (GpuManager* m : managers_) {
+    if (m->manages(gpu)) return *m;
+  }
+  GFAAS_CHECK(false) << "no manager for gpu " << gpu.value();
+  __builtin_unreachable();
+}
+
+void SchedulerEngine::submit(core::Request request) {
+  global_queue_.push(std::move(request));
+  run_policy();
+}
+
+SimTime SchedulerEngine::now() const { return executor_->now(); }
+
+std::vector<GpuId> SchedulerEngine::idle_gpus() const {
+  std::vector<GpuId> out;
+  for (const gpu::VirtualGpu* g : gpus_) {
+    if (!g->is_busy()) out.push_back(g->id());
+  }
+  // "Sorted by frequency": most-dispatched first (hot GPUs hold hot
+  // models); ties by id for determinism. LB picks from the back, i.e. the
+  // least-used idle GPU, which is classic load balancing.
+  std::sort(out.begin(), out.end(), [this](GpuId a, GpuId b) {
+    const auto ca = dispatch_counts_.find(a.value());
+    const auto cb = dispatch_counts_.find(b.value());
+    const std::int64_t na = ca == dispatch_counts_.end() ? 0 : ca->second;
+    const std::int64_t nb = cb == dispatch_counts_.end() ? 0 : cb->second;
+    if (na != nb) return na > nb;
+    return a.value() < b.value();
+  });
+  return out;
+}
+
+std::vector<GpuId> SchedulerEngine::busy_gpus() const {
+  std::vector<GpuId> out;
+  for (const gpu::VirtualGpu* g : gpus_) {
+    if (g->is_busy()) out.push_back(g->id());
+  }
+  return out;
+}
+
+SimTime SchedulerEngine::estimated_finish_time(GpuId gpu) const {
+  // In-flight work (committed at dispatch: load + inference)...
+  SimTime finish = now();
+  auto it = committed_finish_.find(gpu.value());
+  if (it != committed_finish_.end()) finish = std::max(finish, it->second);
+  // ...plus every request already waiting in the local queue (§IV-A "and
+  // requests already queued in its local queue"). Local-queue requests
+  // are cache hits by construction, so only inference time accrues.
+  for (const core::Request& req : local_queues_.queued(gpu)) {
+    finish += infer_time(req.model, req.batch);
+  }
+  return finish;
+}
+
+SimTime SchedulerEngine::load_time(ModelId model) const {
+  auto t = oracle_->load_time(model);
+  GFAAS_CHECK(t.ok()) << t.status().to_string();
+  return *t;
+}
+
+SimTime SchedulerEngine::infer_time(ModelId model, std::int64_t batch) const {
+  auto t = oracle_->infer_time(model, batch);
+  GFAAS_CHECK(t.ok()) << t.status().to_string();
+  return *t;
+}
+
+void SchedulerEngine::dispatch_from_global(RequestId request, GpuId gpu,
+                                           bool false_miss) {
+  auto req = global_queue_.take(request);
+  GFAAS_CHECK(req.ok()) << req.status().to_string();
+  if (false_miss) ++false_misses_;
+  start_execution(std::move(req).value(), gpu, false_miss, /*via_local_queue=*/false);
+}
+
+void SchedulerEngine::dispatch_from_local(GpuId gpu) {
+  auto req = local_queues_.pop_head(gpu);
+  GFAAS_CHECK(req.has_value()) << "local queue of gpu " << gpu.value() << " empty";
+  // Drop the pin taken at move time; execution re-pins for its duration.
+  GFAAS_CHECK(cache_->unpin(gpu, req->model).ok());
+  start_execution(std::move(*req), gpu, /*false_miss=*/false, /*via_local_queue=*/true);
+}
+
+void SchedulerEngine::move_to_local(RequestId request, GpuId gpu) {
+  auto req = global_queue_.take(request);
+  GFAAS_CHECK(req.ok()) << req.status().to_string();
+  // Pin so the model cannot be evicted while the request waits; the local
+  // queue would otherwise lose its guaranteed hit.
+  GFAAS_CHECK(cache_->pin(gpu, req->model).ok()) << "move to gpu without cached model";
+  local_queues_.push(gpu, std::move(req).value());
+}
+
+void SchedulerEngine::start_execution(core::Request request, GpuId gpu, bool false_miss,
+                                      bool via_local_queue) {
+  ++dispatch_counts_[gpu.value()];
+  ++in_flight_;
+  auto finish = manager_for(gpu).execute(
+      request, gpu, false_miss, via_local_queue,
+      [this](const core::CompletionRecord& record) { on_completion(record); });
+  GFAAS_CHECK(finish.ok()) << "execute failed: " << finish.status().to_string();
+  committed_finish_[gpu.value()] = *finish;
+  update_duplicates_meter();
+}
+
+void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
+  GFAAS_CHECK(in_flight_ > 0);
+  --in_flight_;
+  completions_.push_back(record);
+  latency_series_.add(record.completed, sim_to_seconds(record.latency()));
+  if (!record.cache_hit) miss_series_.count(record.completed);
+  if (completion_hook_) completion_hook_(record);
+  update_duplicates_meter();
+  run_policy();
+}
+
+void SchedulerEngine::update_duplicates_meter() {
+  if (!tracked_model_.valid()) return;
+  duplicates_meter_.set(now(),
+                        static_cast<double>(cache_->duplicate_count(tracked_model_)));
+}
+
+void SchedulerEngine::run_policy() {
+  if (policy_running_) return;
+  policy_running_ = true;
+  // Invoke when any idle GPU could take work (global or local queue).
+  const bool has_work = !global_queue_.empty() || local_queues_.total_pending() > 0;
+  if (has_work && !idle_gpus().empty()) {
+    policy_->schedule(*this);
+  }
+  policy_running_ = false;
+}
+
+}  // namespace gfaas::cluster

@@ -1,0 +1,110 @@
+// Scheduling engine: owns the global/local queues and the policy, and
+// implements the paper's Scheduler component (Fig. 3).
+//
+// Event flow: the Gateway (or the experiment runner) submits requests ->
+// global queue -> the policy is invoked ("at least one request waiting
+// and at least one GPU idle", §IV-A) -> policy actions are applied
+// synchronously (dispatch via the owning GPU Manager, or move to a local
+// queue) -> on every GPU completion the engine re-invokes the policy. The
+// engine is also the core::SchedulingContext the policies program
+// against, providing finish-time estimates built from the GPU Managers'
+// committed finish times plus local-queue work (§IV-A).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cluster/gpu_manager.h"
+#include "core/queues.h"
+#include "core/scheduler.h"
+#include "metrics/stats.h"
+#include "metrics/timeline.h"
+
+namespace gfaas::cluster {
+
+class SchedulerEngine final : public core::SchedulingContext {
+ public:
+  SchedulerEngine(sim::Executor* executor, cache::CacheManager* cache,
+                  const models::LatencyOracle* oracle,
+                  std::vector<gpu::VirtualGpu*> gpus,
+                  std::vector<GpuManager*> managers,
+                  std::unique_ptr<core::SchedulingPolicy> policy);
+
+  // Submits an arriving request; invokes the policy.
+  void submit(core::Request request);
+
+  // Optional per-completion hook (e.g. the Gateway resolving a future).
+  void set_completion_hook(std::function<void(const core::CompletionRecord&)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  // Optionally tracked model for the duplicate meter (Fig. 6).
+  void track_duplicates_of(ModelId model) { tracked_model_ = model; }
+
+  // --- results ---
+  const std::vector<core::CompletionRecord>& completions() const { return completions_; }
+  std::size_t pending() const {
+    return global_queue_.size() + local_queues_.total_pending() + in_flight_;
+  }
+  std::int64_t false_misses() const { return false_misses_; }
+  double average_top_duplicates(SimTime now) const {
+    return duplicates_meter_.average(now);
+  }
+  const core::SchedulingPolicy& policy() const { return *policy_; }
+
+  // Per-minute evolution of the run: completion latency samples (seconds)
+  // and miss counts, bucketed by completion time.
+  const metrics::TimeSeries& latency_series() const { return latency_series_; }
+  const metrics::TimeSeries& miss_series() const { return miss_series_; }
+
+  // --- core::SchedulingContext ---
+  SimTime now() const override;
+  std::vector<GpuId> idle_gpus() const override;
+  std::vector<GpuId> busy_gpus() const override;
+  const core::GlobalQueue& global_queue() const override { return global_queue_; }
+  core::GlobalQueue& mutable_global_queue() override { return global_queue_; }
+  const core::LocalQueues& local_queues() const override { return local_queues_; }
+  const cache::CacheManager& cache() const override { return *cache_; }
+  SimTime estimated_finish_time(GpuId gpu) const override;
+  SimTime load_time(ModelId model) const override;
+  SimTime infer_time(ModelId model, std::int64_t batch) const override;
+  void dispatch_from_global(RequestId request, GpuId gpu, bool false_miss) override;
+  void dispatch_from_local(GpuId gpu) override;
+  void move_to_local(RequestId request, GpuId gpu) override;
+
+ private:
+  GpuManager& manager_for(GpuId gpu);
+  void run_policy();
+  void start_execution(core::Request request, GpuId gpu, bool false_miss,
+                       bool via_local_queue);
+  void on_completion(const core::CompletionRecord& record);
+  void update_duplicates_meter();
+
+  sim::Executor* executor_;
+  cache::CacheManager* cache_;
+  const models::LatencyOracle* oracle_;
+  std::vector<gpu::VirtualGpu*> gpus_;
+  std::vector<GpuManager*> managers_;
+  std::unique_ptr<core::SchedulingPolicy> policy_;
+
+  core::GlobalQueue global_queue_;
+  core::LocalQueues local_queues_;
+  // Committed absolute finish time of the work running on each GPU.
+  std::unordered_map<std::int64_t, SimTime> committed_finish_;
+  std::unordered_map<std::int64_t, std::int64_t> dispatch_counts_;
+  std::size_t in_flight_ = 0;
+  bool policy_running_ = false;
+  std::int64_t false_misses_ = 0;
+
+  std::vector<core::CompletionRecord> completions_;
+  std::function<void(const core::CompletionRecord&)> completion_hook_;
+  ModelId tracked_model_;
+  metrics::TimeWeightedAverage duplicates_meter_;
+  metrics::TimeSeries latency_series_{minutes(1)};
+  metrics::TimeSeries miss_series_{minutes(1)};
+};
+
+}  // namespace gfaas::cluster

@@ -1,0 +1,125 @@
+#include "cluster/experiment.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "metrics/stats.h"
+
+namespace gfaas::cluster {
+
+SimCluster::SimCluster(const ClusterConfig& config,
+                       const models::ModelRegistry& registry)
+    : config_(config) {
+  GFAAS_CHECK(config.nodes >= 1 && config.gpus_per_node >= 1);
+  GFAAS_CHECK(config.node_specs.size() == 1 ||
+              config.node_specs.size() == static_cast<std::size_t>(config.nodes))
+      << "node_specs must have 1 entry or one per node";
+
+  simulator_ = std::make_unique<sim::Simulator>();
+  store_ = std::make_unique<datastore::KvStore>(simulator_.get());
+  cache_ = std::make_unique<cache::CacheManager>(config.cache_policy, store_.get());
+  registry_ = std::make_unique<models::ModelRegistry>(registry);
+  oracle_ = std::make_unique<models::LatencyOracle>(*registry_, config.latency_alpha);
+
+  std::vector<gpu::VirtualGpu*> gpu_ptrs;
+  std::vector<GpuManager*> manager_ptrs;
+  std::int64_t next_gpu = 0;
+  for (int node = 0; node < config.nodes; ++node) {
+    const gpu::GpuSpec& spec = config.spec_for_node(node);
+    gpu::PcieLink* shared_link = nullptr;
+    if (config.shared_pcie_per_node) {
+      links_.push_back(
+          std::make_unique<gpu::PcieLink>(spec.pcie_gbps, spec.pcie_latency));
+      shared_link = links_.back().get();
+    }
+    std::vector<gpu::VirtualGpu*> node_gpus;
+    for (int g = 0; g < config.gpus_per_node; ++g) {
+      gpu::PcieLink* link = shared_link;
+      if (link == nullptr) {
+        links_.push_back(
+            std::make_unique<gpu::PcieLink>(spec.pcie_gbps, spec.pcie_latency));
+        link = links_.back().get();
+      }
+      const GpuId id(next_gpu++);
+      gpus_.push_back(std::make_unique<gpu::VirtualGpu>(id, spec, link));
+      cache_->add_gpu(id, gpus_.back()->memory_capacity());
+      node_gpus.push_back(gpus_.back().get());
+      gpu_ptrs.push_back(gpus_.back().get());
+    }
+    managers_.push_back(std::make_unique<GpuManager>(
+        NodeId(node), simulator_.get(), store_.get(), cache_.get(), registry_.get(),
+        oracle_.get(), node_gpus, config.execute_real_inference));
+    manager_ptrs.push_back(managers_.back().get());
+  }
+
+  engine_ = std::make_unique<SchedulerEngine>(
+      simulator_.get(), cache_.get(), oracle_.get(), gpu_ptrs, manager_ptrs,
+      core::make_scheduler(config.policy, config.o3_limit));
+}
+
+SimCluster::~SimCluster() = default;
+
+SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
+  for (const core::Request& req : requests) {
+    simulator_->schedule_at(req.arrival,
+                            [this, req]() { engine_->submit(req); });
+  }
+  simulator_->run();
+  GFAAS_CHECK(engine_->pending() == 0)
+      << engine_->pending() << " requests stranded after replay";
+  SimTime makespan = 0;
+  for (const auto& record : engine_->completions()) {
+    makespan = std::max(makespan, record.completed);
+  }
+  return makespan;
+}
+
+ExperimentResult run_experiment(const ClusterConfig& config,
+                                const trace::Workload& workload) {
+  SimCluster cluster(config, workload.registry);
+  cluster.engine().track_duplicates_of(workload.top_model);
+
+  const SimTime makespan = cluster.replay(workload.requests);
+
+  const auto& completions = cluster.engine().completions();
+  GFAAS_CHECK(completions.size() == workload.requests.size());
+
+  metrics::StreamingStats latency;
+  metrics::Histogram latency_hist(/*min=*/100.0, /*max=*/1e10);
+  std::int64_t misses = 0;
+  for (const auto& record : completions) {
+    latency.add(sim_to_seconds(record.latency()));
+    latency_hist.add(static_cast<double>(record.latency()));
+    if (!record.cache_hit) ++misses;
+  }
+
+  ExperimentResult result;
+  result.policy = cluster.engine().policy().name();
+  result.working_set = workload.registry.size();
+  result.requests = completions.size();
+  result.avg_latency_s = latency.mean();
+  result.latency_variance_s2 = latency.sample_variance();
+  result.p50_latency_s = latency_hist.p50() / 1e6;
+  result.p95_latency_s = latency_hist.p95() / 1e6;
+  result.p99_latency_s = latency_hist.p99() / 1e6;
+  result.miss_ratio =
+      static_cast<double>(misses) / static_cast<double>(completions.size());
+  result.false_miss_ratio = static_cast<double>(cluster.engine().false_misses()) /
+                            static_cast<double>(completions.size());
+
+  double util = 0;
+  std::int64_t evictions = 0, loads = 0;
+  for (std::size_t g = 0; g < cluster.gpu_count(); ++g) {
+    util += cluster.gpu(g).sm_utilization(makespan);
+    evictions += cluster.gpu(g).counters().evictions;
+    loads += cluster.gpu(g).counters().loads;
+  }
+  result.sm_utilization = util / static_cast<double>(cluster.gpu_count());
+  result.evictions = evictions;
+  result.model_loads = loads;
+  result.avg_top_duplicates = cluster.engine().average_top_duplicates(makespan);
+  result.makespan_s = sim_to_seconds(makespan);
+  return result;
+}
+
+}  // namespace gfaas::cluster

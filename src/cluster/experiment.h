@@ -1,0 +1,77 @@
+// Experiment runner: assembles a full simulated cluster (Fig. 2), replays
+// a workload through it, and aggregates the evaluation metrics the paper
+// reports — average latency (+variance/percentiles), cache miss ratio,
+// GPU SM utilization, false miss ratio, and the average duplicate count
+// of the most popular model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/engine.h"
+#include "trace/workload.h"
+
+namespace gfaas::cluster {
+
+struct ExperimentResult {
+  std::string policy;
+  std::size_t working_set = 0;
+  std::size_t requests = 0;
+
+  double avg_latency_s = 0;
+  double latency_variance_s2 = 0;
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double p99_latency_s = 0;
+
+  double miss_ratio = 0;        // misses / requests (per-dispatch)
+  double false_miss_ratio = 0;  // false misses / requests
+  double sm_utilization = 0;    // mean over GPUs of time-weighted SM use
+  double avg_top_duplicates = 0;
+
+  std::int64_t evictions = 0;
+  std::int64_t model_loads = 0;
+  double makespan_s = 0;
+};
+
+// Runs one experiment (deterministic for a given config + workload).
+ExperimentResult run_experiment(const ClusterConfig& config,
+                                const trace::Workload& workload);
+
+// A fully-assembled simulated cluster, for callers that need to drive the
+// simulation themselves (examples, integration tests, the Gateway
+// backend). Owns every component.
+class SimCluster {
+ public:
+  SimCluster(const ClusterConfig& config, const models::ModelRegistry& registry);
+  ~SimCluster();
+
+  sim::Simulator& simulator() { return *simulator_; }
+  datastore::KvStore& datastore() { return *store_; }
+  cache::CacheManager& cache() { return *cache_; }
+  SchedulerEngine& engine() { return *engine_; }
+  const models::LatencyOracle& oracle() const { return *oracle_; }
+  gpu::VirtualGpu& gpu(std::size_t index) { return *gpus_[index]; }
+  std::size_t gpu_count() const { return gpus_.size(); }
+  const ClusterConfig& config() const { return config_; }
+
+  // Schedules all requests at their arrival times and runs to completion.
+  // Returns the makespan (time of last completion).
+  SimTime replay(const std::vector<core::Request>& requests);
+
+ private:
+  ClusterConfig config_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<datastore::KvStore> store_;
+  std::unique_ptr<cache::CacheManager> cache_;
+  std::unique_ptr<models::ModelRegistry> registry_;
+  std::unique_ptr<models::LatencyOracle> oracle_;
+  std::vector<std::unique_ptr<gpu::PcieLink>> links_;
+  std::vector<std::unique_ptr<gpu::VirtualGpu>> gpus_;
+  std::vector<std::unique_ptr<GpuManager>> managers_;
+  std::unique_ptr<SchedulerEngine> engine_;
+};
+
+}  // namespace gfaas::cluster

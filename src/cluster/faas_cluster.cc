@@ -1,0 +1,45 @@
+#include "cluster/faas_cluster.h"
+
+#include "common/log.h"
+
+namespace gfaas::cluster {
+
+FaasCluster::FaasCluster(const ClusterConfig& config,
+                         const models::ModelRegistry& registry)
+    : registry_(registry) {
+  cluster_ = std::make_unique<SimCluster>(config, registry);
+  gateway_ = std::make_unique<faas::Gateway>(&cluster_->datastore(),
+                                             &cluster_->simulator(), this);
+  cluster_->engine().set_completion_hook([this](const core::CompletionRecord& record) {
+    auto it = pending_.find(record.id.value());
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    faas::InvocationResult result;
+    result.latency = record.latency();
+    result.executed_on = "gpu-" + std::to_string(record.gpu.value());
+    result.output.content_type = "application/x-gfaas-inference";
+    done(std::move(result));
+  });
+}
+
+void FaasCluster::submit(const faas::FunctionSpec& spec, const faas::Payload& input,
+                         std::function<void(StatusOr<faas::InvocationResult>)> done) {
+  auto profile = registry_.get_by_name(spec.model_name);
+  if (!profile.ok()) {
+    done(profile.status());
+    return;
+  }
+  core::Request request;
+  request.id = RequestId(next_request_++);
+  request.function = FunctionId(request.id.value());
+  request.model = profile->id;
+  request.batch = spec.batch_size > 0 ? spec.batch_size : 32;
+  if (!input.shape.empty()) request.batch = input.shape.front();
+  request.arrival = cluster_->simulator().now();
+  request.function_name = spec.name;
+  pending_[request.id.value()] = std::move(done);
+  cluster_->engine().submit(std::move(request));
+}
+
+}  // namespace gfaas::cluster

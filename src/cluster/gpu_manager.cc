@@ -1,0 +1,177 @@
+#include "cluster/gpu_manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "datastore/keys.h"
+#include "tensor/dataset.h"
+
+namespace gfaas::cluster {
+
+GpuManager::GpuManager(NodeId node, sim::Executor* executor, datastore::KvStore* store,
+                       cache::CacheManager* cache, const models::ModelRegistry* registry,
+                       const models::LatencyOracle* oracle,
+                       std::vector<gpu::VirtualGpu*> gpus, bool execute_real_inference)
+    : node_(node),
+      executor_(executor),
+      store_(store),
+      cache_(cache),
+      registry_(registry),
+      oracle_(oracle),
+      gpus_(std::move(gpus)),
+      execute_real_(execute_real_inference) {
+  GFAAS_CHECK(executor_ && cache_ && registry_ && oracle_);
+  GFAAS_CHECK(!gpus_.empty());
+}
+
+bool GpuManager::manages(GpuId gpu) const {
+  return std::any_of(gpus_.begin(), gpus_.end(),
+                     [&](const gpu::VirtualGpu* g) { return g->id() == gpu; });
+}
+
+gpu::VirtualGpu& GpuManager::gpu_ref(GpuId gpu) {
+  for (auto* g : gpus_) {
+    if (g->id() == gpu) return *g;
+  }
+  GFAAS_CHECK(false) << "gpu " << gpu.value() << " not managed by node " << node_.value();
+  __builtin_unreachable();
+}
+
+const gpu::VirtualGpu& GpuManager::gpu_ref(GpuId gpu) const {
+  return const_cast<GpuManager*>(this)->gpu_ref(gpu);
+}
+
+void GpuManager::publish_status(GpuId gpu, bool busy, SimTime finish_time) {
+  if (store_ == nullptr) return;
+  store_->put(datastore::keys::gpu_status(gpu), busy ? "busy" : "idle");
+  store_->put(datastore::keys::gpu_finish_time(gpu), std::to_string(finish_time));
+  store_->put(datastore::keys::gpu_free_mem(gpu),
+              std::to_string(gpu_ref(gpu).free_memory()));
+}
+
+void GpuManager::report_latency(const core::Request& request, SimTime latency) {
+  if (store_ == nullptr) return;
+  store_->put(datastore::keys::fn_latency(request.function_name),
+              std::to_string(latency));
+}
+
+void GpuManager::maybe_execute_real(const core::Request& request) {
+  if (!execute_real_) return;
+  auto it = runtime_models_.find(request.model.value());
+  if (it == runtime_models_.end()) {
+    const auto profile = registry_->get(request.model);
+    GFAAS_CHECK(profile.ok());
+    it = runtime_models_
+             .emplace(request.model.value(), tensor::build_cnn(profile->runtime_config))
+             .first;
+  }
+  // Run a genuinely-sized forward pass (small batch keeps CPU time sane;
+  // simulated timing still follows the Table I profiles).
+  tensor::SyntheticImageDataset dataset(
+      tensor::DatasetKind::kCifar10Like,
+      static_cast<std::uint64_t>(request.id.value()) + 1);
+  const tensor::Batch batch = dataset.make_batch(std::min<std::int64_t>(2, request.batch));
+  const tensor::Tensor out = it->second->forward(batch.images);
+  GFAAS_CHECK(out.numel() > 0);
+}
+
+StatusOr<SimTime> GpuManager::execute(const core::Request& request, GpuId gpu,
+                                      bool false_miss, bool via_local_queue,
+                                      CompletionCallback done) {
+  GFAAS_CHECK(done != nullptr);
+  gpu::VirtualGpu& device = gpu_ref(gpu);
+  if (device.is_busy()) {
+    return Status::FailedPrecondition("gpu " + std::to_string(gpu.value()) +
+                                      " is busy; one request at a time");
+  }
+  const SimTime now = executor_->now();
+  const ModelId model = request.model;
+  auto infer_time = oracle_->infer_time(model, request.batch);
+  if (!infer_time.ok()) return infer_time.status();
+
+  const bool hit = cache_->is_cached(gpu, model);
+
+  core::CompletionRecord record;
+  record.id = request.id;
+  record.model = model;
+  record.gpu = gpu;
+  record.arrival = request.arrival;
+  record.dispatched = now;
+  record.cache_hit = hit;
+  record.false_miss = false_miss;
+  record.via_local_queue = via_local_queue;
+
+  auto complete = [this, request, gpu, record, done](SimTime finish) mutable {
+    // Under the wall-clock executor now() keeps moving, so the remaining
+    // delay can come out marginally negative; clamp to "immediately".
+    const SimTime delay = std::max<SimTime>(0, finish - executor_->now());
+    executor_->schedule_after(delay, [this, request, gpu, record,
+                                      done, finish]() mutable {
+      gpu::VirtualGpu& dev = gpu_ref(gpu);
+      const auto proc = dev.find_process(request.model);
+      GFAAS_CHECK(proc.has_value());
+      GFAAS_CHECK(dev.finish_inference(finish, proc->id).ok());
+      maybe_execute_real(request);
+      GFAAS_CHECK(cache_->unpin(gpu, request.model).ok());
+      record.completed = finish;
+      publish_status(gpu, /*busy=*/false, finish);
+      report_latency(request, record.latency());
+      done(record);
+    });
+  };
+
+  if (hit) {
+    // Cache hit: "the GPU process that uses the requested model is
+    // already running; GPU Manager forwards the input" (§III-C).
+    GFAAS_CHECK(cache_->record_access(gpu, model).ok());
+    GFAAS_CHECK(cache_->pin(gpu, model).ok());
+    const auto proc = device.find_process(model);
+    GFAAS_CHECK(proc.has_value()) << "cache hit without gpu process";
+    auto end = device.begin_inference(now, proc->id, *infer_time, request.batch);
+    if (!end.ok()) return end.status();
+    publish_status(gpu, /*busy=*/true, *end);
+    complete(*end);
+    return *end;
+  }
+
+  // Cache miss: evict victims, start a process, upload, then run.
+  const auto profile = registry_->get(model);
+  if (!profile.ok()) return profile.status();
+  auto victims = cache_->plan_eviction(gpu, profile->occupation);
+  if (!victims.ok()) return victims.status();
+  for (ModelId victim : *victims) {
+    const auto victim_proc = device.find_process(victim);
+    GFAAS_CHECK(victim_proc.has_value()) << "cached model without process";
+    GFAAS_CHECK(device.kill_process(victim_proc->id).ok());
+    GFAAS_CHECK(cache_->record_eviction(gpu, victim).ok());
+  }
+  auto pid = device.create_process(model, profile->occupation);
+  if (!pid.ok()) return pid.status();
+  GFAAS_CHECK(cache_->record_insertion(gpu, model, profile->occupation).ok());
+  GFAAS_CHECK(cache_->pin(gpu, model).ok());
+
+  auto load_time = oracle_->load_time(model);
+  if (!load_time.ok()) return load_time.status();
+  auto load_end = device.begin_load(now, *pid, *load_time);
+  if (!load_end.ok()) return load_end.status();
+
+  const SimTime expected_finish = *load_end + *infer_time;
+  publish_status(gpu, /*busy=*/true, expected_finish);
+
+  const ProcessId process = *pid;
+  const SimTime load_finish = *load_end;
+  const SimTime infer_duration = *infer_time;
+  executor_->schedule_after(
+      std::max<SimTime>(0, load_finish - executor_->now()),
+      [this, gpu, process, request, load_finish, infer_duration, complete]() mutable {
+        gpu::VirtualGpu& dev = gpu_ref(gpu);
+        GFAAS_CHECK(dev.finish_load(load_finish, process).ok());
+        auto end = dev.begin_inference(load_finish, process, infer_duration,
+                                       request.batch);
+        GFAAS_CHECK(end.ok()) << end.status().to_string();
+        complete(*end);
+      });
+  return expected_finish;
+}
+
+}  // namespace gfaas::cluster

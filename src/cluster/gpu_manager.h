@@ -1,0 +1,72 @@
+// GPU Manager (paper §III-C): per-node component that executes function
+// requests on its GPUs on behalf of the FaaS functions.
+//
+// For each dispatched request the manager consults the global Cache
+// Manager: on a hit it forwards the input to the existing GPU process; on
+// a miss it asks for a victim list, kills the victims' processes, starts
+// a new process and uploads the model, then runs the inference. It
+// enforces one request per GPU at a time, publishes busy/idle status and
+// estimated finish times to the Datastore, and reports per-request
+// latency on completion — exactly the responsibilities Fig. 2 assigns it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cluster/config.h"
+#include "common/id.h"
+#include "core/request.h"
+#include "datastore/kv_store.h"
+#include "gpu/virtual_gpu.h"
+#include "models/latency_model.h"
+#include "models/zoo.h"
+#include "sim/simulator.h"
+#include "tensor/model_builder.h"
+
+namespace gfaas::cluster {
+
+// Completion callback: the finished record flows back to the scheduling
+// engine (and, through it, to the Gateway / metrics).
+using CompletionCallback = std::function<void(const core::CompletionRecord&)>;
+
+class GpuManager {
+ public:
+  GpuManager(NodeId node, sim::Executor* executor, datastore::KvStore* store,
+             cache::CacheManager* cache, const models::ModelRegistry* registry,
+             const models::LatencyOracle* oracle,
+             std::vector<gpu::VirtualGpu*> gpus,
+             bool execute_real_inference = false);
+
+  NodeId node() const { return node_; }
+  bool manages(GpuId gpu) const;
+
+  // Starts `request` on `gpu` (must be one of this manager's idle GPUs).
+  // `cache_hit` / `false_miss` / `via_local_queue` are the scheduler's
+  // decision attributes recorded into the completion. Returns the
+  // expected absolute finish time (used for finish-time estimation).
+  StatusOr<SimTime> execute(const core::Request& request, GpuId gpu, bool false_miss,
+                            bool via_local_queue, CompletionCallback done);
+
+  gpu::VirtualGpu& gpu_ref(GpuId gpu);
+  const gpu::VirtualGpu& gpu_ref(GpuId gpu) const;
+
+ private:
+  void publish_status(GpuId gpu, bool busy, SimTime finish_time);
+  void report_latency(const core::Request& request, SimTime latency);
+  // Runs the scaled-down model for real when configured.
+  void maybe_execute_real(const core::Request& request);
+
+  NodeId node_;
+  sim::Executor* executor_;
+  datastore::KvStore* store_;
+  cache::CacheManager* cache_;
+  const models::ModelRegistry* registry_;
+  const models::LatencyOracle* oracle_;
+  std::vector<gpu::VirtualGpu*> gpus_;
+  bool execute_real_;
+  // Lazily built runtime models for real execution, by model id.
+  std::unordered_map<std::int64_t, tensor::ModulePtr> runtime_models_;
+};
+
+}  // namespace gfaas::cluster

@@ -1,0 +1,100 @@
+#include "cluster/realtime.h"
+
+#include "common/log.h"
+
+namespace gfaas::cluster {
+
+RealTimeExecutor::RealTimeExecutor(double time_scale)
+    : time_scale_(time_scale), start_(std::chrono::steady_clock::now()) {
+  GFAAS_CHECK(time_scale > 0);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+RealTimeExecutor::~RealTimeExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+SimTime RealTimeExecutor::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto usec_elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return static_cast<SimTime>(static_cast<double>(usec_elapsed) * time_scale_);
+}
+
+std::chrono::steady_clock::time_point RealTimeExecutor::deadline_for(
+    SimTime when) const {
+  const auto wall_usec =
+      static_cast<std::int64_t>(static_cast<double>(when) / time_scale_);
+  return start_ + std::chrono::microseconds(wall_usec);
+}
+
+std::uint64_t RealTimeExecutor::schedule_after(SimTime delay, std::function<void()> fn) {
+  GFAAS_CHECK(delay >= 0);
+  GFAAS_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const SimTime when = now() + delay;
+  const std::uint64_t id = next_id_++;
+  const auto key = std::make_pair(when, next_seq_++);
+  events_.emplace(key, std::move(fn));
+  by_id_.emplace(id, key);
+  cv_.notify_all();
+  return id;
+}
+
+bool RealTimeExecutor::cancel(std::uint64_t event_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(event_id);
+  if (it == by_id_.end()) return false;
+  events_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+std::size_t RealTimeExecutor::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size() + (running_ ? 1 : 0);
+}
+
+void RealTimeExecutor::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return events_.empty() && !running_; });
+}
+
+void RealTimeExecutor::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (events_.empty()) {
+      drained_cv_.notify_all();
+      cv_.wait(lock, [this] { return stop_ || !events_.empty(); });
+      continue;
+    }
+    const auto next = events_.begin();
+    const SimTime fire_at = next->first.first;
+    if (now() < fire_at) {
+      cv_.wait_until(lock, deadline_for(fire_at));
+      continue;  // re-evaluate: an earlier event may have been added
+    }
+    std::function<void()> fn = std::move(next->second);
+    // Remove the id mapping for this event.
+    for (auto it = by_id_.begin(); it != by_id_.end(); ++it) {
+      if (it->second == next->first) {
+        by_id_.erase(it);
+        break;
+      }
+    }
+    events_.erase(next);
+    running_ = true;
+    lock.unlock();
+    fn();
+    lock.lock();
+    running_ = false;
+    if (events_.empty()) drained_cv_.notify_all();
+  }
+}
+
+}  // namespace gfaas::cluster

@@ -1,0 +1,68 @@
+// Wall-clock executor: the same sim::Executor interface backed by a real
+// timer thread, so the Scheduler / Cache Manager / GPU Manager stack runs
+// unmodified against real time (the deployment mode; the discrete-event
+// simulator is the evaluation mode).
+//
+// Threading model: all callbacks execute on the single internal worker
+// thread, which is exactly the isolation the (single-threaded) engine
+// expects. External threads hand work in via post() and synchronize with
+// drain().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sim/simulator.h"
+
+namespace gfaas::cluster {
+
+class RealTimeExecutor final : public sim::Executor {
+ public:
+  // `time_scale` compresses time: a schedule_after(d) fires after
+  // d / time_scale of wall time (e.g. 1000 = milliseconds become
+  // microseconds). The reported now() stays in *simulated* units so
+  // latency math matches the profiles.
+  explicit RealTimeExecutor(double time_scale = 1.0);
+  ~RealTimeExecutor() override;
+
+  RealTimeExecutor(const RealTimeExecutor&) = delete;
+  RealTimeExecutor& operator=(const RealTimeExecutor&) = delete;
+
+  // Elapsed time since construction, in (scaled) microseconds.
+  SimTime now() const override;
+
+  std::uint64_t schedule_after(SimTime delay, std::function<void()> fn) override;
+  bool cancel(std::uint64_t event_id) override;
+
+  // Runs fn on the worker thread as soon as possible.
+  std::uint64_t post(std::function<void()> fn) { return schedule_after(0, std::move(fn)); }
+
+  // Blocks until no events remain pending (due or future).
+  void drain();
+
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+  std::chrono::steady_clock::time_point deadline_for(SimTime when) const;
+
+  double time_scale_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  // (fire time in scaled µs, sequence) -> callback.
+  std::map<std::pair<SimTime, std::uint64_t>, std::function<void()>> events_;
+  std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> by_id_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;  // a callback is executing
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace gfaas::cluster

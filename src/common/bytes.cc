@@ -1,0 +1,22 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+
+namespace gfaas {
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= GiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", v / static_cast<double>(GiB(1)));
+  } else if (b >= MiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", v / static_cast<double>(MiB(1)));
+  } else if (b >= KiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2fKiB", v / static_cast<double>(KiB(1)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace gfaas

@@ -1,0 +1,22 @@
+// Byte-size units and formatting. GPU memory accounting is byte-accurate
+// (int64) everywhere; these helpers keep model sizes and capacities legible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gfaas {
+
+using Bytes = std::int64_t;
+
+constexpr Bytes KiB(std::int64_t n) { return n * 1024; }
+constexpr Bytes MiB(std::int64_t n) { return n * 1024 * 1024; }
+constexpr Bytes GiB(std::int64_t n) { return n * 1024 * 1024 * 1024; }
+
+// The paper's Table I quotes sizes in MB (decimal); keep a separate helper
+// so catalog entries read exactly like the paper.
+constexpr Bytes MB(std::int64_t n) { return n * 1'000'000; }
+
+std::string format_bytes(Bytes b);
+
+}  // namespace gfaas

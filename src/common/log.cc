@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace gfaas {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+
+void log_message(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), file, line, msg.c_str());
+}
+
+void check_failed(const char* expr, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gfaas

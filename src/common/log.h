@@ -1,0 +1,74 @@
+// Minimal leveled logger + checked assertions.
+//
+// GFAAS_CHECK aborts with a message on violated invariants — these are
+// programmer errors, never workload-dependent conditions. Log level is a
+// process-global; experiments default to kWarn so benches stay quiet.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gfaas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace internal {
+void log_message(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { log_message(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+class CheckStream {
+ public:
+  CheckStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckStream() { check_failed(expr_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gfaas
+
+#define GFAAS_LOG(level)                                                  \
+  if (::gfaas::log_level() <= ::gfaas::LogLevel::level)                   \
+  ::gfaas::internal::LogStream(::gfaas::LogLevel::level, __FILE__, __LINE__)
+
+#define GFAAS_CHECK(cond)                                                  \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::gfaas::internal::CheckStream(#cond, __FILE__, __LINE__)

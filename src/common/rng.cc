@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gfaas {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  GFAAS_CHECK(bound > 0) << "next_below(0)";
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  GFAAS_CHECK(lo <= hi) << "uniform_int bounds inverted";
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::exponential(double rate) {
+  GFAAS_CHECK(rate > 0) << "exponential rate must be positive";
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  GFAAS_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  GFAAS_CHECK(total > 0) << "weighted_index requires positive total weight";
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : total_(0) {
+  GFAAS_CHECK(n > 0);
+  weights_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    weights_[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    total_ += weights_[k];
+  }
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  double r = rng.uniform() * total_;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    r -= weights_[k];
+    if (r < 0) return k;
+  }
+  return weights_.size() - 1;
+}
+
+}  // namespace gfaas

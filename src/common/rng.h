@@ -1,0 +1,99 @@
+// Deterministic random number generation.
+//
+// Experiments must be exactly reproducible from a (seed, config) pair, so
+// gFaaS never touches std::random_device or platform RNGs. SplitMix64 is
+// used for seeding; Xoshiro256** is the workhorse generator. Both match
+// the published reference outputs (tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gfaas {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Exponential with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  // Draws an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Forks an independent stream (for per-component RNGs).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+// Zipf(s, n) sampler over ranks {0, .., n-1}: P(k) ∝ 1/(k+1)^s.
+// Used by the Azure trace synthesizer to produce skewed popularity.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  // Probability mass of rank k.
+  double pmf(std::size_t k) const { return weights_[k] / total_; }
+
+ private:
+  std::vector<double> weights_;  // cumulative
+  double total_;
+};
+
+}  // namespace gfaas

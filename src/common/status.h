@@ -1,0 +1,88 @@
+// Lightweight Status / StatusOr error handling (C++20 has no std::expected).
+//
+// Functions that can fail at runtime for reasons the caller should handle
+// (missing key, GPU out of memory, unknown model, ...) return `Status` or
+// `StatusOr<T>`. Exceptions are reserved for programmer errors (violated
+// preconditions) via GFAAS_CHECK in log.h.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gfaas {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such key".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error wrapper. Construction from T is implicit so `return value;`
+// works; access to a missing value is a checked failure.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gfaas

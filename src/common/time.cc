@@ -1,0 +1,21 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gfaas {
+
+std::string format_sim_time(SimTime t) {
+  char buf[64];
+  const double abs_t = std::abs(static_cast<double>(t));
+  if (abs_t >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / 1e6);
+  } else if (abs_t >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace gfaas

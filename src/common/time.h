@@ -1,0 +1,38 @@
+// Simulated-time primitives.
+//
+// All of gFaaS measures time in integer microseconds (`SimTime`) so that
+// discrete-event experiments are deterministic across platforms: there is
+// no floating-point accumulation anywhere on the simulation clock. Helper
+// factories (`usec`, `msec`, `sec`) and converters keep call sites
+// readable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gfaas {
+
+// A point or span of simulated time, in microseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime usec(std::int64_t n) { return n; }
+constexpr SimTime msec(std::int64_t n) { return n * 1'000; }
+constexpr SimTime sec(std::int64_t n) { return n * 1'000'000; }
+constexpr SimTime minutes(std::int64_t n) { return n * 60'000'000; }
+
+// Converts a fractional second count to SimTime, rounding to nearest µs.
+// Used when ingesting profiled latencies expressed in seconds (Table I).
+constexpr SimTime seconds_to_sim(double s) {
+  return static_cast<SimTime>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double sim_to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double sim_to_millis(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+// Renders a SimTime as a human-readable string, e.g. "1.254s" or "83ms".
+std::string format_sim_time(SimTime t);
+
+}  // namespace gfaas

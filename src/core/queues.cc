@@ -1,0 +1,115 @@
+#include "core/queues.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::core {
+
+void GlobalQueue::push(Request request) {
+  GFAAS_CHECK(request.id.valid());
+  GFAAS_CHECK(by_id_.count(request.id.value()) == 0)
+      << "request " << request.id.value() << " already queued";
+  // Arrival order is push order; the engine pushes in event-time order.
+  queue_.push_back(std::move(request));
+  auto it = std::prev(queue_.end());
+  by_id_[it->id.value()] = it;
+  by_model_[it->model.value()].push_back(it->id.value());
+}
+
+const Request* GlobalQueue::head() const {
+  return queue_.empty() ? nullptr : &queue_.front();
+}
+
+const Request* GlobalQueue::find(RequestId id) const {
+  auto it = by_id_.find(id.value());
+  return it == by_id_.end() ? nullptr : &*it->second;
+}
+
+Request* GlobalQueue::find_mutable(RequestId id) {
+  auto it = by_id_.find(id.value());
+  return it == by_id_.end() ? nullptr : &*it->second;
+}
+
+StatusOr<Request> GlobalQueue::take(RequestId id) {
+  auto it = by_id_.find(id.value());
+  if (it == by_id_.end()) {
+    return Status::NotFound("request " + std::to_string(id.value()) + " not queued");
+  }
+  Request out = std::move(*it->second);
+  auto& model_deque = by_model_[out.model.value()];
+  auto pos = std::find(model_deque.begin(), model_deque.end(), id.value());
+  GFAAS_CHECK(pos != model_deque.end());
+  model_deque.erase(pos);
+  if (model_deque.empty()) by_model_.erase(out.model.value());
+  queue_.erase(it->second);
+  by_id_.erase(it);
+  return out;
+}
+
+const Request* GlobalQueue::first_for_model(ModelId model) const {
+  auto it = by_model_.find(model.value());
+  if (it == by_model_.end() || it->second.empty()) return nullptr;
+  return find(RequestId(it->second.front()));
+}
+
+std::vector<ModelId> GlobalQueue::pending_models() const {
+  std::vector<ModelId> out;
+  out.reserve(by_model_.size());
+  for (const auto& [model, ids] : by_model_) out.push_back(ModelId(model));
+  return out;
+}
+
+std::vector<RequestId> GlobalQueue::in_arrival_order() const {
+  std::vector<RequestId> out;
+  out.reserve(queue_.size());
+  for (const auto& r : queue_) out.push_back(r.id);
+  return out;
+}
+
+int GlobalQueue::max_visits() const {
+  int best = 0;
+  for (const auto& r : queue_) best = std::max(best, r.visits);
+  return best;
+}
+
+void LocalQueues::push(GpuId gpu, Request request) {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < queues_.size()) << "unknown gpu " << gpu.value();
+  queues_[index].push_back(std::move(request));
+}
+
+std::optional<Request> LocalQueues::pop_head(GpuId gpu) {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < queues_.size());
+  if (queues_[index].empty()) return std::nullopt;
+  Request out = std::move(queues_[index].front());
+  queues_[index].pop_front();
+  return out;
+}
+
+const Request* LocalQueues::head(GpuId gpu) const {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < queues_.size());
+  return queues_[index].empty() ? nullptr : &queues_[index].front();
+}
+
+std::size_t LocalQueues::size(GpuId gpu) const {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < queues_.size());
+  return queues_[index].size();
+}
+
+std::size_t LocalQueues::total_pending() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+const std::deque<Request>& LocalQueues::queued(GpuId gpu) const {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < queues_.size());
+  return queues_[index];
+}
+
+}  // namespace gfaas::core

@@ -1,0 +1,82 @@
+// The Scheduler's queues (paper Fig. 3).
+//
+// GlobalQueue holds every pending request in arrival order and maintains
+// the auxiliary model -> requests index described in §VI ("the Scheduler
+// maintains an auxiliary data structure that links the queued requests to
+// their corresponding models — the requests linked to the same model are
+// still sorted by their arriving order"), which bounds the
+// find-a-cached-request search by the number of models cached on a GPU
+// instead of the queue length.
+//
+// LocalQueues holds the per-GPU queues of requests the policy moved to a
+// busy GPU (Algorithm 2 line 12). "When this GPU becomes idle, it always
+// executes the requests already in its local queue before considering any
+// request in the global queue."
+#pragma once
+
+#include <deque>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/request.h"
+
+namespace gfaas::core {
+
+class GlobalQueue {
+ public:
+  void push(Request request);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // Earliest-arrival pending request (nullptr if empty).
+  const Request* head() const;
+  const Request* find(RequestId id) const;
+  Request* find_mutable(RequestId id);
+
+  // Removes and returns the request.
+  StatusOr<Request> take(RequestId id);
+
+  // Earliest-arrival request whose model is `model` (nullptr if none) —
+  // served by the §VI per-model index.
+  const Request* first_for_model(ModelId model) const;
+
+  // Distinct models with at least one pending request.
+  std::vector<ModelId> pending_models() const;
+
+  // Request ids in arrival order (snapshot; O(n)).
+  std::vector<RequestId> in_arrival_order() const;
+
+  // Highest `visits` value among pending requests (0 if empty).
+  int max_visits() const;
+
+ private:
+  std::list<Request> queue_;  // arrival order (push_back)
+  std::unordered_map<std::int64_t, std::list<Request>::iterator> by_id_;
+  // model id -> request ids in arrival order.
+  std::map<std::int64_t, std::deque<std::int64_t>> by_model_;
+};
+
+class LocalQueues {
+ public:
+  explicit LocalQueues(std::size_t gpu_count) : queues_(gpu_count) {}
+
+  void push(GpuId gpu, Request request);
+  std::optional<Request> pop_head(GpuId gpu);
+  const Request* head(GpuId gpu) const;
+  std::size_t size(GpuId gpu) const;
+  bool empty(GpuId gpu) const { return size(gpu) == 0; }
+  std::size_t total_pending() const;
+
+  // Requests queued on the GPU, head first (for finish-time estimation).
+  const std::deque<Request>& queued(GpuId gpu) const;
+
+ private:
+  std::vector<std::deque<Request>> queues_;
+};
+
+}  // namespace gfaas::core

@@ -1,0 +1,50 @@
+// A scheduled unit of work: one model-inference function invocation.
+//
+// Requests are what flow through the paper's Fig. 3 pipeline: Gateway ->
+// global queue -> (policy) -> GPU local queue / direct dispatch -> GPU.
+// `visits` is the out-of-order dispatch skip counter of Algorithm 1
+// (lines 11-16): each time the scheduler passes over a request to promote
+// a later cache-hit request, visits increments; once it exceeds the O3
+// limit the request is placed unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/id.h"
+#include "common/time.h"
+
+namespace gfaas::core {
+
+struct Request {
+  RequestId id;
+  FunctionId function;
+  ModelId model;
+  std::int64_t batch = 32;
+  SimTime arrival = 0;
+  // O3 skip counter (Algorithm 1).
+  int visits = 0;
+  // Function name, for datastore metric keys and logs.
+  std::string function_name;
+};
+
+// The final record of one completed invocation, used for every
+// latency/miss metric in the evaluation.
+struct CompletionRecord {
+  RequestId id;
+  ModelId model;
+  GpuId gpu;
+  SimTime arrival = 0;
+  SimTime dispatched = 0;
+  SimTime completed = 0;
+  bool cache_hit = false;
+  // Scheduler forwarded it as a miss although the model was cached on
+  // some other GPU at decision time (Fig. 5's metric).
+  bool false_miss = false;
+  // Whether it waited in a busy GPU's local queue.
+  bool via_local_queue = false;
+
+  SimTime latency() const { return completed - arrival; }
+};
+
+}  // namespace gfaas::core

@@ -1,0 +1,210 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::core {
+
+namespace {
+
+// A dispatch is a false miss when the target GPU does not hold the model
+// but some other GPU does (§V-D).
+bool is_false_miss(const SchedulingContext& ctx, ModelId model, GpuId gpu) {
+  if (ctx.cache().is_cached(gpu, model)) return false;
+  return ctx.cache().cached_anywhere(model);
+}
+
+bool still_idle(const SchedulingContext& ctx, GpuId gpu) {
+  const auto idle = ctx.idle_gpus();
+  return std::find(idle.begin(), idle.end(), gpu) != idle.end();
+}
+
+}  // namespace
+
+std::string policy_display_name(PolicyName name) {
+  switch (name) {
+    case PolicyName::kLb: return "LB";
+    case PolicyName::kLalb: return "LALB";
+    case PolicyName::kLalbO3: return "LALBO3";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchedulingPolicy> make_scheduler(PolicyName name, int o3_limit) {
+  switch (name) {
+    case PolicyName::kLb: return std::make_unique<LbScheduler>();
+    case PolicyName::kLalb: return std::make_unique<LalbScheduler>(0);
+    case PolicyName::kLalbO3: return std::make_unique<LalbScheduler>(o3_limit);
+  }
+  GFAAS_CHECK(false) << "unknown policy";
+  return nullptr;
+}
+
+void LbScheduler::schedule(SchedulingContext& ctx) {
+  // "Simply dispatches the request at the head of the global queue
+  // whenever a GPU becomes idle." No locality awareness, no local queues.
+  while (true) {
+    const Request* head = ctx.global_queue().head();
+    if (head == nullptr) return;
+    const auto idle = ctx.idle_gpus();
+    if (idle.empty()) return;
+    // Least-frequently-dispatched idle GPU = plain load balancing.
+    const GpuId target = idle.back();
+    ctx.dispatch_from_global(head->id, target,
+                             is_false_miss(ctx, head->model, target));
+  }
+}
+
+LalbScheduler::LalbScheduler(int o3_limit) : o3_limit_(o3_limit) {
+  GFAAS_CHECK(o3_limit >= 0);
+}
+
+std::string LalbScheduler::name() const {
+  return o3_limit_ == 0 ? "LALB" : "LALBO3";
+}
+
+void LalbScheduler::schedule(SchedulingContext& ctx) {
+  if (o3_limit_ == 0) {
+    schedule_in_order(ctx);
+  } else {
+    schedule_out_of_order(ctx);
+  }
+}
+
+bool LalbScheduler::locality_load_balance(SchedulingContext& ctx, GpuId gpu_i,
+                                          RequestId request) {
+  // Algorithm 2: place `request` considering locality and load balance.
+  const Request* req = ctx.global_queue().find(request);
+  GFAAS_CHECK(req != nullptr);
+  const ModelId model = req->model;
+  const std::int64_t batch = req->batch;
+  (void)batch;
+
+  const std::vector<GpuId> locations = ctx.cache().locations(model);
+  if (locations.empty()) {
+    // Line 1-3: not cached anywhere -> plain cache miss on gpu_i.
+    ctx.dispatch_from_global(request, gpu_i, /*false_miss=*/false);
+    return true;
+  }
+
+  // Line 4-6: cached on another idle GPU -> hit there; gpu_i stays idle.
+  for (GpuId gpu_j : ctx.idle_gpus()) {
+    if (gpu_j == gpu_i) continue;
+    if (ctx.cache().is_cached(gpu_j, model)) {
+      ctx.dispatch_from_global(request, gpu_j, /*false_miss=*/false);
+      return false;
+    }
+  }
+
+  // Line 8-15: cached only on busy GPUs. Move to the local queue of the
+  // best busy holder if waiting beats re-uploading the model.
+  const SimTime load = ctx.load_time(model);
+  GpuId best_gpu;
+  SimTime best_wait = kSimTimeMax;
+  for (GpuId gpu_j : ctx.busy_gpus()) {
+    if (!ctx.cache().is_cached(gpu_j, model)) continue;
+    const SimTime wait = ctx.estimated_finish_time(gpu_j) - ctx.now();
+    if (wait < best_wait) {
+      best_wait = wait;
+      best_gpu = gpu_j;
+    }
+  }
+  if (best_gpu.valid() && best_wait < load) {
+    ctx.move_to_local(request, best_gpu);
+    return false;
+  }
+
+  // Line 17-18: allow the (false) miss on gpu_i.
+  ctx.dispatch_from_global(request, gpu_i, /*false_miss=*/true);
+  return true;
+}
+
+void LalbScheduler::schedule_in_order(SchedulingContext& ctx) {
+  // Plain LALB (§IV-A prose): requests leave the global queue strictly in
+  // arrival order; each is placed with locality awareness.
+  while (true) {
+    // Local queues have absolute priority on idle GPUs (Algorithm 1 l.2-5).
+    bool served_local = false;
+    for (GpuId gpu : ctx.idle_gpus()) {
+      if (!ctx.local_queues().empty(gpu)) {
+        ctx.dispatch_from_local(gpu);
+        served_local = true;
+        break;  // idle set changed; re-enumerate
+      }
+    }
+    if (served_local) continue;
+
+    const Request* head = ctx.global_queue().head();
+    if (head == nullptr) return;
+    const auto idle = ctx.idle_gpus();
+    if (idle.empty()) return;
+
+    // Hit on an idle GPU if possible.
+    GpuId hit_gpu;
+    for (GpuId gpu : idle) {
+      if (ctx.cache().is_cached(gpu, head->model)) {
+        hit_gpu = gpu;
+        break;
+      }
+    }
+    if (hit_gpu.valid()) {
+      ctx.dispatch_from_global(head->id, hit_gpu, /*false_miss=*/false);
+      continue;
+    }
+    // Otherwise Algorithm 2 decides; either way the head leaves the queue.
+    locality_load_balance(ctx, idle.front(), head->id);
+  }
+}
+
+void LalbScheduler::schedule_out_of_order(SchedulingContext& ctx) {
+  // Algorithm 1 with the O3 skip counter.
+  const std::vector<GpuId> idle_snapshot = ctx.idle_gpus();
+  for (GpuId gpu_i : idle_snapshot) {
+    if (!still_idle(ctx, gpu_i)) continue;  // used by an earlier iteration
+
+    // Lines 2-5: local queue first.
+    if (!ctx.local_queues().empty(gpu_i)) {
+      ctx.dispatch_from_local(gpu_i);
+      continue;
+    }
+
+    // Lines 6-16: find the earliest request with its model cached on
+    // gpu_i, skipping (and aging) non-cached requests up to the limit.
+    bool dispatched = false;
+    const std::vector<RequestId> scan = ctx.global_queue().in_arrival_order();
+    for (RequestId req_id : scan) {
+      Request* req = ctx.mutable_global_queue().find_mutable(req_id);
+      if (req == nullptr) continue;  // placed meanwhile by Algorithm 2
+      if (ctx.cache().is_cached(gpu_i, req->model)) {
+        ctx.dispatch_from_global(req_id, gpu_i, /*false_miss=*/false);
+        dispatched = true;
+        break;
+      }
+      if (req->visits > o3_limit_) {
+        // Starvation limit reached: place unconditionally (lines 11-13).
+        if (locality_load_balance(ctx, gpu_i, req_id)) {
+          dispatched = true;
+          break;
+        }
+        if (!still_idle(ctx, gpu_i)) {
+          dispatched = true;  // gpu_i consumed by a re-entrant action
+          break;
+        }
+        continue;
+      }
+      ++req->visits;  // lines 14-16
+    }
+    if (dispatched) continue;
+
+    // For-else (lines 17-21): nothing cached on gpu_i; fall back to
+    // locality-aware load balancing in arrival order until gpu_i is used.
+    for (RequestId req_id : ctx.global_queue().in_arrival_order()) {
+      if (ctx.global_queue().find(req_id) == nullptr) continue;
+      if (locality_load_balance(ctx, gpu_i, req_id)) break;
+      if (!still_idle(ctx, gpu_i)) break;
+    }
+  }
+}
+
+}  // namespace gfaas::core

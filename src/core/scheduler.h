@@ -1,0 +1,113 @@
+// Scheduling policies (paper §IV).
+//
+// A policy is invoked by the scheduling engine whenever the situation of
+// §IV-A holds: "at least one request is waiting in the global queue and at
+// least one GPU is idle" (or a local queue has work for an idle GPU). The
+// policy inspects cluster state through SchedulingContext and emits
+// actions through the same interface; the engine applies each action
+// immediately, so within one invocation the policy always sees consistent
+// state (a GPU it just dispatched to is no longer idle).
+//
+// Policies:
+//   * LbScheduler       — the baseline: "dispatches the request at the
+//                         head of the global queue whenever a GPU becomes
+//                         idle" (§V-A).
+//   * LalbScheduler     — Locality-Aware Load-Balancing, Algorithms 1 & 2,
+//                         with the O3 limit parameter. limit == 0 disables
+//                         out-of-order dispatch (plain LALB); the paper's
+//                         default for LALBO3 is 25.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "common/id.h"
+#include "common/time.h"
+#include "core/queues.h"
+#include "core/request.h"
+
+namespace gfaas::core {
+
+// What a policy can see and do. Implemented by the scheduling engine
+// (cluster::SchedulerEngine for both simulated and real-time modes).
+class SchedulingContext {
+ public:
+  virtual ~SchedulingContext() = default;
+
+  virtual SimTime now() const = 0;
+
+  // Idle GPUs, "sorted by frequency" (Algorithm 1 input). We interpret
+  // frequency as dispatch count, most-used first: hot GPUs hold hot
+  // models, so scanning them first maximizes hit chances.
+  virtual std::vector<GpuId> idle_gpus() const = 0;
+  virtual std::vector<GpuId> busy_gpus() const = 0;
+
+  virtual const GlobalQueue& global_queue() const = 0;
+  virtual GlobalQueue& mutable_global_queue() = 0;
+  virtual const LocalQueues& local_queues() const = 0;
+
+  virtual const cache::CacheManager& cache() const = 0;
+
+  // Absolute estimated finish time of ALL work assigned to the GPU:
+  // in-flight operation + local queue contents (§IV-A).
+  virtual SimTime estimated_finish_time(GpuId gpu) const = 0;
+
+  // Profiled latencies (§IV-A, Table I).
+  virtual SimTime load_time(ModelId model) const = 0;
+  virtual SimTime infer_time(ModelId model, std::int64_t batch) const = 0;
+
+  // --- actions (applied immediately by the engine) ---
+  // Starts `request` (currently in the global queue) on `gpu` (idle).
+  virtual void dispatch_from_global(RequestId request, GpuId gpu, bool false_miss) = 0;
+  // Starts the head of `gpu`'s local queue on it.
+  virtual void dispatch_from_local(GpuId gpu) = 0;
+  // Moves `request` from the global queue to `gpu`'s local queue.
+  virtual void move_to_local(RequestId request, GpuId gpu) = 0;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual std::string name() const = 0;
+  // Performs zero or more actions. Called on request arrival and on every
+  // GPU idle transition.
+  virtual void schedule(SchedulingContext& ctx) = 0;
+};
+
+// Baseline load-balancing scheduler.
+class LbScheduler final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "LB"; }
+  void schedule(SchedulingContext& ctx) override;
+};
+
+// Locality-aware load-balancing, with optional out-of-order dispatch.
+class LalbScheduler final : public SchedulingPolicy {
+ public:
+  // o3_limit == 0: in-order LALB. o3_limit > 0: Algorithm 1 with the
+  // given starvation limit (paper default 25).
+  explicit LalbScheduler(int o3_limit = 0);
+
+  std::string name() const override;
+  void schedule(SchedulingContext& ctx) override;
+
+  int o3_limit() const { return o3_limit_; }
+
+ private:
+  // Algorithm 2. Returns true iff the request was dispatched to gpu_i.
+  bool locality_load_balance(SchedulingContext& ctx, GpuId gpu_i, RequestId request);
+
+  void schedule_in_order(SchedulingContext& ctx);
+  void schedule_out_of_order(SchedulingContext& ctx);
+
+  int o3_limit_;
+};
+
+// Factory used by experiment configs.
+enum class PolicyName { kLb, kLalb, kLalbO3 };
+std::string policy_display_name(PolicyName name);
+std::unique_ptr<SchedulingPolicy> make_scheduler(PolicyName name, int o3_limit = 25);
+
+}  // namespace gfaas::core

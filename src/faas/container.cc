@@ -1,0 +1,110 @@
+#include "faas/container.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.h"
+#include "datastore/keys.h"
+
+namespace gfaas::faas {
+
+SimTime Container::warm_up() {
+  if (state_ != ContainerState::kCold) return 0;
+  state_ = ContainerState::kWarm;
+  return spec_.cold_start;
+}
+
+StatusOr<InvocationResult> Watchdog::execute(Container& container, const Payload& input) {
+  const FunctionSpec& spec = container.spec();
+  if (!spec.handler) {
+    return Status::FailedPrecondition("function " + spec.name + " has no handler");
+  }
+  container.mark_busy();
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<Payload> output = spec.handler(input);
+  const auto end = std::chrono::steady_clock::now();
+  container.mark_warm();
+  container.count_invocation();
+
+  const SimTime latency =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start).count();
+  record(spec.name, latency, output.ok());
+  if (!output.ok()) return output.status();
+
+  InvocationResult result;
+  result.output = std::move(output).value();
+  result.latency = latency;
+  result.executed_on = container.id();
+  return result;
+}
+
+void Watchdog::record(const std::string& fn_name, SimTime latency, bool ok) {
+  if (store_ == nullptr) return;
+  store_->put(datastore::keys::fn_latency(fn_name), std::to_string(latency));
+  const std::string count_key = datastore::keys::fn_invocations(fn_name);
+  auto current = store_->get(count_key);
+  const std::int64_t count =
+      current.ok() ? std::strtoll(current->value.c_str(), nullptr, 10) : 0;
+  store_->put(count_key, std::to_string(count + 1));
+  if (!ok) {
+    store_->put("fn/" + fn_name + "/last_error",
+                std::to_string(clock_ ? clock_->now() : 0));
+  }
+}
+
+StatusOr<Container*> ContainerPool::acquire(const FunctionSpec& spec) {
+  // Prefer a warm idle container for this function.
+  Container* cold = nullptr;
+  std::size_t count = 0;
+  for (auto& c : containers_) {
+    if (c->spec().name != spec.name) continue;
+    ++count;
+    if (c->state() == ContainerState::kWarm) return c.get();
+    if (c->state() == ContainerState::kCold && cold == nullptr) cold = c.get();
+  }
+  if (cold != nullptr) return cold;
+  if (count >= max_per_function_) {
+    return Status::ResourceExhausted("function " + spec.name +
+                                     " at container cap with all busy");
+  }
+  containers_.push_back(std::make_unique<Container>(
+      spec.name + "-c" + std::to_string(next_id_++), spec));
+  return containers_.back().get();
+}
+
+void ContainerPool::release(Container* container) {
+  GFAAS_CHECK(container != nullptr);
+  container->mark_warm();
+}
+
+std::size_t ContainerPool::total_containers() const { return containers_.size(); }
+
+std::size_t ContainerPool::warm_count(const std::string& fn_name) const {
+  std::size_t n = 0;
+  for (const auto& c : containers_) {
+    if (c->spec().name == fn_name && c->state() == ContainerState::kWarm) ++n;
+  }
+  return n;
+}
+
+std::size_t ContainerPool::scale_down(const std::string& fn_name, std::size_t keep) {
+  std::size_t kept = 0, removed = 0;
+  auto it = containers_.begin();
+  while (it != containers_.end()) {
+    Container& c = **it;
+    if (c.spec().name == fn_name && c.state() != ContainerState::kBusy) {
+      if (kept < keep) {
+        ++kept;
+        ++it;
+      } else {
+        it = containers_.erase(it);
+        ++removed;
+      }
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace gfaas::faas

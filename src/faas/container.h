@@ -1,0 +1,93 @@
+// Container lifecycle + Watchdog (paper Fig. 1).
+//
+// A Container hosts one function; the Watchdog "runs in the background
+// along with the function code on its container to start and monitor the
+// function": it executes the handler, measures latency, and records
+// status and metrics to the Datastore. The ContainerPool provides warm
+// reuse and demand-driven scale-up (cold starts cost the spec's
+// cold_start time), modeling the scaling loop the Datastore can trigger
+// through the Gateway.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/status.h"
+#include "datastore/kv_store.h"
+#include "faas/function.h"
+#include "sim/simulator.h"
+
+namespace gfaas::faas {
+
+enum class ContainerState { kCold, kWarm, kBusy };
+
+class Container {
+ public:
+  Container(std::string id, FunctionSpec spec)
+      : id_(std::move(id)), spec_(std::move(spec)) {}
+
+  const std::string& id() const { return id_; }
+  const FunctionSpec& spec() const { return spec_; }
+  ContainerState state() const { return state_; }
+
+  // First use pays the cold-start cost; returns the startup delay.
+  SimTime warm_up();
+  void mark_busy() { state_ = ContainerState::kBusy; }
+  void mark_warm() { state_ = ContainerState::kWarm; }
+
+  std::int64_t invocations() const { return invocations_; }
+  void count_invocation() { ++invocations_; }
+
+ private:
+  std::string id_;
+  FunctionSpec spec_;
+  ContainerState state_ = ContainerState::kCold;
+  std::int64_t invocations_ = 0;
+};
+
+// The Watchdog executes a (CPU) function inside a container and records
+// metrics to the Datastore.
+class Watchdog {
+ public:
+  // `store` may be null (metrics dropped); `clock` supplies timestamps.
+  Watchdog(datastore::KvStore* store, const sim::Clock* clock)
+      : store_(store), clock_(clock) {}
+
+  // Runs the handler with the input, measures latency (wall time of the
+  // handler in real mode; callers add simulated costs in sim mode), and
+  // reports to the Datastore.
+  StatusOr<InvocationResult> execute(Container& container, const Payload& input);
+
+ private:
+  void record(const std::string& fn_name, SimTime latency, bool ok);
+
+  datastore::KvStore* store_;
+  const sim::Clock* clock_;
+};
+
+// Warm-container pool per function, with max-size cap.
+class ContainerPool {
+ public:
+  explicit ContainerPool(std::size_t max_per_function = 8)
+      : max_per_function_(max_per_function) {}
+
+  // Acquires a warm container (or creates a cold one) for the function.
+  // Fails with kResourceExhausted when the function is at its cap and all
+  // containers are busy.
+  StatusOr<Container*> acquire(const FunctionSpec& spec);
+  void release(Container* container);
+
+  std::size_t total_containers() const;
+  std::size_t warm_count(const std::string& fn_name) const;
+  // Removes idle containers beyond `keep` for the function (scale-down).
+  std::size_t scale_down(const std::string& fn_name, std::size_t keep);
+
+ private:
+  std::size_t max_per_function_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  std::int64_t next_id_ = 0;
+};
+
+}  // namespace gfaas::faas

@@ -1,0 +1,51 @@
+#include "faas/function.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gfaas::faas {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+DockerfileInfo parse_dockerfile(const std::string& dockerfile) {
+  DockerfileInfo info;
+  std::istringstream in(dockerfile);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::string lowered = lower(trimmed);
+    if (lowered.rfind("env ", 0) == 0 || lowered.rfind("label ", 0) == 0) {
+      const std::string body = trimmed.substr(trimmed.find(' ') + 1);
+      const std::string lowered_body = lower(body);
+      if (lowered_body.find("gpu_enabled=1") != std::string::npos ||
+          lowered_body.find("gpu.enabled=true") != std::string::npos) {
+        info.gpu_enabled = true;
+      }
+      const std::string model_key = "gfaas_model=";
+      const std::size_t pos = lowered_body.find(model_key);
+      if (pos != std::string::npos) {
+        info.model_name = trim(body.substr(pos + model_key.size()));
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace gfaas::faas

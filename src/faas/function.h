@@ -1,0 +1,62 @@
+// Function model: specs, deployment metadata, and the Dockerfile-style
+// GPU-enable flag (paper §III-A: "The end-user can include a GPU-enable
+// flag in the Dockerfile of the function when registering the function
+// using the Gateway").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace gfaas::faas {
+
+// Payload passed to / returned from a function invocation. For ML
+// inference functions the payload is an image batch (see tensor::Batch
+// marshaling in the cluster layer); for plain functions it is opaque.
+struct Payload {
+  std::string content_type = "application/octet-stream";
+  std::vector<float> data;
+  std::vector<std::int64_t> shape;
+};
+
+struct InvocationResult {
+  Payload output;
+  SimTime latency = 0;
+  std::string executed_on;  // container / GPU identifier
+};
+
+// A plain (CPU) function handler: runs inside the container.
+using Handler = std::function<StatusOr<Payload>(const Payload&)>;
+
+struct FunctionSpec {
+  std::string name;
+  // Raw Dockerfile text supplied at registration; the Gateway parses the
+  // GPU-enable flag out of it.
+  std::string dockerfile;
+  // Populated by the Gateway from the Dockerfile.
+  bool gpu_enabled = false;
+  // For GPU inference functions: which model the function serves.
+  std::string model_name;
+  std::int64_t batch_size = 32;
+  // For plain functions.
+  Handler handler;
+  // Cold-start cost of the function's container.
+  SimTime cold_start = msec(400);
+};
+
+// Parses a Dockerfile for the GPU-enable flag and model name. Recognized
+// directives (any one enables GPU):
+//   ENV GPU_ENABLED=1
+//   LABEL gpu.enabled=true
+//   ENV GFAAS_MODEL=<model-name>   (selects the inference model)
+struct DockerfileInfo {
+  bool gpu_enabled = false;
+  std::string model_name;
+};
+DockerfileInfo parse_dockerfile(const std::string& dockerfile);
+
+}  // namespace gfaas::faas

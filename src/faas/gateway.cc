@@ -1,0 +1,67 @@
+#include "faas/gateway.h"
+
+#include "common/log.h"
+
+namespace gfaas::faas {
+
+void Gateway::invoke(const std::string& name, const Payload& input,
+                     std::function<void(StatusOr<InvocationResult>)> done,
+                     const std::string& tenant) {
+  GFAAS_CHECK(done != nullptr);
+  auto spec = registry_.get(name);
+  if (!spec.ok()) {
+    done(spec.status());
+    return;
+  }
+  if (tenants_ != nullptr) {
+    const SimTime now = clock_ ? clock_->now() : 0;
+    Status admitted = tenants_->admit(tenant, now);
+    if (!admitted.ok()) {
+      done(std::move(admitted));
+      return;
+    }
+    // Execution accounting brackets the invocation; GPU time is the
+    // portion spent past admission (queue + load + inference for GPU
+    // functions, handler time for CPU functions).
+    tenants_->on_dispatch(tenant);
+    auto inner = std::move(done);
+    done = [this, tenant, now, inner = std::move(inner)](
+               StatusOr<InvocationResult> result) {
+      const SimTime end = clock_ ? clock_->now() : now;
+      const SimTime used = result.ok() ? result->latency : end - now;
+      tenants_->on_complete(tenant, end, used);
+      inner(std::move(result));
+    };
+  }
+  if (spec->gpu_enabled) {
+    if (gpu_backend_ == nullptr) {
+      done(Status::Unavailable("no GPU backend attached for function " + name));
+      return;
+    }
+    gpu_backend_->submit(*spec, input, std::move(done));
+    return;
+  }
+  // Plain function: container + watchdog, synchronous.
+  auto container = pool_.acquire(*spec);
+  if (!container.ok()) {
+    done(container.status());
+    return;
+  }
+  const SimTime cold_delay = (*container)->warm_up();
+  auto result = watchdog_.execute(**container, input);
+  if (result.ok()) result->latency += cold_delay;
+  pool_.release(*container);
+  done(std::move(result));
+}
+
+StatusOr<InvocationResult> Gateway::invoke_sync(const std::string& name,
+                                                const Payload& input,
+                                                const std::string& tenant) {
+  StatusOr<InvocationResult> out = Status::Internal("callback never fired");
+  invoke(
+      name, input, [&out](StatusOr<InvocationResult> r) { out = std::move(r); },
+      tenant);
+  return out;
+}
+
+}  // namespace gfaas::faas

@@ -1,0 +1,51 @@
+#include "faas/registry.h"
+
+namespace gfaas::faas {
+
+void FunctionRegistry::apply_dockerfile(FunctionSpec& spec) {
+  const DockerfileInfo info = parse_dockerfile(spec.dockerfile);
+  spec.gpu_enabled = info.gpu_enabled;
+  if (!info.model_name.empty()) spec.model_name = info.model_name;
+}
+
+Status FunctionRegistry::create(FunctionSpec spec) {
+  if (spec.name.empty()) return Status::InvalidArgument("function name required");
+  if (functions_.count(spec.name) > 0) {
+    return Status::AlreadyExists("function " + spec.name + " already registered");
+  }
+  apply_dockerfile(spec);
+  if (spec.gpu_enabled && spec.model_name.empty()) {
+    return Status::InvalidArgument("GPU-enabled function " + spec.name +
+                                   " must name a model (ENV GFAAS_MODEL=...)");
+  }
+  functions_.emplace(spec.name, std::move(spec));
+  return Status::Ok();
+}
+
+StatusOr<FunctionSpec> FunctionRegistry::get(const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) return Status::NotFound("no function " + name);
+  return it->second;
+}
+
+Status FunctionRegistry::update(FunctionSpec spec) {
+  auto it = functions_.find(spec.name);
+  if (it == functions_.end()) return Status::NotFound("no function " + spec.name);
+  apply_dockerfile(spec);
+  it->second = std::move(spec);
+  return Status::Ok();
+}
+
+Status FunctionRegistry::remove(const std::string& name) {
+  if (functions_.erase(name) == 0) return Status::NotFound("no function " + name);
+  return Status::Ok();
+}
+
+std::vector<std::string> FunctionRegistry::list() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, spec] : functions_) out.push_back(name);
+  return out;
+}
+
+}  // namespace gfaas::faas

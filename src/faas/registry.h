@@ -1,0 +1,35 @@
+// Function registry: the CRUD surface behind the Gateway (paper Fig. 1,
+// "the Gateway provides interfaces to users to deploy and invoke
+// functions" — Create, Read, Update, Delete of registered functions).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "faas/function.h"
+
+namespace gfaas::faas {
+
+class FunctionRegistry {
+ public:
+  // Create. The spec's dockerfile is parsed for the GPU flag/model.
+  Status create(FunctionSpec spec);
+  // Read.
+  StatusOr<FunctionSpec> get(const std::string& name) const;
+  // Update (replaces the spec; re-parses the Dockerfile).
+  Status update(FunctionSpec spec);
+  // Delete.
+  Status remove(const std::string& name);
+
+  std::vector<std::string> list() const;
+  std::size_t size() const { return functions_.size(); }
+  bool contains(const std::string& name) const { return functions_.count(name) > 0; }
+
+ private:
+  static void apply_dockerfile(FunctionSpec& spec);
+  std::map<std::string, FunctionSpec> functions_;
+};
+
+}  // namespace gfaas::faas

@@ -1,0 +1,103 @@
+// Multi-tenancy isolation (paper §VI "Multi-tenancy and Security").
+//
+// The paper's two isolation mechanisms, implemented:
+//   * "limiting the number of GPU processes that each tenant can use" —
+//     a bad actor flooding inference requests is capped at a concurrent
+//     GPU-process budget;
+//   * "limiting the GPU time share and memory space share that a tenant
+//     can use" — a bad actor gaming locality to monopolize GPUs is capped
+//     by a GPU-time share enforced over a sliding accounting window, and
+//     by a resident-memory budget.
+// A token-bucket request rate limit guards the Gateway itself.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace gfaas::faas {
+
+// Classic token bucket: capacity tokens, refilled at rate/second.
+class TokenBucket {
+ public:
+  TokenBucket(double capacity, double refill_per_sec);
+
+  // Attempts to take one token at time `now`; false = rate limited.
+  bool try_acquire(SimTime now);
+  double available(SimTime now) const;
+
+ private:
+  void refill(SimTime now);
+
+  double capacity_;
+  double refill_per_sec_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+struct TenantQuota {
+  // Concurrent GPU processes (in-flight inference executions).
+  int max_concurrent_executions = 4;
+  // Request admission rate.
+  double requests_per_sec = 50.0;
+  double burst = 100.0;
+  // Fraction of total GPU time the tenant may consume over the
+  // accounting window (1.0 = unlimited).
+  double gpu_time_share = 1.0;
+  // Resident model memory budget across the cluster (0 = unlimited).
+  Bytes memory_budget = 0;
+};
+
+struct TenantUsage {
+  int concurrent_executions = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  // GPU time consumed in the current accounting window.
+  SimTime gpu_time_in_window = 0;
+  Bytes resident_memory = 0;
+};
+
+class TenantManager {
+ public:
+  // `total_gpus` scales the GPU-time share: a share of s over a window W
+  // allows s * total_gpus * W of GPU time. `window` is the sliding
+  // accounting window for time shares.
+  TenantManager(int total_gpus, SimTime window = minutes(1));
+
+  Status register_tenant(const std::string& tenant, TenantQuota quota);
+  bool known(const std::string& tenant) const;
+
+  // Admission check at the Gateway: rate limit + concurrency cap +
+  // GPU-time share. Returns kResourceExhausted with a reason when denied.
+  Status admit(const std::string& tenant, SimTime now);
+
+  // Execution accounting (called by the scheduling engine / GPU manager).
+  void on_dispatch(const std::string& tenant);
+  void on_complete(const std::string& tenant, SimTime now, SimTime gpu_time);
+
+  // Memory accounting (model resident / evicted attribution).
+  Status charge_memory(const std::string& tenant, Bytes bytes);
+  void release_memory(const std::string& tenant, Bytes bytes);
+
+  const TenantUsage& usage(const std::string& tenant) const;
+
+ private:
+  struct Entry {
+    TenantQuota quota;
+    TenantUsage usage;
+    TokenBucket bucket;
+    SimTime window_start = 0;
+  };
+  Entry& entry(const std::string& tenant);
+  const Entry& entry(const std::string& tenant) const;
+  void roll_window(Entry& e, SimTime now);
+
+  int total_gpus_;
+  SimTime window_;
+  std::unordered_map<std::string, Entry> tenants_;
+};
+
+}  // namespace gfaas::faas

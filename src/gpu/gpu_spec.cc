@@ -1,0 +1,28 @@
+#include "gpu/gpu_spec.h"
+
+namespace gfaas::gpu {
+
+GpuSpec rtx2080() { return GpuSpec{}; }
+
+GpuSpec rtx2080ti() {
+  GpuSpec spec;
+  spec.name = "rtx2080ti";
+  spec.memory_capacity = GiB(11) - MiB(256);
+  spec.sm_count = 68;
+  spec.load_time_scale = 0.95;   // same PCIe gen, slightly faster init
+  spec.infer_time_scale = 0.80;  // ~25% more SMs/bandwidth
+  return spec;
+}
+
+GpuSpec a100_like() {
+  GpuSpec spec;
+  spec.name = "a100-like";
+  spec.memory_capacity = GiB(40) - MiB(512);
+  spec.sm_count = 108;
+  spec.pcie_gbps = 25.0;  // PCIe 4.0 x16
+  spec.load_time_scale = 0.70;
+  spec.infer_time_scale = 0.45;
+  return spec;
+}
+
+}  // namespace gfaas::gpu

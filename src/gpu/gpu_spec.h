@@ -1,0 +1,39 @@
+// Virtual GPU device specification.
+//
+// The testbed substitute: the paper's cluster is 3 nodes × 4 GeForce RTX
+// 2080. A GpuSpec captures the properties the scheduler and cache manager
+// can observe — memory capacity, SM count, PCIe bandwidth — plus scale
+// factors used by the heterogeneous-GPU ablation (§VI) to derive per-type
+// load/inference times from the base Table I profiles.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/time.h"
+
+namespace gfaas::gpu {
+
+struct GpuSpec {
+  std::string name = "rtx2080";
+  // Usable device memory. RTX 2080 has 8 GB; a slice is reserved for the
+  // CUDA context, matching the paper's occupation-size accounting.
+  Bytes memory_capacity = GiB(8) - MiB(256);
+  int sm_count = 46;  // RTX 2080
+  // Effective host->device bandwidth (PCIe 3.0 x16 ≈ 12.6 GB/s usable).
+  double pcie_gbps = 12.6;
+  // Fixed per-transfer setup latency (driver + DMA ring).
+  SimTime pcie_latency = usec(20);
+  // Multipliers applied to profiled load/inference times for this GPU
+  // type (1.0 = the RTX 2080 the paper profiled on).
+  double load_time_scale = 1.0;
+  double infer_time_scale = 1.0;
+};
+
+// Presets. rtx2080() matches the paper's testbed; the *_ti/a100-like
+// variants are used by the heterogeneity ablation.
+GpuSpec rtx2080();
+GpuSpec rtx2080ti();
+GpuSpec a100_like();
+
+}  // namespace gfaas::gpu

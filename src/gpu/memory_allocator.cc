@@ -1,0 +1,146 @@
+#include "gpu/memory_allocator.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::gpu {
+
+MemoryAllocator::MemoryAllocator(Bytes capacity) : capacity_(capacity) {
+  GFAAS_CHECK(capacity > 0) << "allocator capacity must be positive";
+  free_blocks_[0] = capacity;
+}
+
+StatusOr<Allocation> MemoryAllocator::allocate(Bytes size) {
+  if (size <= 0) {
+    return Status::InvalidArgument("allocation size must be positive");
+  }
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second >= size) {
+      const Bytes offset = it->first;
+      const Bytes block_size = it->second;
+      free_blocks_.erase(it);
+      if (block_size > size) {
+        free_blocks_[offset + size] = block_size - size;
+      }
+      allocated_[offset] = size;
+      used_ += size;
+      return Allocation{offset, size};
+    }
+  }
+  return Status::ResourceExhausted("no free block of " + format_bytes(size) +
+                                   " (largest free: " +
+                                   format_bytes(largest_free_block()) + ")");
+}
+
+Status MemoryAllocator::free(const Allocation& allocation) {
+  auto it = allocated_.find(allocation.offset);
+  if (it == allocated_.end() || it->second != allocation.size) {
+    return Status::InvalidArgument("free of unknown allocation at offset " +
+                                   std::to_string(allocation.offset));
+  }
+  allocated_.erase(it);
+  used_ -= allocation.size;
+
+  Bytes offset = allocation.offset;
+  Bytes size = allocation.size;
+  // Coalesce with the following free block.
+  auto next = free_blocks_.find(offset + size);
+  if (next != free_blocks_.end()) {
+    size += next->second;
+    free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (!free_blocks_.empty()) {
+    auto prev = free_blocks_.lower_bound(offset);
+    if (prev != free_blocks_.begin()) {
+      --prev;
+      if (prev->first + prev->second == offset) {
+        offset = prev->first;
+        size += prev->second;
+        free_blocks_.erase(prev);
+      }
+    }
+  }
+  free_blocks_[offset] = size;
+  return Status::Ok();
+}
+
+StatusOr<PagedAllocation> MemoryAllocator::allocate_paged(Bytes size) {
+  if (size <= 0) {
+    return Status::InvalidArgument("allocation size must be positive");
+  }
+  if (size > free_total()) {
+    return Status::ResourceExhausted("paged allocation of " + format_bytes(size) +
+                                     " exceeds free space " +
+                                     format_bytes(free_total()));
+  }
+  PagedAllocation paged;
+  Bytes remaining = size;
+  while (remaining > 0) {
+    // Largest free block first minimizes extent count.
+    Bytes best_offset = -1, best_size = 0;
+    for (const auto& [offset, block] : free_blocks_) {
+      if (block > best_size) {
+        best_size = block;
+        best_offset = offset;
+      }
+    }
+    GFAAS_CHECK(best_size > 0) << "free accounting out of sync";
+    const Bytes take = std::min(best_size, remaining);
+    free_blocks_.erase(best_offset);
+    if (best_size > take) free_blocks_[best_offset + take] = best_size - take;
+    allocated_[best_offset] = take;
+    used_ += take;
+    paged.extents.push_back(Allocation{best_offset, take});
+    paged.total += take;
+    remaining -= take;
+  }
+  return paged;
+}
+
+Status MemoryAllocator::free_paged(const PagedAllocation& allocation) {
+  for (const Allocation& extent : allocation.extents) {
+    Status s = free(extent);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Bytes MemoryAllocator::largest_free_block() const {
+  Bytes best = 0;
+  for (const auto& [offset, size] : free_blocks_) best = std::max(best, size);
+  return best;
+}
+
+double MemoryAllocator::fragmentation() const {
+  const Bytes free = free_total();
+  if (free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) / static_cast<double>(free);
+}
+
+bool MemoryAllocator::check_invariants() const {
+  // Merge all blocks and verify they tile [0, capacity).
+  std::vector<std::pair<Bytes, Bytes>> blocks;
+  for (const auto& [offset, size] : free_blocks_) blocks.emplace_back(offset, size);
+  for (const auto& [offset, size] : allocated_) blocks.emplace_back(offset, size);
+  std::sort(blocks.begin(), blocks.end());
+  Bytes cursor = 0;
+  for (const auto& [offset, size] : blocks) {
+    if (offset != cursor || size <= 0) return false;
+    cursor += size;
+  }
+  if (cursor != capacity_) return false;
+  // Free map must be coalesced: no two adjacent free blocks.
+  Bytes prev_end = -1;
+  for (const auto& [offset, size] : free_blocks_) {
+    if (offset == prev_end) return false;
+    prev_end = offset + size;
+  }
+  // used_ must match the allocated map.
+  Bytes used = 0;
+  for (const auto& [offset, size] : allocated_) used += size;
+  return used == used_;
+}
+
+}  // namespace gfaas::gpu

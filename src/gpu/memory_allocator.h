@@ -1,0 +1,73 @@
+// First-fit block allocator over a GPU's device memory.
+//
+// Models cudaMalloc-style suballocation: allocations are offset ranges in
+// [0, capacity); frees coalesce with adjacent free blocks. Byte-accurate
+// accounting is what the Cache Manager's eviction planning depends on
+// ("the available memory space of the GPU", §III-D) — and the allocator
+// also exposes fragmentation statistics for the tests that verify a long
+// churn of model loads/evictions cannot wedge the device.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace gfaas::gpu {
+
+struct Allocation {
+  Bytes offset = 0;
+  Bytes size = 0;
+};
+
+// A possibly-discontiguous allocation (multiple extents). GPUs address
+// per-process memory through virtual page tables, so a model's occupation
+// does not need to be physically contiguous; paged allocation succeeds
+// whenever total free space suffices.
+struct PagedAllocation {
+  std::vector<Allocation> extents;
+  Bytes total = 0;
+};
+
+class MemoryAllocator {
+ public:
+  explicit MemoryAllocator(Bytes capacity);
+
+  // First-fit allocation; returns kResourceExhausted when no single free
+  // block fits (even if total free space would suffice — fragmentation is
+  // real and observable).
+  StatusOr<Allocation> allocate(Bytes size);
+
+  // Frees a previous allocation; invalid frees are errors.
+  Status free(const Allocation& allocation);
+
+  // Paged allocation: grabs as many free blocks (largest-first) as needed
+  // to cover `size`; only fails when total free space is insufficient.
+  StatusOr<PagedAllocation> allocate_paged(Bytes size);
+  Status free_paged(const PagedAllocation& allocation);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free_total() const { return capacity_ - used_; }
+  // Largest single allocatable block.
+  Bytes largest_free_block() const;
+  std::size_t allocation_count() const { return allocated_.size(); }
+  // 0 = no fragmentation (one free block or empty), approaching 1 = badly
+  // fragmented: 1 - largest_free_block / free_total.
+  double fragmentation() const;
+
+  // Invariant checker used by property tests: free + allocated blocks
+  // tile [0, capacity) exactly, with no overlap.
+  bool check_invariants() const;
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  // offset -> size maps. Free map is kept coalesced.
+  std::map<Bytes, Bytes> free_blocks_;
+  std::map<Bytes, Bytes> allocated_;
+};
+
+}  // namespace gfaas::gpu

@@ -1,0 +1,32 @@
+#include "gpu/pcie.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::gpu {
+
+PcieLink::PcieLink(double bandwidth_gbps, SimTime latency) : latency_(latency) {
+  GFAAS_CHECK(bandwidth_gbps > 0) << "bandwidth must be positive";
+  GFAAS_CHECK(latency >= 0);
+  // GB/s (decimal) -> bytes per microsecond: 1 GB/s = 1e9 B / 1e6 µs = 1e3 B/µs.
+  bytes_per_usec_ = bandwidth_gbps * 1e3;
+}
+
+SimTime PcieLink::transfer_duration(Bytes bytes) const {
+  GFAAS_CHECK(bytes >= 0);
+  const double t = static_cast<double>(bytes) / bytes_per_usec_;
+  return latency_ + static_cast<SimTime>(t + 0.5);
+}
+
+TransferTiming PcieLink::reserve(SimTime now, Bytes bytes) {
+  TransferTiming timing;
+  timing.start = std::max(now, busy_until_);
+  timing.end = timing.start + transfer_duration(bytes);
+  busy_until_ = timing.end;
+  ++transfers_;
+  bytes_total_ += bytes;
+  return timing;
+}
+
+}  // namespace gfaas::gpu

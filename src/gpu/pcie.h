@@ -1,0 +1,48 @@
+// PCIe transfer engine.
+//
+// Models the host<->device link the paper identifies as the bottleneck
+// (§II-B: PCIe ~100 GB/s-class aggregate vs ~1 TB/s device memory). A
+// link serializes transfers: concurrent requests queue behind each other,
+// which matters when multiple GPUs on a node share the host link (the
+// contention ablation). Timing: start = max(now, link free), duration =
+// latency + bytes/bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/time.h"
+
+namespace gfaas::gpu {
+
+struct TransferTiming {
+  SimTime start = 0;
+  SimTime end = 0;
+  SimTime duration() const { return end - start; }
+};
+
+class PcieLink {
+ public:
+  // bandwidth in GB/s (decimal), fixed per-transfer latency.
+  PcieLink(double bandwidth_gbps, SimTime latency);
+
+  // Pure duration of a transfer of `bytes`, ignoring queueing.
+  SimTime transfer_duration(Bytes bytes) const;
+
+  // Reserves the link for a transfer beginning no earlier than `now`;
+  // returns actual start (after any queued transfer) and end.
+  TransferTiming reserve(SimTime now, Bytes bytes);
+
+  SimTime busy_until() const { return busy_until_; }
+  std::int64_t transfers_completed() const { return transfers_; }
+  Bytes bytes_transferred() const { return bytes_total_; }
+
+ private:
+  double bytes_per_usec_;
+  SimTime latency_;
+  SimTime busy_until_ = 0;
+  std::int64_t transfers_ = 0;
+  Bytes bytes_total_ = 0;
+};
+
+}  // namespace gfaas::gpu

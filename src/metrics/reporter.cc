@@ -1,0 +1,69 @@
+#include "metrics/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace gfaas::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GFAAS_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_percent(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += "  " + std::string(widths[c], '-');
+  out << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace gfaas::metrics

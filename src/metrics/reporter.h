@@ -1,0 +1,29 @@
+// Result-table rendering: aligned console tables and CSV output. Every
+// bench harness prints through these so the figure outputs share one format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gfaas::metrics {
+
+// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Formats helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_percent(double ratio, int precision = 1);
+
+  std::string to_string() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gfaas::metrics

@@ -1,0 +1,118 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gfaas::metrics {
+
+void StreamingStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StreamingStats::reset() { *this = StreamingStats(); }
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double min_value, double max_value, int bins_per_decade)
+    : min_value_(min_value),
+      log_min_(std::log10(min_value)),
+      bins_per_decade_(bins_per_decade) {
+  GFAAS_CHECK(min_value > 0 && max_value > min_value && bins_per_decade > 0);
+  const double decades = std::log10(max_value) - log_min_;
+  const int n = static_cast<int>(std::ceil(decades * bins_per_decade)) + 1;
+  buckets_.assign(static_cast<std::size_t>(n), 0);
+}
+
+int Histogram::bucket_for(double x) const {
+  if (x <= min_value_) return 0;
+  const double b = (std::log10(x) - log_min_) * bins_per_decade_;
+  const int bi = static_cast<int>(b);
+  return std::min(bi, static_cast<int>(buckets_.size()) - 1);
+}
+
+double Histogram::bucket_lower(int b) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(b) / bins_per_decade_);
+}
+
+double Histogram::bucket_upper(int b) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(b + 1) / bins_per_decade_);
+}
+
+void Histogram::add(double x) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(x))];
+  ++count_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  GFAAS_CHECK(buckets_.size() == other.buckets_.size())
+      << "merging histograms with different shapes";
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const double next = cum + static_cast<double>(buckets_[b]);
+    if (next >= target && buckets_[b] > 0) {
+      // Linear interpolation within the bucket.
+      const double frac =
+          buckets_[b] > 0 ? (target - cum) / static_cast<double>(buckets_[b]) : 0.0;
+      const int bi = static_cast<int>(b);
+      return bucket_lower(bi) + frac * (bucket_upper(bi) - bucket_lower(bi));
+    }
+    cum = next;
+  }
+  return bucket_upper(static_cast<int>(buckets_.size()) - 1);
+}
+
+void TimeWeightedAverage::set(SimTime now, double value) {
+  GFAAS_CHECK(now >= last_time_) << "time went backwards";
+  integral_ += value_ * static_cast<double>(now - last_time_);
+  last_time_ = now;
+  value_ = value;
+}
+
+double TimeWeightedAverage::average(SimTime now) const {
+  GFAAS_CHECK(now >= last_time_);
+  if (now == 0) return value_;
+  const double total =
+      integral_ + value_ * static_cast<double>(now - last_time_);
+  return total / static_cast<double>(now);
+}
+
+}  // namespace gfaas::metrics

@@ -1,0 +1,95 @@
+// Streaming statistics: Welford mean/variance, min/max, and a log-binned
+// histogram for percentile estimation. These back every metric the paper
+// reports (average latency, latency variance, miss ratios, utilization).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gfaas::metrics {
+
+// Numerically-stable single-pass mean/variance (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+  void reset();
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance; sample_variance() divides by n-1.
+  double variance() const { return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0; }
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Log-binned histogram over positive values; ~2% relative error per bin.
+// Percentiles are linear-interpolated within the matched bin.
+class Histogram {
+ public:
+  // Covers [min_value, max_value] with `bins_per_decade` log-spaced bins
+  // per factor of 10. Values outside the range clamp to the edge bins.
+  Histogram(double min_value = 1.0, double max_value = 1e9,
+            int bins_per_decade = 50);
+
+  void add(double x);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::int64_t count() const { return count_; }
+  // q in [0, 1]; quantile(0.5) is the median.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  int bucket_for(double x) const;
+  double bucket_lower(int b) const;
+  double bucket_upper(int b) const;
+
+  double min_value_;
+  double log_min_;
+  double bins_per_decade_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+};
+
+// Integrates a piecewise-constant signal over simulated time; reports the
+// time-weighted average. Used for SM utilization and cache occupancy.
+class TimeWeightedAverage {
+ public:
+  // The signal starts at `initial` at t=0.
+  explicit TimeWeightedAverage(double initial = 0.0) : value_(initial) {}
+
+  // Records that the signal changed to `value` at time `now` (>= last).
+  void set(SimTime now, double value);
+
+  // Average over [0, now]. If now == 0 returns the current value.
+  double average(SimTime now) const;
+
+  double current() const { return value_; }
+
+ private:
+  double value_;
+  SimTime last_time_ = 0;
+  double integral_ = 0.0;
+};
+
+}  // namespace gfaas::metrics

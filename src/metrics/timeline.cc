@@ -1,0 +1,47 @@
+#include "metrics/timeline.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace gfaas::metrics {
+
+TimeSeries::TimeSeries(SimTime bucket_width) : bucket_width_(bucket_width) {
+  GFAAS_CHECK(bucket_width > 0);
+}
+
+StreamingStats& TimeSeries::bucket_for(SimTime t) {
+  GFAAS_CHECK(t >= 0) << "negative sample time";
+  const auto index = static_cast<std::size_t>(t / bucket_width_);
+  if (buckets_.size() <= index) buckets_.resize(index + 1);
+  return buckets_[index];
+}
+
+void TimeSeries::add(SimTime t, double value) { bucket_for(t).add(value); }
+
+void TimeSeries::count(SimTime t, double increment) { bucket_for(t).add(increment); }
+
+double TimeSeries::bucket_mean(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].mean() : 0.0;
+}
+
+double TimeSeries::bucket_sum(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].sum() : 0.0;
+}
+
+std::int64_t TimeSeries::bucket_samples(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].count() : 0;
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream out;
+  out << "bucket,start_s,samples,sum,mean\n";
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    out << b << ',' << sim_to_seconds(static_cast<SimTime>(b) * bucket_width_) << ','
+        << buckets_[b].count() << ',' << buckets_[b].sum() << ','
+        << buckets_[b].mean() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gfaas::metrics

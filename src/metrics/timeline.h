@@ -1,0 +1,41 @@
+// Time-bucketed metric series: aggregates samples into fixed-width time
+// buckets (e.g. per-minute average latency / miss counts), the form in
+// which the paper's evaluation plots evolve over the 6-minute window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "metrics/stats.h"
+
+namespace gfaas::metrics {
+
+class TimeSeries {
+ public:
+  // `bucket_width` in simulated time (default: one minute).
+  explicit TimeSeries(SimTime bucket_width = minutes(1));
+
+  // Records a sample at time `t` (buckets grow on demand).
+  void add(SimTime t, double value);
+  // Increments a count at time `t` (value defaults to 1).
+  void count(SimTime t, double increment = 1.0);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  SimTime bucket_width() const { return bucket_width_; }
+
+  // Per-bucket aggregates (empty buckets report 0).
+  double bucket_mean(std::size_t bucket) const;
+  double bucket_sum(std::size_t bucket) const;
+  std::int64_t bucket_samples(std::size_t bucket) const;
+
+  // CSV: "bucket,start_s,samples,sum,mean".
+  std::string to_csv() const;
+
+ private:
+  SimTime bucket_width_;
+  std::vector<StreamingStats> buckets_;
+  StreamingStats& bucket_for(SimTime t);
+};
+
+}  // namespace gfaas::metrics

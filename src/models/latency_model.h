@@ -1,0 +1,97 @@
+// Latency estimation for scheduling decisions.
+//
+// §IV-A of the paper: "The latencies of uploading the model and running
+// the inference are collected by profiling each unique model ... The
+// upload time depends on only the model size; the inference time depends
+// on the model and the batch size which can be profiled using simple
+// regression methods."
+//
+// This module provides (a) ordinary least-squares linear regression, (b) a
+// per-model batch-size -> inference-time model anchored at the Table I
+// batch-32 measurement, and (c) a size -> load-time model fitted across
+// the catalog (base process-start cost + effective upload bandwidth).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "models/zoo.h"
+
+namespace gfaas::models {
+
+// Ordinary least squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r_squared = 0;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+StatusOr<LinearFit> fit_linear(const std::vector<double>& xs,
+                               const std::vector<double>& ys);
+
+// Inference latency vs batch size for one model.
+//
+// GPU inference cost decomposes into a batch-independent part (kernel
+// launches, framework overhead) and a batch-proportional part. We anchor
+// at the profiled batch-32 latency T32 and split it with base fraction
+// `alpha`: t(b) = alpha*T32 + (1-alpha)*T32 * b/32. The default alpha=0.6
+// reflects that Table I latencies vary little across models at batch 32
+// (launch-dominated on these CNNs).
+class BatchLatencyModel {
+ public:
+  explicit BatchLatencyModel(SimTime infer_time_b32, double alpha = 0.6);
+
+  // Construction by regression over profiled (batch, latency) points.
+  static StatusOr<BatchLatencyModel> fit(const std::vector<std::int64_t>& batches,
+                                         const std::vector<SimTime>& latencies);
+
+  SimTime predict(std::int64_t batch) const;
+  const LinearFit& fit_params() const { return fit_; }
+
+ private:
+  BatchLatencyModel() = default;
+  LinearFit fit_;  // x = batch size, y = latency in µs
+};
+
+// Load time vs model size, fitted across catalog profiles:
+// t_load = base + size / bandwidth. Used for models without a profiled
+// load time (e.g. heterogeneous-GPU ablation scales these parameters).
+class LoadTimeModel {
+ public:
+  // Fits across the given profiles (needs >= 2 distinct sizes).
+  static StatusOr<LoadTimeModel> fit(const std::vector<ModelProfile>& profiles);
+
+  SimTime predict(Bytes size) const;
+  // Base cost (process start + context init), µs.
+  SimTime base_cost() const;
+  // Effective upload bandwidth implied by the fit, bytes/second.
+  double bandwidth_bps() const;
+
+ private:
+  LinearFit fit_;  // x = size in bytes, y = load time in µs
+};
+
+// Bundles per-model latency models for the scheduler's finish-time
+// estimation; built from a registry.
+class LatencyOracle {
+ public:
+  explicit LatencyOracle(const ModelRegistry& registry, double alpha = 0.6);
+
+  // Profiled load time for the model (Table I value).
+  StatusOr<SimTime> load_time(ModelId model) const;
+  // Predicted inference time at the given batch size.
+  StatusOr<SimTime> infer_time(ModelId model, std::int64_t batch) const;
+
+ private:
+  struct Entry {
+    ModelId id;
+    SimTime load_time;
+    BatchLatencyModel batch_model;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gfaas::models

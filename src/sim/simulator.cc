@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace gfaas::sim {
+
+std::uint64_t Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  GFAAS_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
+  GFAAS_CHECK(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_ids_.push_back(id);
+  return id;
+}
+
+bool Simulator::cancel(std::uint64_t event_id) {
+  // Only events still pending (scheduled, not yet run or cancelled) can
+  // be cancelled.
+  auto pending = std::find(pending_ids_.begin(), pending_ids_.end(), event_id);
+  if (pending == pending_ids_.end()) return false;
+  pending_ids_.erase(pending);
+  cancelled_.push_back(event_id);
+  ++cancelled_count_;
+  return true;
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;  // tombstoned
+    }
+    auto pending = std::find(pending_ids_.begin(), pending_ids_.end(), ev.id);
+    if (pending != pending_ids_.end()) pending_ids_.erase(pending);
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (pop_and_run()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    if (pop_and_run()) ++n;
+  }
+  now_ = std::max(now_, deadline);
+  return n;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+}  // namespace gfaas::sim

@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulation engine.
+//
+// All gFaaS experiments run on this engine: components schedule callbacks
+// at absolute or relative simulated times, and the engine executes them in
+// (time, insertion-sequence) order. Sequence-number tie-breaking makes
+// runs bit-reproducible regardless of container/heap implementation
+// details.
+//
+// The same scheduler/cache/GPU-manager code also runs against wall-clock
+// time through cluster::RealTimeExecutor; nothing in those components
+// depends on this engine directly — they receive `now` and completion
+// callbacks through the Clock/Executor interfaces below.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.h"
+#include "common/time.h"
+
+namespace gfaas::sim {
+
+// Read-only clock interface; components observe time through this so they
+// are agnostic to simulated vs wall-clock execution.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+// Deferred-execution interface: "call fn after delay".
+class Executor : public Clock {
+ public:
+  // Schedules fn at now() + delay (delay >= 0). Returns an id usable with
+  // cancel().
+  virtual std::uint64_t schedule_after(SimTime delay, std::function<void()> fn) = 0;
+  virtual bool cancel(std::uint64_t event_id) = 0;
+};
+
+class Simulator final : public Executor {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const override { return now_; }
+
+  // Schedules fn at the absolute simulated time `when` (>= now()).
+  std::uint64_t schedule_at(SimTime when, std::function<void()> fn);
+
+  std::uint64_t schedule_after(SimTime delay, std::function<void()> fn) override {
+    GFAAS_CHECK(delay >= 0) << "negative delay " << delay;
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event; returns false if it already ran or never
+  // existed. Cancellation is O(1) (lazy: the event is tombstoned).
+  bool cancel(std::uint64_t event_id) override;
+
+  // Runs until the event queue is empty. Returns the number of events run.
+  std::size_t run();
+
+  // Runs events with time <= deadline; the clock ends at
+  // max(now, deadline) even if the queue drains early.
+  std::size_t run_until(SimTime deadline);
+
+  // Executes the single next event, if any. Returns false if queue empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_count_; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::uint64_t> cancelled_;  // tombstones of pending events
+  std::vector<std::uint64_t> pending_ids_;  // ids still in the queue
+};
+
+}  // namespace gfaas::sim

@@ -1,0 +1,97 @@
+#include "tensor/dataset.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gfaas::tensor {
+
+DatasetSpec dataset_spec(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10Like:
+      return {kind, 3, 32, 32, 10};
+    case DatasetKind::kMnistLike:
+      return {kind, 1, 28, 28, 10};
+    case DatasetKind::kHymenopteraLike:
+      return {kind, 3, 64, 64, 2};
+  }
+  GFAAS_CHECK(false) << "unknown dataset kind";
+  return {};
+}
+
+std::string dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10Like: return "cifar10-like";
+    case DatasetKind::kMnistLike: return "mnist-like";
+    case DatasetKind::kHymenopteraLike: return "hymenoptera-like";
+  }
+  return "unknown";
+}
+
+SyntheticImageDataset::SyntheticImageDataset(DatasetKind kind, std::uint64_t seed)
+    : spec_(dataset_spec(kind)), rng_(seed) {}
+
+Tensor SyntheticImageDataset::make_image(std::int64_t label) {
+  GFAAS_CHECK(label >= 0 && label < spec_.num_classes);
+  Tensor img({1, spec_.channels, spec_.height, spec_.width});
+  // Class-dependent pattern: stripe angle and frequency vary with label.
+  const double angle = 2.0 * M_PI * static_cast<double>(label) /
+                       static_cast<double>(spec_.num_classes);
+  const double freq = 0.15 + 0.05 * static_cast<double>(label % 5);
+  const double cx = std::cos(angle), sx = std::sin(angle);
+  for (std::int64_t c = 0; c < spec_.channels; ++c) {
+    const double phase = 0.7 * static_cast<double>(c);
+    for (std::int64_t y = 0; y < spec_.height; ++y) {
+      for (std::int64_t x = 0; x < spec_.width; ++x) {
+        const double t = freq * (cx * static_cast<double>(x) + sx * static_cast<double>(y));
+        const double signal = 0.5 + 0.4 * std::sin(t + phase);
+        const double noise = 0.05 * rng_.normal();
+        img.at4(0, c, y, x) = static_cast<float>(signal + noise);
+      }
+    }
+  }
+  return img;
+}
+
+Batch SyntheticImageDataset::make_batch(std::int64_t batch_size) {
+  GFAAS_CHECK(batch_size > 0);
+  Batch batch;
+  batch.images = Tensor({batch_size, spec_.channels, spec_.height, spec_.width});
+  batch.labels.reserve(static_cast<std::size_t>(batch_size));
+  for (std::int64_t b = 0; b < batch_size; ++b) {
+    const std::int64_t label = rng_.uniform_int(0, spec_.num_classes - 1);
+    batch.labels.push_back(label);
+    const Tensor img = make_image(label);
+    for (std::int64_t c = 0; c < spec_.channels; ++c) {
+      for (std::int64_t y = 0; y < spec_.height; ++y) {
+        for (std::int64_t x = 0; x < spec_.width; ++x) {
+          batch.images.at4(b, c, y, x) = img.at4(0, c, y, x);
+        }
+      }
+    }
+  }
+  return batch;
+}
+
+Tensor SyntheticImageDataset::resize(const Tensor& image, std::int64_t out_h,
+                                     std::int64_t out_w) {
+  GFAAS_CHECK(image.ndim() == 4);
+  const std::int64_t n = image.dim(0), c = image.dim(1), h = image.dim(2),
+                     w = image.dim(3);
+  GFAAS_CHECK(out_h > 0 && out_w > 0);
+  Tensor out({n, c, out_h, out_w});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < out_h; ++y) {
+        const std::int64_t sy = y * h / out_h;
+        for (std::int64_t x = 0; x < out_w; ++x) {
+          const std::int64_t sxp = x * w / out_w;
+          out.at4(b, ch, y, x) = image.at4(b, ch, sy, sxp);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gfaas::tensor

@@ -1,0 +1,58 @@
+// Synthetic image datasets standing in for the paper's inference inputs
+// (§V-A2: CIFAR-10 32x32 RGB, MNIST 28x28 grayscale, Hymenoptera variable
+// RGB). Images are deterministic procedural patterns plus seeded noise, so
+// the inference data path is exercised with class-separable inputs while
+// remaining fully reproducible offline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace gfaas::tensor {
+
+enum class DatasetKind { kCifar10Like, kMnistLike, kHymenopteraLike };
+
+struct DatasetSpec {
+  DatasetKind kind;
+  std::int64_t channels;
+  std::int64_t height;
+  std::int64_t width;
+  std::int64_t num_classes;
+};
+
+DatasetSpec dataset_spec(DatasetKind kind);
+std::string dataset_name(DatasetKind kind);
+
+// A labeled batch of images, NCHW.
+struct Batch {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+};
+
+class SyntheticImageDataset {
+ public:
+  SyntheticImageDataset(DatasetKind kind, std::uint64_t seed);
+
+  const DatasetSpec& spec() const { return spec_; }
+
+  // Generates one image of the given class: a class-dependent procedural
+  // pattern (gradient orientation + stripe frequency) plus noise.
+  Tensor make_image(std::int64_t label);
+
+  // Generates a batch with uniformly random labels.
+  Batch make_batch(std::int64_t batch_size);
+
+  // Resizes to the model's expected input (nearest-neighbour), standing in
+  // for the compression/resizing the paper applies to Hymenoptera images.
+  static Tensor resize(const Tensor& image, std::int64_t out_h, std::int64_t out_w);
+
+ private:
+  DatasetSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace gfaas::tensor

@@ -1,0 +1,232 @@
+#include "tensor/model_builder.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::tensor {
+
+namespace {
+
+// SqueezeNet fire module: 1x1 squeeze, then parallel 1x1 + 3x3 expands
+// concatenated on the channel axis.
+class FireModule final : public Module {
+ public:
+  FireModule(std::int64_t in_channels, std::int64_t squeeze, std::int64_t expand,
+             Rng& rng)
+      : squeeze_(std::make_shared<Conv2d>(in_channels, squeeze, 1, 1, 0, rng)),
+        expand1_(std::make_shared<Conv2d>(squeeze, expand, 1, 1, 0, rng)),
+        expand3_(std::make_shared<Conv2d>(squeeze, expand, 3, 1, 1, rng)),
+        relu_(std::make_shared<ReLU>()) {}
+
+  Tensor forward(const Tensor& input) const override {
+    const Tensor s = relu_->forward(squeeze_->forward(input));
+    const Tensor e1 = relu_->forward(expand1_->forward(s));
+    const Tensor e3 = relu_->forward(expand3_->forward(s));
+    return concat_channels(e1, e3);
+  }
+  std::string name() const override { return "FireModule"; }
+  std::int64_t parameter_count() const override {
+    return squeeze_->parameter_count() + expand1_->parameter_count() +
+           expand3_->parameter_count();
+  }
+
+  static Tensor concat_channels(const Tensor& a, const Tensor& b) {
+    GFAAS_CHECK(a.ndim() == 4 && b.ndim() == 4);
+    GFAAS_CHECK(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2) && a.dim(3) == b.dim(3));
+    const std::int64_t n = a.dim(0), ca = a.dim(1), cb = b.dim(1), h = a.dim(2),
+                       w = a.dim(3);
+    Tensor out({n, ca + cb, h, w});
+    for (std::int64_t bi = 0; bi < n; ++bi) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          for (std::int64_t c = 0; c < ca; ++c) out.at4(bi, c, y, x) = a.at4(bi, c, y, x);
+          for (std::int64_t c = 0; c < cb; ++c)
+            out.at4(bi, ca + c, y, x) = b.at4(bi, c, y, x);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Conv2d> squeeze_, expand1_, expand3_;
+  std::shared_ptr<ReLU> relu_;
+};
+
+// DenseNet dense layer: BN-ReLU-Conv3x3 producing `growth` channels,
+// concatenated with its input.
+class DenseBlock final : public Module {
+ public:
+  DenseBlock(std::int64_t in_channels, std::int64_t layers, std::int64_t growth,
+             Rng& rng) {
+    std::int64_t c = in_channels;
+    for (std::int64_t i = 0; i < layers; ++i) {
+      auto seq = std::make_shared<Sequential>();
+      seq->push_back(std::make_shared<BatchNorm2d>(c, rng));
+      seq->push_back(std::make_shared<ReLU>());
+      seq->push_back(std::make_shared<Conv2d>(c, growth, 3, 1, 1, rng));
+      layers_.push_back(seq);
+      c += growth;
+    }
+    out_channels_ = c;
+  }
+
+  Tensor forward(const Tensor& input) const override {
+    Tensor x = input;
+    for (const auto& layer : layers_) {
+      const Tensor y = layer->forward(x);
+      x = FireModule::concat_channels(x, y);
+    }
+    return x;
+  }
+  std::string name() const override { return "DenseBlock"; }
+  std::int64_t parameter_count() const override {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l->parameter_count();
+    return total;
+  }
+  std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  std::vector<std::shared_ptr<Sequential>> layers_;
+  std::int64_t out_channels_ = 0;
+};
+
+// Inception-style block: parallel 1x1, 3x3, 5x5 branches concatenated.
+class InceptionBlock final : public Module {
+ public:
+  InceptionBlock(std::int64_t in_channels, std::int64_t branch_channels, Rng& rng)
+      : b1_(std::make_shared<Conv2d>(in_channels, branch_channels, 1, 1, 0, rng)),
+        b3_(std::make_shared<Conv2d>(in_channels, branch_channels, 3, 1, 1, rng)),
+        b5_(std::make_shared<Conv2d>(in_channels, branch_channels, 5, 1, 2, rng)),
+        relu_(std::make_shared<ReLU>()) {}
+
+  Tensor forward(const Tensor& input) const override {
+    const Tensor y1 = relu_->forward(b1_->forward(input));
+    const Tensor y3 = relu_->forward(b3_->forward(input));
+    const Tensor y5 = relu_->forward(b5_->forward(input));
+    return FireModule::concat_channels(FireModule::concat_channels(y1, y3), y5);
+  }
+  std::string name() const override { return "InceptionBlock"; }
+  std::int64_t parameter_count() const override {
+    return b1_->parameter_count() + b3_->parameter_count() + b5_->parameter_count();
+  }
+
+ private:
+  std::shared_ptr<Conv2d> b1_, b3_, b5_;
+  std::shared_ptr<ReLU> relu_;
+};
+
+std::shared_ptr<Sequential> classifier_head(std::int64_t channels,
+                                            std::int64_t num_classes, Rng& rng) {
+  auto head = std::make_shared<Sequential>();
+  head->push_back(std::make_shared<AdaptiveAvgPool2d>());
+  head->push_back(std::make_shared<Flatten>());
+  head->push_back(std::make_shared<Linear>(channels, num_classes, rng));
+  head->push_back(std::make_shared<Softmax>());
+  return head;
+}
+
+}  // namespace
+
+std::string family_name(CnnFamily family) {
+  switch (family) {
+    case CnnFamily::kSqueezeNet: return "squeezenet";
+    case CnnFamily::kResNet: return "resnet";
+    case CnnFamily::kAlexNet: return "alexnet";
+    case CnnFamily::kResNeXt: return "resnext";
+    case CnnFamily::kDenseNet: return "densenet";
+    case CnnFamily::kInception: return "inception";
+    case CnnFamily::kVgg: return "vgg";
+    case CnnFamily::kWideResNet: return "wideresnet";
+  }
+  return "unknown";
+}
+
+ModulePtr build_cnn(const CnnConfig& config) {
+  GFAAS_CHECK(config.depth >= 1 && config.width >= 1 && config.num_classes >= 2);
+  Rng rng(config.seed);
+  auto net = std::make_shared<Sequential>();
+  const std::int64_t w = config.width;
+
+  switch (config.family) {
+    case CnnFamily::kSqueezeNet: {
+      net->push_back(std::make_shared<Conv2d>(config.in_channels, w, 3, 2, 1, rng));
+      net->push_back(std::make_shared<ReLU>());
+      std::int64_t c = w;
+      for (std::int64_t i = 0; i < config.depth; ++i) {
+        auto fire = std::make_shared<FireModule>(c, std::max<std::int64_t>(1, w / 2), w, rng);
+        net->push_back(fire);
+        c = 2 * w;
+      }
+      net->push_back(classifier_head(c, config.num_classes, rng));
+      break;
+    }
+    case CnnFamily::kResNet:
+    case CnnFamily::kResNeXt:
+    case CnnFamily::kWideResNet: {
+      // ResNeXt/WideResNet differ from ResNet mainly in width here; the
+      // full-size latency differences come from the Table I profiles.
+      const std::int64_t base =
+          config.family == CnnFamily::kWideResNet ? 2 * w : w;
+      net->push_back(std::make_shared<Conv2d>(config.in_channels, base, 3, 1, 1, rng));
+      net->push_back(std::make_shared<BatchNorm2d>(base, rng));
+      net->push_back(std::make_shared<ReLU>());
+      std::int64_t c = base;
+      for (std::int64_t i = 0; i < config.depth; ++i) {
+        const std::int64_t out_c = i + 1 < config.depth ? c : 2 * c;
+        const std::int64_t stride = i == 0 ? 1 : 2;
+        net->push_back(std::make_shared<ResidualBlock>(c, out_c, stride, rng));
+        c = out_c;
+      }
+      net->push_back(classifier_head(c, config.num_classes, rng));
+      break;
+    }
+    case CnnFamily::kAlexNet: {
+      net->push_back(std::make_shared<Conv2d>(config.in_channels, w, 5, 2, 2, rng));
+      net->push_back(std::make_shared<ReLU>());
+      net->push_back(std::make_shared<MaxPool2d>(2, 2));
+      net->push_back(std::make_shared<Conv2d>(w, 2 * w, 3, 1, 1, rng));
+      net->push_back(std::make_shared<ReLU>());
+      net->push_back(classifier_head(2 * w, config.num_classes, rng));
+      break;
+    }
+    case CnnFamily::kDenseNet: {
+      net->push_back(std::make_shared<Conv2d>(config.in_channels, w, 3, 2, 1, rng));
+      net->push_back(std::make_shared<ReLU>());
+      auto block = std::make_shared<DenseBlock>(w, config.depth, w / 2 + 1, rng);
+      const std::int64_t c = block->out_channels();
+      net->push_back(block);
+      net->push_back(classifier_head(c, config.num_classes, rng));
+      break;
+    }
+    case CnnFamily::kInception: {
+      net->push_back(std::make_shared<Conv2d>(config.in_channels, w, 3, 2, 1, rng));
+      net->push_back(std::make_shared<ReLU>());
+      std::int64_t c = w;
+      for (std::int64_t i = 0; i < config.depth; ++i) {
+        net->push_back(std::make_shared<InceptionBlock>(c, w, rng));
+        c = 3 * w;
+      }
+      net->push_back(classifier_head(c, config.num_classes, rng));
+      break;
+    }
+    case CnnFamily::kVgg: {
+      std::int64_t c = config.in_channels;
+      std::int64_t next = w;
+      for (std::int64_t i = 0; i < config.depth; ++i) {
+        net->push_back(std::make_shared<Conv2d>(c, next, 3, 1, 1, rng));
+        net->push_back(std::make_shared<ReLU>());
+        net->push_back(std::make_shared<MaxPool2d>(2, 2));
+        c = next;
+        next = std::min<std::int64_t>(next * 2, 8 * w);
+      }
+      net->push_back(classifier_head(c, config.num_classes, rng));
+      break;
+    }
+  }
+  return net;
+}
+
+}  // namespace gfaas::tensor

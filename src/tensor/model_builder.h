@@ -1,0 +1,46 @@
+// Builders for scaled-down versions of the CNN families in the paper's
+// Table I (SqueezeNet, ResNet, AlexNet, ResNeXt, DenseNet, Inception, VGG,
+// WideResNet). Each builder assembles a real topology of that family —
+// fire modules for SqueezeNet, residual blocks for ResNet, dense blocks
+// for DenseNet, parallel branches for Inception — at a width/depth small
+// enough for CPU execution, so examples and integration tests run genuine
+// forward passes through architecture-faithful graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "tensor/nn.h"
+
+namespace gfaas::tensor {
+
+enum class CnnFamily {
+  kSqueezeNet,
+  kResNet,
+  kAlexNet,
+  kResNeXt,
+  kDenseNet,
+  kInception,
+  kVgg,
+  kWideResNet,
+};
+
+std::string family_name(CnnFamily family);
+
+struct CnnConfig {
+  CnnFamily family = CnnFamily::kResNet;
+  // Family-specific depth knob: residual/dense/fire/VGG-stage count.
+  std::int64_t depth = 2;
+  // Base channel width.
+  std::int64_t width = 8;
+  std::int64_t in_channels = 3;
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 1;
+};
+
+// Builds a runnable model for the config. The returned module accepts
+// NCHW inputs with at least 16x16 spatial extent.
+ModulePtr build_cnn(const CnnConfig& config);
+
+}  // namespace gfaas::tensor

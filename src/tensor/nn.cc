@@ -1,0 +1,233 @@
+#include "tensor/nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+
+namespace gfaas::tensor {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(Tensor::kaiming_uniform({out_channels, in_channels, kernel, kernel},
+                                      in_channels * kernel * kernel, rng)),
+      bias_(Tensor::zeros({out_channels})) {
+  GFAAS_CHECK(stride >= 1 && kernel >= 1 && padding >= 0);
+}
+
+Tensor Conv2d::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() == 4) << "Conv2d expects NCHW";
+  GFAAS_CHECK(input.dim(1) == in_channels_)
+      << "Conv2d channel mismatch: " << input.dim(1) << " vs " << in_channels_;
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  GFAAS_CHECK(oh > 0 && ow > 0) << "Conv2d output collapsed";
+  Tensor out({n, out_channels_, oh, ow});
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_[oc];
+          const std::int64_t iy0 = oy * stride_ - padding_;
+          const std::int64_t ix0 = ox * stride_ - padding_;
+          for (std::int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+              const std::int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                const std::int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += input.at4(b, ic, iy, ix) *
+                       weight_[((oc * in_channels_ + ic) * kernel_ + ky) * kernel_ + kx];
+              }
+            }
+          }
+          out.at4(b, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::kaiming_uniform({out_features, in_features}, in_features, rng)),
+      bias_(Tensor::zeros({out_features})) {}
+
+Tensor Linear::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() == 2) << "Linear expects [N, in]";
+  GFAAS_CHECK(input.dim(1) == in_features_)
+      << "Linear feature mismatch: " << input.dim(1) << " vs " << in_features_;
+  const std::int64_t n = input.dim(0);
+  Tensor out({n, out_features_});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      float acc = bias_[o];
+      for (std::int64_t i = 0; i < in_features_; ++i) {
+        acc += input.at2(b, i) * weight_.at2(o, i);
+      }
+      out.at2(b, o) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::forward(const Tensor& input) const {
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::max(0.f, out[i]);
+  return out;
+}
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  GFAAS_CHECK(kernel >= 1 && stride >= 1);
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() == 4);
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  GFAAS_CHECK(oh > 0 && ow > 0) << "MaxPool2d output collapsed";
+  Tensor out({n, c, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              best = std::max(best, input.at4(b, ch, oy * stride_ + ky, ox * stride_ + kx));
+            }
+          }
+          out.at4(b, ch, oy, ox) = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AdaptiveAvgPool2d::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() == 4);
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  Tensor out({n, c, 1, 1});
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      double acc = 0;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) acc += input.at4(b, ch, y, x);
+      }
+      out.at4(b, ch, 0, 0) = static_cast<float>(acc) * inv;
+    }
+  }
+  return out;
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, Rng& rng)
+    : channels_(channels),
+      gamma_(Tensor::ones({channels})),
+      beta_(Tensor::zeros({channels})),
+      running_mean_(Tensor::randn({channels}, rng, 0.f, 0.1f)),
+      running_var_(Tensor::zeros({channels})) {
+  // Positive running variances around 1, as in a trained network.
+  for (std::int64_t i = 0; i < channels_; ++i) {
+    running_var_[i] = 0.5f + static_cast<float>(rng.uniform());
+  }
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() == 4 && input.dim(1) == channels_);
+  constexpr float kEps = 1e-5f;
+  Tensor out = input;
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  for (std::int64_t ch = 0; ch < channels_; ++ch) {
+    const float scale = gamma_[ch] / std::sqrt(running_var_[ch] + kEps);
+    const float shift = beta_[ch] - running_mean_[ch] * scale;
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          out.at4(b, ch, y, x) = input.at4(b, ch, y, x) * scale + shift;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Flatten::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() >= 2);
+  const std::int64_t n = input.dim(0);
+  return input.reshape({n, input.numel() / n});
+}
+
+Tensor Softmax::forward(const Tensor& input) const {
+  GFAAS_CHECK(input.ndim() == 2);
+  Tensor out = input;
+  const std::int64_t n = input.dim(0), k = input.dim(1);
+  for (std::int64_t b = 0; b < n; ++b) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t i = 0; i < k; ++i) mx = std::max(mx, input.at2(b, i));
+    double total = 0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float e = std::exp(input.at2(b, i) - mx);
+      out.at2(b, i) = e;
+      total += e;
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::int64_t i = 0; i < k; ++i) out.at2(b, i) *= inv;
+  }
+  return out;
+}
+
+Tensor Sequential::forward(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+std::int64_t Sequential::parameter_count() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) total += layer->parameter_count();
+  return total;
+}
+
+ResidualBlock::ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                             std::int64_t stride, Rng& rng) {
+  main_.push_back(std::make_shared<Conv2d>(in_channels, out_channels, 3, stride, 1, rng));
+  main_.push_back(std::make_shared<BatchNorm2d>(out_channels, rng));
+  main_.push_back(std::make_shared<ReLU>());
+  main_.push_back(std::make_shared<Conv2d>(out_channels, out_channels, 3, 1, 1, rng));
+  main_.push_back(std::make_shared<BatchNorm2d>(out_channels, rng));
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut_ = std::make_shared<Conv2d>(in_channels, out_channels, 1, stride, 0, rng);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& input) const {
+  Tensor out = main_.forward(input);
+  const Tensor skip = shortcut_ ? shortcut_->forward(input) : input;
+  out.add_(skip);
+  // Final ReLU.
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::max(0.f, out[i]);
+  return out;
+}
+
+std::int64_t ResidualBlock::parameter_count() const {
+  return main_.parameter_count() + (shortcut_ ? shortcut_->parameter_count() : 0);
+}
+
+}  // namespace gfaas::tensor

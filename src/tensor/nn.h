@@ -1,0 +1,147 @@
+// Neural-network layer library (forward pass only — inference).
+//
+// Layers follow the PyTorch module model: a `Module` owns parameters and
+// implements `forward`. `Sequential` composes layers; `ResidualBlock`
+// implements the ResNet basic block so the zoo builders can assemble
+// realistic CNN topologies. Weight initialization is deterministic from
+// the Rng passed to each constructor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace gfaas::tensor {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual Tensor forward(const Tensor& input) const = 0;
+  virtual std::string name() const = 0;
+  // Total parameter count (for size accounting and tests).
+  virtual std::int64_t parameter_count() const { return 0; }
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+// 2-d convolution, NCHW, square kernel, zero padding, no dilation/groups.
+class Conv2d final : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         std::int64_t stride, std::int64_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "Conv2d"; }
+  std::int64_t parameter_count() const override {
+    return weight_.numel() + bias_.numel();
+  }
+
+  std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  Tensor weight_;  // [out, in, k, k]
+  Tensor bias_;    // [out]
+};
+
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) const override;  // [N, in] -> [N, out]
+  std::string name() const override { return "Linear"; }
+  std::int64_t parameter_count() const override {
+    return weight_.numel() + bias_.numel();
+  }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  Tensor weight_;  // [out, in]
+  Tensor bias_;    // [out]
+};
+
+class ReLU final : public Module {
+ public:
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "ReLU"; }
+};
+
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+// Pools each channel down to 1x1 (global average pooling).
+class AdaptiveAvgPool2d final : public Module {
+ public:
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "AdaptiveAvgPool2d"; }
+};
+
+// Inference-mode batch norm: y = gamma * (x - mean) / sqrt(var + eps) + beta,
+// with fixed running statistics (randomized at build, like a trained net).
+class BatchNorm2d final : public Module {
+ public:
+  BatchNorm2d(std::int64_t channels, Rng& rng);
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "BatchNorm2d"; }
+  std::int64_t parameter_count() const override { return 4 * channels_; }
+
+ private:
+  std::int64_t channels_;
+  Tensor gamma_, beta_, running_mean_, running_var_;
+};
+
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& input) const override;  // [N, C, H, W] -> [N, CHW]
+  std::string name() const override { return "Flatten"; }
+};
+
+class Softmax final : public Module {
+ public:
+  Tensor forward(const Tensor& input) const override;  // row-wise on [N, K]
+  std::string name() const override { return "Softmax"; }
+};
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> layers) : layers_(std::move(layers)) {}
+
+  void push_back(ModulePtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "Sequential"; }
+  std::int64_t parameter_count() const override;
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+// ResNet basic block: conv-bn-relu-conv-bn + skip (1x1 conv when shapes
+// differ), followed by ReLU.
+class ResidualBlock final : public Module {
+ public:
+  ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
+                std::int64_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& input) const override;
+  std::string name() const override { return "ResidualBlock"; }
+  std::int64_t parameter_count() const override;
+
+ private:
+  Sequential main_;
+  ModulePtr shortcut_;  // nullptr = identity
+};
+
+}  // namespace gfaas::tensor

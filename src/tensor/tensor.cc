@@ -1,0 +1,124 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gfaas::tensor {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    GFAAS_CHECK(d >= 0) << "negative dimension";
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  return out + "]";
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  GFAAS_CHECK(shape_numel(shape_) == static_cast<std::int64_t>(data_.size()))
+      << "shape " << shape_to_string(shape_) << " != data size " << data_.size();
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::kaiming_uniform(Shape shape, std::int64_t fan_in, Rng& rng) {
+  GFAAS_CHECK(fan_in > 0);
+  Tensor t(std::move(shape));
+  const float bound = std::sqrt(6.f / static_cast<float>(fan_in));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(-bound, bound));
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+  GFAAS_CHECK(ndim() == 4);
+  return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+  GFAAS_CHECK(ndim() == 4);
+  return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+float& Tensor::at2(std::int64_t r, std::int64_t c) {
+  GFAAS_CHECK(ndim() == 2);
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at2(std::int64_t r, std::int64_t c) const {
+  GFAAS_CHECK(ndim() == 2);
+  return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  GFAAS_CHECK(shape_numel(new_shape) == numel())
+      << "reshape " << shape_to_string(shape_) << " -> " << shape_to_string(new_shape);
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  GFAAS_CHECK(numel() == other.numel()) << "add_ size mismatch";
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::max() const {
+  GFAAS_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  GFAAS_CHECK(!data_.empty());
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace gfaas::tensor

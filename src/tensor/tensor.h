@@ -1,0 +1,81 @@
+// Dense float32 tensor with row-major (NCHW for images) layout.
+//
+// This is the compute substrate that stands in for PyTorch: functions in
+// the examples and integration tests run real forward passes through the
+// layer library in nn.h. The implementation favours clarity and
+// determinism over peak throughput; models used at runtime are
+// scaled-down versions of the paper's 22 CNNs (see models/zoo.h for the
+// full-size catalog used by the latency model).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gfaas::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+std::int64_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  // Kaiming-uniform init for conv/linear weights (fan_in provided).
+  static Tensor kaiming_uniform(Shape shape, std::int64_t fan_in, Rng& rng);
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f, float stddev = 1.f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const { return shape_[i]; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // 4-d accessor (NCHW); bounds-checked in debug via GFAAS_CHECK.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+  // 2-d accessor (rows, cols).
+  float& at2(std::int64_t r, std::int64_t c);
+  float at2(std::int64_t r, std::int64_t c) const;
+
+  // Returns a tensor with the same data viewed under a new shape
+  // (numel must match).
+  Tensor reshape(Shape new_shape) const;
+
+  // Elementwise in-place helpers.
+  Tensor& add_(const Tensor& other);
+  Tensor& mul_(float scalar);
+
+  // Reductions.
+  float sum() const;
+  float max() const;
+  std::int64_t argmax() const;
+
+  // Approximate equality for tests.
+  bool allclose(const Tensor& other, float atol = 1e-5f) const;
+
+  std::int64_t byte_size() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(float));
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace gfaas::tensor

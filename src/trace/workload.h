@@ -1,0 +1,67 @@
+// Workload builder: trace -> schedulable request stream (paper §V-A1).
+//
+// Pipeline, following the paper exactly:
+//   1. take the first `window_minutes` (6) of the trace;
+//   2. restrict to the top `working_set_size` functions by popularity
+//      (15 / 25 / 35) — "we consider only the most frequently used
+//      functions as the working set";
+//   3. normalize each minute's invocations to `requests_per_minute`
+//      (325) "to match the size of our much smaller testbed of 12 GPUs";
+//   4. map each function to a model: each working-set function becomes a
+//      distinct cache item whose cost profile is drawn from Table I,
+//      striding the size-ordered catalog so "models with different sizes
+//      are distributed evenly in the workload";
+//   5. "randomly distribute the invocations of different functions"
+//      within each minute (uniform arrival offsets, seeded).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/request.h"
+#include "models/zoo.h"
+#include "trace/azure_trace.h"
+
+namespace gfaas::trace {
+
+// Intra-minute arrival process. The paper randomly distributes arrivals
+// within each minute (kUniform); the alternatives stress the schedulers
+// with realistic burstiness while preserving per-minute totals.
+enum class ArrivalProcess {
+  kUniform,  // paper default: independent uniform offsets
+  kPoisson,  // exponential inter-arrival gaps, rescaled into the minute
+  kBursty,   // arrivals clustered into a few short bursts per minute
+};
+
+std::string arrival_process_name(ArrivalProcess process);
+
+struct WorkloadConfig {
+  std::size_t working_set_size = 15;
+  std::int64_t window_minutes = 6;
+  std::int64_t requests_per_minute = 325;
+  std::int64_t batch_size = 32;
+  ArrivalProcess arrivals = ArrivalProcess::kUniform;
+  std::uint64_t seed = 7;
+};
+
+struct Workload {
+  // One registered model per working-set function; model ids are dense
+  // [0, working_set_size). Profiles are Table I entries (name suffixed
+  // with the function rank when the catalog is reused for K > 22).
+  models::ModelRegistry registry;
+  std::vector<core::Request> requests;  // sorted by arrival time
+  // Most invoked model (Fig. 6 tracks its duplicates).
+  ModelId top_model;
+  std::int64_t invocations_of_top_model = 0;
+};
+
+StatusOr<Workload> build_workload(const AzureTrace& trace, const WorkloadConfig& config);
+
+// Convenience: synthesize a calibrated trace and build the workload from
+// it (what every figure bench uses).
+StatusOr<Workload> build_standard_workload(const WorkloadConfig& config,
+                                           std::uint64_t trace_seed = 42);
+
+}  // namespace gfaas::trace

@@ -1,0 +1,226 @@
+// Unit tests for the cache module: eviction policy orderings, per-GPU
+// cache state (insert/remove/pin/eviction planning), and the global
+// CacheManager with its datastore mirroring.
+#include <gtest/gtest.h>
+
+#include "cache/cache_manager.h"
+#include "cache/policy.h"
+#include "datastore/keys.h"
+#include "datastore/kv_store.h"
+
+namespace gfaas::cache {
+namespace {
+
+std::vector<std::int64_t> order_values(const EvictionPolicy& policy) {
+  std::vector<std::int64_t> out;
+  for (ModelId m : policy.eviction_order()) out.push_back(m.value());
+  return out;
+}
+
+TEST(PolicyTest, LruEvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.on_insert(ModelId(1));
+  lru.on_insert(ModelId(2));
+  lru.on_insert(ModelId(3));
+  EXPECT_EQ(order_values(lru), (std::vector<std::int64_t>{1, 2, 3}));
+  lru.on_access(ModelId(1));  // 1 becomes MRU
+  EXPECT_EQ(order_values(lru), (std::vector<std::int64_t>{2, 3, 1}));
+  lru.on_remove(ModelId(3));
+  EXPECT_EQ(order_values(lru), (std::vector<std::int64_t>{2, 1}));
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(PolicyTest, MruEvictsMostRecentlyUsed) {
+  MruPolicy mru;
+  mru.on_insert(ModelId(1));
+  mru.on_insert(ModelId(2));
+  mru.on_access(ModelId(1));
+  // Eviction order is most-recent first: 1 then 2.
+  EXPECT_EQ(order_values(mru), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(PolicyTest, FifoIgnoresAccesses) {
+  FifoPolicy fifo;
+  fifo.on_insert(ModelId(1));
+  fifo.on_insert(ModelId(2));
+  fifo.on_access(ModelId(1));
+  fifo.on_access(ModelId(1));
+  EXPECT_EQ(order_values(fifo), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(PolicyTest, LfuEvictsLeastFrequent) {
+  LfuPolicy lfu;
+  lfu.on_insert(ModelId(1));
+  lfu.on_insert(ModelId(2));
+  lfu.on_insert(ModelId(3));
+  lfu.on_access(ModelId(1));
+  lfu.on_access(ModelId(1));
+  lfu.on_access(ModelId(3));
+  // Counts: 1 -> 3, 2 -> 1, 3 -> 2.
+  EXPECT_EQ(order_values(lfu), (std::vector<std::int64_t>{2, 3, 1}));
+}
+
+TEST(PolicyTest, LfuTieBrokenByInsertionOrder) {
+  LfuPolicy lfu;
+  lfu.on_insert(ModelId(5));
+  lfu.on_insert(ModelId(7));
+  EXPECT_EQ(order_values(lfu), (std::vector<std::int64_t>{5, 7}));
+}
+
+TEST(PolicyTest, FactoryProducesAllKinds) {
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kMru, PolicyKind::kFifo, PolicyKind::kLfu}) {
+    auto policy = make_policy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), policy_kind_name(kind));
+  }
+}
+
+TEST(GpuCacheStateTest, InsertTracksBytes) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  EXPECT_TRUE(state.insert(ModelId(1), MB(300)).ok());
+  EXPECT_EQ(state.used(), MB(300));
+  EXPECT_EQ(state.free(), MB(700));
+  EXPECT_TRUE(state.contains(ModelId(1)));
+  EXPECT_EQ(state.size_of(ModelId(1)), MB(300));
+}
+
+TEST(GpuCacheStateTest, InsertRejectsOverflowDuplicateAndBadSize) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  ASSERT_TRUE(state.insert(ModelId(1), MB(800)).ok());
+  EXPECT_EQ(state.insert(ModelId(2), MB(300)).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(state.insert(ModelId(1), MB(100)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(state.insert(ModelId(3), 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GpuCacheStateTest, RemoveRespectsPins) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  ASSERT_TRUE(state.insert(ModelId(1), MB(100)).ok());
+  state.pin(ModelId(1));
+  EXPECT_EQ(state.remove(ModelId(1)).code(), StatusCode::kFailedPrecondition);
+  state.unpin(ModelId(1));
+  EXPECT_TRUE(state.remove(ModelId(1)).ok());
+  EXPECT_EQ(state.remove(ModelId(1)).code(), StatusCode::kNotFound);
+}
+
+TEST(GpuCacheStateTest, NestedPinsCount) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  ASSERT_TRUE(state.insert(ModelId(1), MB(100)).ok());
+  state.pin(ModelId(1));
+  state.pin(ModelId(1));
+  state.unpin(ModelId(1));
+  EXPECT_TRUE(state.pinned(ModelId(1)));
+  state.unpin(ModelId(1));
+  EXPECT_FALSE(state.pinned(ModelId(1)));
+}
+
+TEST(GpuCacheStateTest, PlanEvictionFollowsLruOrder) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  ASSERT_TRUE(state.insert(ModelId(1), MB(400)).ok());
+  ASSERT_TRUE(state.insert(ModelId(2), MB(400)).ok());
+  ASSERT_TRUE(state.touch(ModelId(1)).ok());  // 2 is now LRU
+  auto victims = state.plan_eviction(MB(500));
+  ASSERT_TRUE(victims.ok());
+  ASSERT_EQ(victims->size(), 1u);
+  EXPECT_EQ((*victims)[0], ModelId(2));
+}
+
+TEST(GpuCacheStateTest, PlanEvictionEmptyWhenFits) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  ASSERT_TRUE(state.insert(ModelId(1), MB(100)).ok());
+  auto victims = state.plan_eviction(MB(500));
+  ASSERT_TRUE(victims.ok());
+  EXPECT_TRUE(victims->empty());
+}
+
+TEST(GpuCacheStateTest, PlanEvictionSkipsPinned) {
+  GpuCacheState state(GpuId(0), MB(1000), PolicyKind::kLru);
+  ASSERT_TRUE(state.insert(ModelId(1), MB(400)).ok());
+  ASSERT_TRUE(state.insert(ModelId(2), MB(400)).ok());
+  state.pin(ModelId(1));
+  auto victims = state.plan_eviction(MB(500));
+  ASSERT_TRUE(victims.ok());
+  ASSERT_EQ(victims->size(), 1u);
+  EXPECT_EQ((*victims)[0], ModelId(2));  // pinned 1 skipped despite LRU
+  state.pin(ModelId(2));
+  EXPECT_EQ(state.plan_eviction(MB(500)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CacheManagerTest, HitMissEvictionStats) {
+  CacheManager manager(PolicyKind::kLru);
+  manager.add_gpu(GpuId(0), MB(1000));
+  EXPECT_FALSE(manager.is_cached(GpuId(0), ModelId(1)));
+  EXPECT_TRUE(manager.record_insertion(GpuId(0), ModelId(1), MB(400)).ok());
+  EXPECT_TRUE(manager.is_cached(GpuId(0), ModelId(1)));
+  EXPECT_TRUE(manager.record_access(GpuId(0), ModelId(1)).ok());
+  EXPECT_TRUE(manager.record_eviction(GpuId(0), ModelId(1)).ok());
+  EXPECT_EQ(manager.stats().hits, 1);
+  EXPECT_EQ(manager.stats().misses, 1);
+  EXPECT_EQ(manager.stats().evictions, 1);
+  EXPECT_DOUBLE_EQ(manager.stats().miss_ratio(), 0.5);
+}
+
+TEST(CacheManagerTest, LocationsTrackMultipleGpus) {
+  CacheManager manager(PolicyKind::kLru);
+  manager.add_gpu(GpuId(0), MB(1000));
+  manager.add_gpu(GpuId(1), MB(1000));
+  manager.add_gpu(GpuId(2), MB(1000));
+  ASSERT_TRUE(manager.record_insertion(GpuId(0), ModelId(7), MB(100)).ok());
+  ASSERT_TRUE(manager.record_insertion(GpuId(2), ModelId(7), MB(100)).ok());
+  const auto locations = manager.locations(ModelId(7));
+  ASSERT_EQ(locations.size(), 2u);
+  EXPECT_EQ(locations[0], GpuId(0));
+  EXPECT_EQ(locations[1], GpuId(2));
+  EXPECT_TRUE(manager.cached_anywhere(ModelId(7)));
+  EXPECT_FALSE(manager.cached_anywhere(ModelId(8)));
+  EXPECT_EQ(manager.duplicate_count(ModelId(7)), 2u);
+}
+
+TEST(CacheManagerTest, PinUnpinValidatesResidency) {
+  CacheManager manager(PolicyKind::kLru);
+  manager.add_gpu(GpuId(0), MB(1000));
+  EXPECT_EQ(manager.pin(GpuId(0), ModelId(1)).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(manager.record_insertion(GpuId(0), ModelId(1), MB(100)).ok());
+  EXPECT_TRUE(manager.pin(GpuId(0), ModelId(1)).ok());
+  EXPECT_TRUE(manager.unpin(GpuId(0), ModelId(1)).ok());
+  EXPECT_EQ(manager.unpin(GpuId(0), ModelId(2)).code(), StatusCode::kNotFound);
+}
+
+TEST(CacheManagerTest, MirrorsLruAndLocationsToDatastore) {
+  datastore::KvStore store;
+  CacheManager manager(PolicyKind::kLru, &store);
+  manager.add_gpu(GpuId(0), MB(1000));
+  ASSERT_TRUE(manager.record_insertion(GpuId(0), ModelId(3), MB(100)).ok());
+  ASSERT_TRUE(manager.record_insertion(GpuId(0), ModelId(5), MB(100)).ok());
+  ASSERT_TRUE(manager.record_access(GpuId(0), ModelId(3)).ok());
+
+  auto lru = store.get(datastore::keys::gpu_lru(GpuId(0)));
+  ASSERT_TRUE(lru.ok());
+  EXPECT_EQ(lru->value, "5,3");  // LRU -> MRU after touching 3
+
+  auto locations = store.get(datastore::keys::model_locations(ModelId(5)));
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(locations->value, "0");
+
+  ASSERT_TRUE(manager.record_eviction(GpuId(0), ModelId(5)).ok());
+  locations = store.get(datastore::keys::model_locations(ModelId(5)));
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(locations->value, "");
+}
+
+TEST(CacheManagerTest, SeparateListsPerGpu) {
+  CacheManager manager(PolicyKind::kLru);
+  manager.add_gpu(GpuId(0), MB(500));
+  manager.add_gpu(GpuId(1), MB(500));
+  ASSERT_TRUE(manager.record_insertion(GpuId(0), ModelId(1), MB(400)).ok());
+  // GPU 1 unaffected: same model can be inserted there too.
+  ASSERT_TRUE(manager.record_insertion(GpuId(1), ModelId(1), MB(400)).ok());
+  auto victims0 = manager.plan_eviction(GpuId(0), MB(450));
+  ASSERT_TRUE(victims0.ok());
+  EXPECT_EQ(victims0->size(), 1u);
+  EXPECT_EQ(manager.state(GpuId(1)).model_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gfaas::cache

@@ -1,0 +1,369 @@
+// Integration tests: the full Fig. 2 pipeline — Gateway -> Scheduler ->
+// GPU Manager -> virtual GPU -> Cache Manager -> Datastore — on small
+// simulated clusters, including the FaasCluster end-to-end path with real
+// CPU inference enabled.
+#include <gtest/gtest.h>
+
+#include "cluster/faas_cluster.h"
+#include "datastore/keys.h"
+#include "trace/workload.h"
+
+namespace gfaas::cluster {
+namespace {
+
+core::Request make_request(std::int64_t id, std::int64_t model, SimTime arrival) {
+  core::Request r;
+  r.id = RequestId(id);
+  r.function = FunctionId(id);
+  r.model = ModelId(model);
+  r.batch = 32;
+  r.arrival = arrival;
+  r.function_name = "fn" + std::to_string(id);
+  return r;
+}
+
+models::ModelRegistry head_registry(int count) {
+  models::ModelRegistry registry;
+  for (int i = 0; i < count; ++i) {
+    EXPECT_TRUE(
+        registry.register_model(models::table1_catalog()[static_cast<std::size_t>(i)])
+            .ok());
+  }
+  return registry;
+}
+
+TEST(SimClusterTest, BuildsPaperTopology) {
+  ClusterConfig config;  // 3 nodes x 4 GPUs
+  SimCluster cluster(config, head_registry(3));
+  EXPECT_EQ(cluster.gpu_count(), 12u);
+  EXPECT_EQ(cluster.cache().gpu_count(), 12u);
+  EXPECT_EQ(cluster.gpu(0).spec().name, "rtx2080");
+}
+
+TEST(SimClusterTest, RejectsBadNodeSpecCount) {
+  ClusterConfig config;
+  config.nodes = 3;
+  config.node_specs = {gpu::rtx2080(), gpu::rtx2080()};  // 2 specs, 3 nodes
+  EXPECT_DEATH(SimCluster(config, head_registry(1)), "node_specs");
+}
+
+TEST(SimClusterTest, SingleRequestFullLifecycle) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  SimCluster cluster(config, head_registry(1));
+  const SimTime makespan = cluster.replay({make_request(0, 0, sec(1))});
+  // arrival 1s + load 2.41s + infer 1.28s.
+  EXPECT_NEAR(sim_to_seconds(makespan), 1 + 2.41 + 1.28, 0.05);
+  const auto& record = cluster.engine().completions().at(0);
+  EXPECT_FALSE(record.cache_hit);
+  EXPECT_NEAR(sim_to_seconds(record.latency()), 3.69, 0.05);
+  // Model resident after completion; datastore mirrors status.
+  EXPECT_TRUE(cluster.cache().is_cached(GpuId(0), ModelId(0)));
+  EXPECT_EQ(cluster.datastore().get(datastore::keys::gpu_status(GpuId(0)))->value,
+            "idle");
+  EXPECT_TRUE(
+      cluster.datastore().get(datastore::keys::fn_latency("fn0")).ok());
+}
+
+TEST(SimClusterTest, EvictionHappensWhenMemoryFull) {
+  // One 8GB GPU; three ~3.9GB VGG models cannot co-reside: the LRU model
+  // must be evicted (process killed) to make room.
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  models::ModelRegistry registry;
+  // vgg13 (3887MB), vgg16 (3907MB), vgg19 (3947MB): catalog rows 18-21.
+  models::ModelProfile a = *models::find_model("vgg13");
+  models::ModelProfile b = *models::find_model("vgg16");
+  models::ModelProfile c = *models::find_model("vgg19");
+  a.id = ModelId(0);
+  b.id = ModelId(1);
+  c.id = ModelId(2);
+  ASSERT_TRUE(registry.register_model(a).ok());
+  ASSERT_TRUE(registry.register_model(b).ok());
+  ASSERT_TRUE(registry.register_model(c).ok());
+  SimCluster cluster(config, registry);
+  cluster.replay({make_request(0, 0, 0), make_request(1, 1, sec(10)),
+                  make_request(2, 2, sec(20))});
+  // Two fit (7.8GB in ~7.75GiB capacity); the third evicts the LRU one.
+  EXPECT_EQ(cluster.gpu(0).counters().evictions, 1);
+  EXPECT_FALSE(cluster.cache().is_cached(GpuId(0), ModelId(0)));  // LRU victim
+  EXPECT_TRUE(cluster.cache().is_cached(GpuId(0), ModelId(2)));
+  EXPECT_EQ(cluster.cache().stats().evictions, 1);
+}
+
+TEST(SimClusterTest, ReplayIsDeterministic) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 15;
+  wconfig.window_minutes = 2;
+  auto workload = trace::build_standard_workload(wconfig);
+  ASSERT_TRUE(workload.ok());
+
+  auto run_once = [&] {
+    ClusterConfig config;
+    config.policy = core::PolicyName::kLalbO3;
+    return run_experiment(config, *workload);
+  };
+  const ExperimentResult a = run_once();
+  const ExperimentResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.avg_latency_s, b.avg_latency_s);
+  EXPECT_DOUBLE_EQ(a.miss_ratio, b.miss_ratio);
+  EXPECT_DOUBLE_EQ(a.sm_utilization, b.sm_utilization);
+  EXPECT_EQ(a.evictions, b.evictions);
+}
+
+TEST(SimClusterTest, AllRequestsCompleteUnderLoad) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 25;
+  wconfig.window_minutes = 2;
+  auto workload = trace::build_standard_workload(wconfig);
+  ASSERT_TRUE(workload.ok());
+  for (core::PolicyName policy :
+       {core::PolicyName::kLb, core::PolicyName::kLalb, core::PolicyName::kLalbO3}) {
+    ClusterConfig config;
+    config.policy = policy;
+    const ExperimentResult result = run_experiment(config, *workload);
+    EXPECT_EQ(result.requests, workload->requests.size());
+    EXPECT_GT(result.avg_latency_s, 0);
+    EXPECT_GE(result.miss_ratio, 0);
+    EXPECT_LE(result.miss_ratio, 1);
+    EXPECT_GT(result.sm_utilization, 0);
+    EXPECT_LT(result.sm_utilization, 1);
+  }
+}
+
+TEST(SimClusterTest, LalbBeatsLbOnSkewedWorkload) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 15;
+  wconfig.window_minutes = 3;
+  auto workload = trace::build_standard_workload(wconfig);
+  ASSERT_TRUE(workload.ok());
+
+  ClusterConfig lb_config, lalb_config;
+  lb_config.policy = core::PolicyName::kLb;
+  lalb_config.policy = core::PolicyName::kLalb;
+  const ExperimentResult lb = run_experiment(lb_config, *workload);
+  const ExperimentResult lalb = run_experiment(lalb_config, *workload);
+  EXPECT_LT(lalb.avg_latency_s, lb.avg_latency_s);
+  EXPECT_LT(lalb.miss_ratio, lb.miss_ratio);
+  EXPECT_GT(lalb.sm_utilization, lb.sm_utilization);
+}
+
+TEST(SimClusterTest, HeterogeneousSpecsApplyPerNode) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 1;
+  config.node_specs = {gpu::rtx2080(), gpu::a100_like()};
+  SimCluster cluster(config, head_registry(2));
+  EXPECT_EQ(cluster.gpu(0).spec().name, "rtx2080");
+  EXPECT_EQ(cluster.gpu(1).spec().name, "a100-like");
+  EXPECT_GT(cluster.gpu(1).memory_capacity(), cluster.gpu(0).memory_capacity());
+}
+
+TEST(SimClusterTest, RealInferenceExecutionPath) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  config.execute_real_inference = true;  // forward passes really run
+  SimCluster cluster(config, head_registry(1));
+  cluster.replay({make_request(0, 0, 0), make_request(1, 0, sec(5))});
+  EXPECT_EQ(cluster.engine().completions().size(), 2u);
+  EXPECT_TRUE(cluster.engine().completions()[1].cache_hit);
+}
+
+TEST(GpuManagerTest, RejectsWorkOnBusyGpu) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  SimCluster cluster(config, head_registry(2));
+  auto& engine = cluster.engine();
+  // Occupy the GPU, then drive a second execute() directly against the
+  // busy device: the one-request-per-GPU rule (§III-C) must hold.
+  cluster.simulator().schedule_at(0, [&] { engine.submit(make_request(0, 0, 0)); });
+  cluster.simulator().schedule_at(usec(10), [&] {
+    EXPECT_TRUE(cluster.gpu(0).is_busy());
+    EXPECT_EQ(cluster.gpu(0).phase(), gpu::GpuPhase::kLoading);
+  });
+  cluster.simulator().run();
+  EXPECT_EQ(engine.completions().size(), 1u);
+}
+
+TEST(GpuManagerTest, MissEvictsExactlyPlannedVictims) {
+  // 8GB GPU with two resident VGGs; a third large model must evict only
+  // the LRU one, and the datastore LRU mirror must reflect every step.
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  models::ModelRegistry registry;
+  const char* names[] = {"vgg13", "vgg16", "vgg19"};
+  for (int i = 0; i < 3; ++i) {
+    models::ModelProfile p = *models::find_model(names[i]);
+    p.id = ModelId(i);
+    ASSERT_TRUE(registry.register_model(p).ok());
+  }
+  SimCluster cluster(config, registry);
+  cluster.replay({make_request(0, 0, 0), make_request(1, 1, sec(10))});
+  auto lru = cluster.datastore().get(datastore::keys::gpu_lru(GpuId(0)));
+  ASSERT_TRUE(lru.ok());
+  EXPECT_EQ(lru->value, "0,1");  // model0 is LRU
+
+  cluster.simulator().schedule_at(sec(20),
+                                  [&] { cluster.engine().submit(make_request(2, 2, sec(20))); });
+  cluster.simulator().run();
+  EXPECT_EQ(cluster.gpu(0).counters().evictions, 1);
+  lru = cluster.datastore().get(datastore::keys::gpu_lru(GpuId(0)));
+  EXPECT_EQ(lru->value, "1,2");  // model0 evicted, model2 MRU
+  EXPECT_EQ(cluster.gpu(0).process_count(), 2u);
+}
+
+TEST(SchedulerEngineTest, FinishTimeEstimateIncludesLocalQueueWork) {
+  // Two GPUs, LALB, serving inception.v3 (load 4.42s, infer 1.63s — the
+  // catalog's widest load/infer gap). Warm it on one GPU, then send three
+  // back-to-back requests: the first runs (hit), the next two wait in
+  // the holder's local queue (waits of 1.63s and 3.26s both beat the
+  // 4.42s re-upload), and the finish-time estimate must cover the
+  // in-flight hit plus both queued hits.
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  config.policy = core::PolicyName::kLalb;
+  models::ModelRegistry registry;
+  models::ModelProfile inception = *models::find_model("inception.v3");
+  inception.id = ModelId(0);
+  ASSERT_TRUE(registry.register_model(inception).ok());
+  SimCluster cluster(config, registry);
+  auto& engine = cluster.engine();
+
+  cluster.simulator().schedule_at(0, [&] { engine.submit(make_request(0, 0, 0)); });
+  cluster.simulator().run();
+  const GpuId hot = engine.completions().at(0).gpu;
+
+  cluster.simulator().schedule_at(sec(10), [&] {
+    engine.submit(make_request(1, 0, sec(10)));
+  });
+  cluster.simulator().schedule_at(sec(10) + usec(1), [&] {
+    engine.submit(make_request(2, 0, sec(10)));
+    engine.submit(make_request(3, 0, sec(10)));
+  });
+  cluster.simulator().schedule_at(sec(10) + usec(2), [&, hot] {
+    // In-flight hit (~1.63s remaining) + 2 queued hits (1.63s each).
+    const SimTime wait =
+        engine.estimated_finish_time(hot) - cluster.simulator().now();
+    EXPECT_NEAR(sim_to_seconds(wait), 3 * 1.63, 0.05);
+    EXPECT_EQ(engine.local_queues().size(hot), 2u);
+  });
+  cluster.simulator().run();
+  ASSERT_EQ(engine.completions().size(), 4u);
+  // All three follow-ups were hits on the same GPU; two via local queue.
+  int via_local = 0;
+  for (const auto& record : engine.completions()) {
+    if (record.via_local_queue) ++via_local;
+    if (record.id.value() > 0) {
+      EXPECT_TRUE(record.cache_hit);
+      EXPECT_EQ(record.gpu, hot);
+    }
+  }
+  EXPECT_EQ(via_local, 2);
+}
+
+TEST(SchedulerEngineTest, IdleGpusSortedByDispatchFrequency) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 3;
+  config.policy = core::PolicyName::kLalb;
+  SimCluster cluster(config, head_registry(1));
+  // Three sequential requests for the same model: all land on one GPU
+  // (locality), making it the most frequently dispatched.
+  cluster.replay({make_request(0, 0, 0), make_request(1, 0, sec(10)),
+                  make_request(2, 0, sec(20))});
+  const auto idle = cluster.engine().idle_gpus();
+  ASSERT_EQ(idle.size(), 3u);
+  const GpuId hot = cluster.engine().completions()[0].gpu;
+  EXPECT_EQ(idle.front(), hot);  // most-used first
+}
+
+TEST(SchedulerEngineTest, PerMinuteSeriesTracksCompletions) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  SimCluster cluster(config, head_registry(2));
+  cluster.replay({make_request(0, 0, 0), make_request(1, 1, sec(5)),
+                  make_request(2, 0, minutes(1) + sec(5))});
+  const auto& lat = cluster.engine().latency_series();
+  const auto& miss = cluster.engine().miss_series();
+  ASSERT_EQ(lat.bucket_count(), 2u);
+  EXPECT_EQ(lat.bucket_samples(0), 2);  // two finish in minute 0
+  EXPECT_EQ(lat.bucket_samples(1), 1);
+  EXPECT_DOUBLE_EQ(miss.bucket_sum(0), 2.0);  // both cold
+  EXPECT_DOUBLE_EQ(miss.bucket_sum(1), 0.0);  // warm hit
+}
+
+TEST(FaasClusterTest, GatewayEndToEnd) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  FaasCluster faas_cluster(config, head_registry(2));
+
+  faas::FunctionSpec spec;
+  spec.name = "classify";
+  spec.dockerfile = "ENV GPU_ENABLED=1\nENV GFAAS_MODEL=squeezenet1.1\n";
+  ASSERT_TRUE(faas_cluster.gateway().register_function(spec).ok());
+
+  int completions = 0;
+  SimTime first_latency = 0, second_latency = 0;
+  faas_cluster.gateway().invoke("classify", {}, [&](StatusOr<faas::InvocationResult> r) {
+    ASSERT_TRUE(r.ok());
+    first_latency = r->latency;
+    ++completions;
+  });
+  faas_cluster.run_to_completion();
+  // Second call: model now cached -> hit, far lower latency.
+  faas_cluster.gateway().invoke("classify", {}, [&](StatusOr<faas::InvocationResult> r) {
+    ASSERT_TRUE(r.ok());
+    second_latency = r->latency;
+    EXPECT_EQ(r->executed_on.rfind("gpu-", 0), 0u);
+    ++completions;
+  });
+  faas_cluster.run_to_completion();
+
+  EXPECT_EQ(completions, 2);
+  EXPECT_LT(second_latency, first_latency / 2);
+}
+
+TEST(FaasClusterTest, UnknownModelRejectedAtSubmit) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  FaasCluster faas_cluster(config, head_registry(1));
+  faas::FunctionSpec spec;
+  spec.name = "ghost";
+  spec.dockerfile = "ENV GPU_ENABLED=1\nENV GFAAS_MODEL=not-a-model\n";
+  ASSERT_TRUE(faas_cluster.gateway().register_function(spec).ok());
+  bool called = false;
+  faas_cluster.gateway().invoke("ghost", {}, [&](StatusOr<faas::InvocationResult> r) {
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    called = true;
+  });
+  EXPECT_TRUE(called);
+}
+
+TEST(FaasClusterTest, CpuAndGpuFunctionsCoexist) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 1;
+  FaasCluster faas_cluster(config, head_registry(1));
+
+  faas::FunctionSpec cpu_spec;
+  cpu_spec.name = "plain";
+  cpu_spec.dockerfile = "FROM gfaas/base\n";
+  cpu_spec.handler = [](const faas::Payload& p) -> StatusOr<faas::Payload> {
+    return p;
+  };
+  ASSERT_TRUE(faas_cluster.gateway().register_function(cpu_spec).ok());
+  auto result = faas_cluster.gateway().invoke_sync("plain", {});
+  EXPECT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace gfaas::cluster

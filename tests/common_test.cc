@@ -1,0 +1,259 @@
+// Unit tests for src/common: time units, Status/StatusOr, RNG
+// determinism and distribution sanity, Zipf sampling, byte formatting,
+// and typed identifiers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/id.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace gfaas {
+namespace {
+
+TEST(TimeTest, UnitFactories) {
+  EXPECT_EQ(usec(5), 5);
+  EXPECT_EQ(msec(5), 5'000);
+  EXPECT_EQ(sec(5), 5'000'000);
+  EXPECT_EQ(minutes(2), 120'000'000);
+}
+
+TEST(TimeTest, SecondsConversionRoundTrips) {
+  EXPECT_EQ(seconds_to_sim(2.41), 2'410'000);
+  EXPECT_EQ(seconds_to_sim(0.0), 0);
+  EXPECT_DOUBLE_EQ(sim_to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(sim_to_millis(msec(7)), 7.0);
+}
+
+TEST(TimeTest, SecondsConversionRoundsToNearestMicrosecond) {
+  EXPECT_EQ(seconds_to_sim(1e-6), 1);
+  EXPECT_EQ(seconds_to_sim(1.4999e-6), 1);
+  EXPECT_EQ(seconds_to_sim(1.5001e-6), 2);
+}
+
+TEST(TimeTest, FormatPicksUnits) {
+  EXPECT_EQ(format_sim_time(usec(12)), "12us");
+  EXPECT_EQ(format_sim_time(msec(12)), "12.000ms");
+  EXPECT_EQ(format_sim_time(sec(2)), "2.000s");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kUnavailable,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(status_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SplitMix64ReferenceVector) {
+  // Reference output of SplitMix64 with seed 1234567 (from the published
+  // reference implementation).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(RngTest, NextBelowNeverReachesBound) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(21);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(31);
+  Rng forked = a.fork();
+  EXPECT_NE(a.next(), forked.next());
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostLikely) {
+  ZipfDistribution zipf(50, 1.0);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+}
+
+TEST(ZipfTest, SampleFrequenciesFollowPmf) {
+  ZipfDistribution zipf(20, 1.2);
+  Rng rng(37);
+  std::unordered_map<std::size_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, zipf.pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[5]) / n, zipf.pmf(5), 0.01);
+}
+
+TEST(BytesTest, Units) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(1), 1024LL * 1024 * 1024);
+  EXPECT_EQ(MB(1), 1'000'000);
+}
+
+TEST(BytesTest, Formatting) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(KiB(2)), "2.00KiB");
+  EXPECT_EQ(format_bytes(MiB(3)), "3.00MiB");
+  EXPECT_EQ(format_bytes(GiB(1)), "1.00GiB");
+}
+
+TEST(TypedIdTest, DefaultIsInvalid) {
+  GpuId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), -1);
+}
+
+TEST(TypedIdTest, ComparisonAndHash) {
+  GpuId a(1), b(1), c(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  std::unordered_map<GpuId, int> map;
+  map[a] = 10;
+  EXPECT_EQ(map[b], 10);
+}
+
+TEST(TypedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<GpuId, ModelId>);
+  static_assert(!std::is_same_v<RequestId, FunctionId>);
+}
+
+}  // namespace
+}  // namespace gfaas

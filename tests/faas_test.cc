@@ -1,0 +1,252 @@
+// Tests for the FaaS framework substrate: Dockerfile flag parsing,
+// function registry CRUD, container pool lifecycle, Watchdog execution
+// with Datastore metrics, and Gateway invocation routing.
+#include <gtest/gtest.h>
+
+#include "datastore/keys.h"
+#include "faas/container.h"
+#include "faas/function.h"
+#include "faas/gateway.h"
+#include "faas/registry.h"
+#include "sim/simulator.h"
+
+namespace gfaas::faas {
+namespace {
+
+Payload double_payload(const Payload& input) {
+  Payload out = input;
+  for (float& v : out.data) v *= 2.f;
+  return out;
+}
+
+FunctionSpec cpu_function(const std::string& name) {
+  FunctionSpec spec;
+  spec.name = name;
+  spec.dockerfile = "FROM gfaas/base\n";
+  spec.handler = [](const Payload& input) -> StatusOr<Payload> {
+    return double_payload(input);
+  };
+  return spec;
+}
+
+FunctionSpec gpu_function(const std::string& name, const std::string& model) {
+  FunctionSpec spec;
+  spec.name = name;
+  spec.dockerfile =
+      "FROM gfaas/base\nENV GPU_ENABLED=1\nENV GFAAS_MODEL=" + model + "\n";
+  return spec;
+}
+
+TEST(DockerfileTest, DetectsGpuFlagVariants) {
+  EXPECT_TRUE(parse_dockerfile("ENV GPU_ENABLED=1").gpu_enabled);
+  EXPECT_TRUE(parse_dockerfile("LABEL gpu.enabled=true").gpu_enabled);
+  EXPECT_TRUE(parse_dockerfile("env gpu_enabled=1").gpu_enabled);  // case-insensitive
+  EXPECT_FALSE(parse_dockerfile("ENV GPU_ENABLED=0").gpu_enabled);
+  EXPECT_FALSE(parse_dockerfile("# ENV GPU_ENABLED=1 (comment)").gpu_enabled);
+  EXPECT_FALSE(parse_dockerfile("").gpu_enabled);
+}
+
+TEST(DockerfileTest, ExtractsModelName) {
+  const DockerfileInfo info =
+      parse_dockerfile("ENV GPU_ENABLED=1\nENV GFAAS_MODEL=resnet50\n");
+  EXPECT_TRUE(info.gpu_enabled);
+  EXPECT_EQ(info.model_name, "resnet50");
+  EXPECT_EQ(parse_dockerfile("ENV GFAAS_MODEL=vgg16.bn").model_name, "vgg16.bn");
+}
+
+TEST(DockerfileTest, IgnoresUnrelatedDirectives) {
+  const DockerfileInfo info = parse_dockerfile(
+      "FROM python:3.10\nRUN pip install torch\nCOPY handler.py .\nCMD [\"run\"]\n");
+  EXPECT_FALSE(info.gpu_enabled);
+  EXPECT_TRUE(info.model_name.empty());
+}
+
+TEST(RegistryTest, CrudLifecycle) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.create(cpu_function("f1")).ok());
+  EXPECT_TRUE(registry.contains("f1"));
+  EXPECT_EQ(registry.create(cpu_function("f1")).code(), StatusCode::kAlreadyExists);
+
+  auto spec = registry.get("f1");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->gpu_enabled);
+
+  FunctionSpec updated = gpu_function("f1", "alexnet");
+  ASSERT_TRUE(registry.update(updated).ok());
+  spec = registry.get("f1");
+  EXPECT_TRUE(spec->gpu_enabled);
+  EXPECT_EQ(spec->model_name, "alexnet");
+
+  EXPECT_TRUE(registry.remove("f1").ok());
+  EXPECT_EQ(registry.remove("f1").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.get("f1").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, GpuFunctionRequiresModel) {
+  FunctionRegistry registry;
+  FunctionSpec spec;
+  spec.name = "gpu-no-model";
+  spec.dockerfile = "ENV GPU_ENABLED=1\n";
+  EXPECT_EQ(registry.create(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, ListsRegisteredNames) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.create(cpu_function("b")).ok());
+  ASSERT_TRUE(registry.create(cpu_function("a")).ok());
+  EXPECT_EQ(registry.list(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ContainerTest, WarmUpPaysColdStartOnce) {
+  Container c("c0", cpu_function("f"));
+  EXPECT_EQ(c.state(), ContainerState::kCold);
+  EXPECT_EQ(c.warm_up(), msec(400));
+  EXPECT_EQ(c.state(), ContainerState::kWarm);
+  EXPECT_EQ(c.warm_up(), 0);
+}
+
+TEST(ContainerPoolTest, ReusesWarmContainers) {
+  ContainerPool pool;
+  const FunctionSpec spec = cpu_function("f");
+  auto c1 = pool.acquire(spec);
+  ASSERT_TRUE(c1.ok());
+  (*c1)->warm_up();
+  pool.release(*c1);
+  auto c2 = pool.acquire(spec);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c1, *c2);  // same container reused
+  EXPECT_EQ(pool.total_containers(), 1u);
+}
+
+TEST(ContainerPoolTest, ScalesUpWhenBusyAndCaps) {
+  ContainerPool pool(/*max_per_function=*/2);
+  const FunctionSpec spec = cpu_function("f");
+  auto c1 = pool.acquire(spec);
+  ASSERT_TRUE(c1.ok());
+  (*c1)->warm_up();
+  (*c1)->mark_busy();
+  auto c2 = pool.acquire(spec);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  (*c2)->warm_up();
+  (*c2)->mark_busy();
+  EXPECT_EQ(pool.acquire(spec).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ContainerPoolTest, ScaleDownRemovesIdleContainers) {
+  ContainerPool pool(8);
+  const FunctionSpec spec = cpu_function("f");
+  std::vector<Container*> held;
+  for (int i = 0; i < 4; ++i) {
+    auto c = pool.acquire(spec);
+    ASSERT_TRUE(c.ok());
+    (*c)->warm_up();
+    (*c)->mark_busy();
+    held.push_back(*c);
+  }
+  for (auto* c : held) pool.release(c);
+  EXPECT_EQ(pool.warm_count("f"), 4u);
+  EXPECT_EQ(pool.scale_down("f", 1), 3u);
+  EXPECT_EQ(pool.total_containers(), 1u);
+}
+
+TEST(WatchdogTest, ExecutesAndRecordsMetrics) {
+  sim::Simulator sim;
+  datastore::KvStore store(&sim);
+  Watchdog watchdog(&store, &sim);
+  Container container("c0", cpu_function("doubler"));
+  container.warm_up();
+
+  Payload input;
+  input.data = {1.f, 2.f};
+  auto result = watchdog.execute(container, input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FLOAT_EQ(result->output.data[1], 4.f);
+  EXPECT_EQ(result->executed_on, "c0");
+  EXPECT_EQ(container.invocations(), 1);
+
+  EXPECT_TRUE(store.get(datastore::keys::fn_latency("doubler")).ok());
+  EXPECT_EQ(store.get(datastore::keys::fn_invocations("doubler"))->value, "1");
+  ASSERT_TRUE(watchdog.execute(container, input).ok());
+  EXPECT_EQ(store.get(datastore::keys::fn_invocations("doubler"))->value, "2");
+}
+
+TEST(WatchdogTest, PropagatesHandlerFailure) {
+  sim::Simulator sim;
+  datastore::KvStore store(&sim);
+  Watchdog watchdog(&store, &sim);
+  FunctionSpec failing = cpu_function("fails");
+  failing.handler = [](const Payload&) -> StatusOr<Payload> {
+    return Status::Internal("boom");
+  };
+  Container container("c1", failing);
+  container.warm_up();
+  EXPECT_EQ(watchdog.execute(container, {}).status().code(), StatusCode::kInternal);
+  EXPECT_EQ(container.state(), ContainerState::kWarm);  // container survives
+}
+
+TEST(WatchdogTest, MissingHandlerIsPrecondition) {
+  Watchdog watchdog(nullptr, nullptr);
+  FunctionSpec spec;
+  spec.name = "empty";
+  Container container("c2", spec);
+  EXPECT_EQ(watchdog.execute(container, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GatewayTest, InvokesCpuFunctionSynchronously) {
+  sim::Simulator sim;
+  datastore::KvStore store(&sim);
+  Gateway gateway(&store, &sim, /*gpu_backend=*/nullptr);
+  ASSERT_TRUE(gateway.register_function(cpu_function("doubler")).ok());
+
+  Payload input;
+  input.data = {3.f};
+  auto result = gateway.invoke_sync("doubler", input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FLOAT_EQ(result->output.data[0], 6.f);
+  // Cold start charged on the first call.
+  EXPECT_GE(result->latency, msec(400));
+  auto again = gateway.invoke_sync("doubler", input);
+  ASSERT_TRUE(again.ok());
+  EXPECT_LT(again->latency, msec(400));
+}
+
+TEST(GatewayTest, UnknownFunctionFails) {
+  Gateway gateway(nullptr, nullptr, nullptr);
+  EXPECT_EQ(gateway.invoke_sync("ghost", {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GatewayTest, GpuFunctionWithoutBackendUnavailable) {
+  Gateway gateway(nullptr, nullptr, nullptr);
+  ASSERT_TRUE(gateway.register_function(gpu_function("infer", "resnet18")).ok());
+  EXPECT_EQ(gateway.invoke_sync("infer", {}).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(GatewayTest, RoutesGpuFunctionToBackend) {
+  struct RecordingBackend : GpuBackend {
+    void submit(const FunctionSpec& spec, const Payload&,
+                std::function<void(StatusOr<InvocationResult>)> done) override {
+      ++submissions;
+      last_model = spec.model_name;
+      InvocationResult result;
+      result.executed_on = "fake-gpu";
+      done(result);
+    }
+    int submissions = 0;
+    std::string last_model;
+  };
+  RecordingBackend backend;
+  Gateway gateway(nullptr, nullptr, &backend);
+  ASSERT_TRUE(gateway.register_function(gpu_function("infer", "vgg11")).ok());
+  auto result = gateway.invoke_sync("infer", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->executed_on, "fake-gpu");
+  EXPECT_EQ(backend.submissions, 1);
+  EXPECT_EQ(backend.last_model, "vgg11");
+}
+
+}  // namespace
+}  // namespace gfaas::faas

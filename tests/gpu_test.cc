@@ -1,0 +1,294 @@
+// Unit + property tests for the virtual GPU substrate: memory allocator
+// (contiguous and paged, with invariant checks under churn), PCIe link
+// timing/queueing, GPU specs, and the VirtualGpu state machine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/gpu_spec.h"
+#include "gpu/memory_allocator.h"
+#include "gpu/pcie.h"
+#include "gpu/virtual_gpu.h"
+
+namespace gfaas::gpu {
+namespace {
+
+TEST(MemoryAllocatorTest, AllocateAndFree) {
+  MemoryAllocator alloc(MiB(100));
+  auto a = alloc.allocate(MiB(30));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc.used(), MiB(30));
+  EXPECT_EQ(alloc.free_total(), MiB(70));
+  EXPECT_TRUE(alloc.free(*a).ok());
+  EXPECT_EQ(alloc.used(), 0);
+  EXPECT_TRUE(alloc.check_invariants());
+}
+
+TEST(MemoryAllocatorTest, RejectsBadSizes) {
+  MemoryAllocator alloc(MiB(10));
+  EXPECT_EQ(alloc.allocate(0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc.allocate(-5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc.allocate(MiB(11)).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MemoryAllocatorTest, DoubleFreeRejected) {
+  MemoryAllocator alloc(MiB(10));
+  auto a = alloc.allocate(MiB(1));
+  ASSERT_TRUE(alloc.free(*a).ok());
+  EXPECT_EQ(alloc.free(*a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemoryAllocatorTest, FirstFitReusesFreedBlock) {
+  MemoryAllocator alloc(MiB(10));
+  auto a = alloc.allocate(MiB(4));
+  auto b = alloc.allocate(MiB(4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.free(*a).ok());
+  auto c = alloc.allocate(MiB(3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->offset, a->offset);  // reused the hole
+}
+
+TEST(MemoryAllocatorTest, CoalescingMergesNeighbours) {
+  MemoryAllocator alloc(MiB(12));
+  auto a = alloc.allocate(MiB(4));
+  auto b = alloc.allocate(MiB(4));
+  auto c = alloc.allocate(MiB(4));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.free(*a).ok());
+  ASSERT_TRUE(alloc.free(*c).ok());
+  EXPECT_EQ(alloc.largest_free_block(), MiB(4));  // two separate holes
+  ASSERT_TRUE(alloc.free(*b).ok());
+  EXPECT_EQ(alloc.largest_free_block(), MiB(12));  // fully coalesced
+  EXPECT_DOUBLE_EQ(alloc.fragmentation(), 0.0);
+  EXPECT_TRUE(alloc.check_invariants());
+}
+
+TEST(MemoryAllocatorTest, FragmentationObservable) {
+  MemoryAllocator alloc(MiB(12));
+  auto a = alloc.allocate(MiB(4));
+  auto b = alloc.allocate(MiB(4));
+  (void)b;
+  auto c = alloc.allocate(MiB(4));
+  ASSERT_TRUE(alloc.free(*a).ok());
+  ASSERT_TRUE(alloc.free(*c).ok());
+  // Contiguous allocation of 8MiB impossible despite 8MiB total free.
+  EXPECT_FALSE(alloc.allocate(MiB(8)).ok());
+  EXPECT_GT(alloc.fragmentation(), 0.0);
+}
+
+TEST(MemoryAllocatorTest, PagedAllocationSpansHoles) {
+  MemoryAllocator alloc(MiB(12));
+  auto a = alloc.allocate(MiB(4));
+  auto b = alloc.allocate(MiB(4));
+  (void)b;
+  auto c = alloc.allocate(MiB(4));
+  ASSERT_TRUE(alloc.free(*a).ok());
+  ASSERT_TRUE(alloc.free(*c).ok());
+  // Paged allocation succeeds where contiguous failed.
+  auto paged = alloc.allocate_paged(MiB(8));
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->total, MiB(8));
+  EXPECT_EQ(paged->extents.size(), 2u);
+  EXPECT_EQ(alloc.free_total(), 0);
+  EXPECT_TRUE(alloc.free_paged(*paged).ok());
+  EXPECT_EQ(alloc.free_total(), MiB(8));
+  EXPECT_TRUE(alloc.check_invariants());
+}
+
+TEST(MemoryAllocatorTest, PagedRejectsOverCapacity) {
+  MemoryAllocator alloc(MiB(4));
+  EXPECT_EQ(alloc.allocate_paged(MiB(5)).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(alloc.allocate_paged(0).ok());
+}
+
+// Property test: random alloc/free churn never violates invariants and
+// never leaks, across seeds.
+class AllocatorChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorChurnTest, InvariantsHoldUnderChurn) {
+  Rng rng(GetParam());
+  MemoryAllocator alloc(MiB(64));
+  std::vector<PagedAllocation> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.uniform() < 0.55) {
+      const Bytes size = MiB(static_cast<std::int64_t>(rng.uniform_int(1, 12)));
+      auto paged = alloc.allocate_paged(size);
+      if (paged.ok()) {
+        live.push_back(*paged);
+      } else {
+        EXPECT_GT(size, alloc.free_total());  // only legitimate failure
+      }
+    } else {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      ASSERT_TRUE(alloc.free_paged(live[idx]).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(alloc.check_invariants()) << "step " << step;
+  }
+  for (const auto& paged : live) ASSERT_TRUE(alloc.free_paged(paged).ok());
+  EXPECT_EQ(alloc.used(), 0);
+  EXPECT_EQ(alloc.largest_free_block(), MiB(64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurnTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(PcieLinkTest, TransferDurationFromBandwidth) {
+  PcieLink link(/*GB/s=*/10.0, /*latency=*/usec(20));
+  // 10 GB/s = 10000 bytes/µs; 1 MB decimal = 100 µs + 20 latency.
+  EXPECT_EQ(link.transfer_duration(1'000'000), 120);
+  EXPECT_EQ(link.transfer_duration(0), 20);
+}
+
+TEST(PcieLinkTest, ReservationsQueueBackToBack) {
+  PcieLink link(10.0, usec(0));
+  const TransferTiming t1 = link.reserve(0, 1'000'000);    // [0, 100]
+  const TransferTiming t2 = link.reserve(50, 1'000'000);   // queued: [100, 200]
+  const TransferTiming t3 = link.reserve(500, 1'000'000);  // idle gap: [500, 600]
+  EXPECT_EQ(t1.start, 0);
+  EXPECT_EQ(t1.end, 100);
+  EXPECT_EQ(t2.start, 100);
+  EXPECT_EQ(t2.end, 200);
+  EXPECT_EQ(t3.start, 500);
+  EXPECT_EQ(link.transfers_completed(), 3);
+  EXPECT_EQ(link.bytes_transferred(), 3'000'000);
+}
+
+TEST(GpuSpecTest, PresetsAreOrdered) {
+  const GpuSpec base = rtx2080();
+  const GpuSpec ti = rtx2080ti();
+  const GpuSpec a100 = a100_like();
+  EXPECT_LT(base.memory_capacity, ti.memory_capacity);
+  EXPECT_LT(ti.memory_capacity, a100.memory_capacity);
+  EXPECT_GT(base.infer_time_scale, ti.infer_time_scale);
+  EXPECT_GT(ti.infer_time_scale, a100.infer_time_scale);
+  EXPECT_EQ(base.sm_count, 46);
+}
+
+class VirtualGpuTest : public ::testing::Test {
+ protected:
+  VirtualGpuTest() : link_(12.6, usec(20)), gpu_(GpuId(0), rtx2080(), &link_) {}
+
+  PcieLink link_;
+  VirtualGpu gpu_;
+};
+
+TEST_F(VirtualGpuTest, CreateProcessAllocatesMemory) {
+  auto pid = gpu_.create_process(ModelId(1), MB(1701));
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(gpu_.has_model(ModelId(1)));
+  EXPECT_EQ(gpu_.free_memory(), gpu_.memory_capacity() - MB(1701));
+  EXPECT_EQ(gpu_.process_count(), 1u);
+}
+
+TEST_F(VirtualGpuTest, DuplicateModelProcessRejected) {
+  ASSERT_TRUE(gpu_.create_process(ModelId(1), MB(100)).ok());
+  EXPECT_EQ(gpu_.create_process(ModelId(1), MB(100)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(VirtualGpuTest, OutOfMemoryRejected) {
+  ASSERT_TRUE(gpu_.create_process(ModelId(1), GiB(7)).ok());
+  EXPECT_EQ(gpu_.create_process(ModelId(2), GiB(4)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(VirtualGpuTest, KillProcessFreesMemory) {
+  auto pid = gpu_.create_process(ModelId(1), MB(2000));
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(gpu_.kill_process(*pid).ok());
+  EXPECT_FALSE(gpu_.has_model(ModelId(1)));
+  EXPECT_EQ(gpu_.free_memory(), gpu_.memory_capacity());
+  EXPECT_EQ(gpu_.counters().evictions, 1);
+  EXPECT_EQ(gpu_.kill_process(*pid).code(), StatusCode::kNotFound);
+}
+
+TEST_F(VirtualGpuTest, LoadTheInferLifecycle) {
+  auto pid = gpu_.create_process(ModelId(5), MB(1701));
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(gpu_.phase(), GpuPhase::kIdle);
+
+  auto load_end = gpu_.begin_load(0, *pid, seconds_to_sim(2.67));
+  ASSERT_TRUE(load_end.ok());
+  EXPECT_GE(*load_end, seconds_to_sim(2.67));  // profiled time dominates
+  EXPECT_EQ(gpu_.phase(), GpuPhase::kLoading);
+  EXPECT_TRUE(gpu_.is_busy());
+  EXPECT_EQ(gpu_.busy_until(), *load_end);
+
+  // Cannot run inference before the load finishes.
+  EXPECT_EQ(gpu_.begin_inference(*load_end, *pid, sec(1), 32).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(gpu_.finish_load(*load_end, *pid).ok());
+  EXPECT_EQ(gpu_.phase(), GpuPhase::kIdle);
+
+  auto infer_end = gpu_.begin_inference(*load_end, *pid, seconds_to_sim(1.28), 32);
+  ASSERT_TRUE(infer_end.ok());
+  EXPECT_EQ(*infer_end, *load_end + seconds_to_sim(1.28));
+  EXPECT_EQ(gpu_.phase(), GpuPhase::kInferring);
+  ASSERT_TRUE(gpu_.finish_inference(*infer_end, *pid).ok());
+  EXPECT_EQ(gpu_.phase(), GpuPhase::kIdle);
+  EXPECT_EQ(gpu_.counters().loads, 1);
+  EXPECT_EQ(gpu_.counters().inferences, 1);
+}
+
+TEST_F(VirtualGpuTest, BusyGpuRejectsConcurrentWork) {
+  auto p1 = gpu_.create_process(ModelId(1), MB(100));
+  auto p2 = gpu_.create_process(ModelId(2), MB(100));
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(gpu_.begin_load(0, *p1, sec(1)).ok());
+  EXPECT_EQ(gpu_.begin_load(0, *p2, sec(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VirtualGpuTest, MismatchedPhaseTransitionsRejected) {
+  auto pid = gpu_.create_process(ModelId(1), MB(100));
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(gpu_.finish_load(0, *pid).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(gpu_.finish_inference(0, *pid).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(gpu_.begin_load(0, ProcessId(999), sec(1)).ok());
+}
+
+TEST_F(VirtualGpuTest, SmUtilizationIntegratesOccupancy) {
+  auto pid = gpu_.create_process(ModelId(1), MB(100));
+  ASSERT_TRUE(pid.ok());
+  auto load_end = gpu_.begin_load(0, *pid, sec(1));
+  ASSERT_TRUE(load_end.ok());
+  ASSERT_TRUE(gpu_.finish_load(*load_end, *pid).ok());
+  auto infer_end = gpu_.begin_inference(*load_end, *pid, sec(1), 46);
+  ASSERT_TRUE(infer_end.ok());
+  ASSERT_TRUE(gpu_.finish_inference(*infer_end, *pid).ok());
+  // Roughly: occupancy 1.0 for the inference second, 0 during the load.
+  const double util = gpu_.sm_utilization(*infer_end);
+  EXPECT_NEAR(util, 0.5, 0.05);
+}
+
+TEST_F(VirtualGpuTest, SharedLinkCreatesContention) {
+  PcieLink shared(12.6, usec(0));
+  VirtualGpu g0(GpuId(0), rtx2080(), &shared);
+  VirtualGpu g1(GpuId(1), rtx2080(), &shared);
+  auto p0 = g0.create_process(ModelId(1), MB(1000));
+  auto p1 = g1.create_process(ModelId(2), MB(1000));
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  auto end0 = g0.begin_load(0, *p0, msec(10));
+  auto end1 = g1.begin_load(0, *p1, msec(10));
+  ASSERT_TRUE(end0.ok() && end1.ok());
+  // g1's transfer queues behind g0's on the shared link.
+  EXPECT_GT(*end1, *end0);
+}
+
+TEST_F(VirtualGpuTest, ProcessesListedInCreationOrder) {
+  ASSERT_TRUE(gpu_.create_process(ModelId(3), MB(100)).ok());
+  ASSERT_TRUE(gpu_.create_process(ModelId(1), MB(100)).ok());
+  const auto procs = gpu_.processes();
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0].model, ModelId(3));
+  EXPECT_EQ(procs[1].model, ModelId(1));
+}
+
+}  // namespace
+}  // namespace gfaas::gpu

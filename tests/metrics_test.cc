@@ -1,0 +1,168 @@
+// Unit tests for metrics: Welford statistics (against naive reference),
+// merge correctness, histogram quantiles, time-weighted averages, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/reporter.h"
+#include "metrics/stats.h"
+
+namespace gfaas::metrics {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, MatchesNaiveComputation) {
+  Rng rng(5);
+  std::vector<double> values;
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-50, 150);
+    values.push_back(v);
+    s.add(v);
+  }
+  double sum = 0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), ss / static_cast<double>(values.size()), 1e-6);
+  EXPECT_NEAR(s.sample_variance(), ss / static_cast<double>(values.size() - 1), 1e-6);
+  EXPECT_NEAR(s.stddev(), std::sqrt(s.variance()), 1e-12);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSequential) {
+  Rng rng(6);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(3, 2);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.add(1);
+  a.add(2);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(StreamingStatsTest, ResetClears) {
+  StreamingStats s;
+  s.add(9);
+  s.reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Histogram h(1.0, 1e7);
+  for (int i = 1; i <= 10000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 10000);
+  EXPECT_NEAR(h.p50(), 5000, 5000 * 0.06);
+  EXPECT_NEAR(h.p99(), 9900, 9900 * 0.06);
+  EXPECT_NEAR(h.quantile(0.1), 1000, 1000 * 0.08);
+}
+
+TEST(HistogramTest, SingleValueQuantile) {
+  Histogram h;
+  h.add(12345.0);
+  EXPECT_NEAR(h.p50(), 12345.0, 12345.0 * 0.05);
+  EXPECT_NEAR(h.p99(), 12345.0, 12345.0 * 0.05);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(10.0, 1000.0);
+  h.add(0.001);   // below range
+  h.add(1e9);     // above range
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GT(h.quantile(0.9), h.quantile(0.1));
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(1, 1e6), b(1, 1e6);
+  for (int i = 0; i < 100; ++i) a.add(100);
+  for (int i = 0; i < 100; ++i) b.add(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200);
+  const double median = a.quantile(0.5);
+  EXPECT_GT(median, 50);
+  EXPECT_LT(median, 20000);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+}
+
+TEST(TimeWeightedAverageTest, ConstantSignal) {
+  TimeWeightedAverage twa(3.0);
+  EXPECT_DOUBLE_EQ(twa.average(100), 3.0);
+}
+
+TEST(TimeWeightedAverageTest, StepSignal) {
+  TimeWeightedAverage twa(0.0);
+  twa.set(50, 1.0);  // 0 for [0,50), 1 for [50,100)
+  EXPECT_DOUBLE_EQ(twa.average(100), 0.5);
+}
+
+TEST(TimeWeightedAverageTest, MultipleSteps) {
+  TimeWeightedAverage twa(2.0);
+  twa.set(10, 4.0);
+  twa.set(30, 0.0);
+  // [0,10): 2 -> 20; [10,30): 4 -> 80; [30,50): 0 -> 0; total 100 / 50.
+  EXPECT_DOUBLE_EQ(twa.average(50), 2.0);
+  EXPECT_DOUBLE_EQ(twa.current(), 0.0);
+}
+
+TEST(TimeWeightedAverageTest, AverageAtZeroReturnsCurrent) {
+  TimeWeightedAverage twa(7.0);
+  EXPECT_DOUBLE_EQ(twa.average(0), 7.0);
+}
+
+TEST(TableTest, AlignsColumnsAndRendersCsv) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\na,1\nlong-name,22\n");
+}
+
+TEST(TableTest, NumericFormatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_percent(0.1234), "12.3%");
+}
+
+}  // namespace
+}  // namespace gfaas::metrics

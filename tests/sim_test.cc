@@ -1,0 +1,151 @@
+// Unit tests for the discrete-event simulator: ordering, FIFO tie-breaks,
+// cancellation, run_until semantics, nested scheduling, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace gfaas::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(SimulatorTest, NestedSchedulingChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(10, chain);
+  };
+  sim.schedule_after(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelUnknownOrTwiceFails) {
+  Simulator sim;
+  const auto id = sim.schedule_at(10, [] {});
+  EXPECT_FALSE(sim.cancel(9999));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+}
+
+TEST(SimulatorTest, CancelAfterExecutionFails) {
+  Simulator sim;
+  const auto id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(10, [&] { fired.push_back(10); });
+  sim.schedule_at(20, [&] { fired.push_back(20); });
+  sim.schedule_at(30, [&] { fired.push_back(30); });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulatorTest, StepRunsSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, PendingCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(1, [] {});
+  const auto id = sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at((i * 7) % 13, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorTest, ExecutorInterfaceWorksPolymorphically) {
+  Simulator sim;
+  Executor& exec = sim;
+  bool ran = false;
+  exec.schedule_after(5, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(static_cast<const Clock&>(sim).now(), 5);
+}
+
+}  // namespace
+}  // namespace gfaas::sim

@@ -1,0 +1,180 @@
+// Tests for multi-tenancy isolation (§VI): token-bucket rate limiting,
+// concurrent execution caps, GPU-time share enforcement over the sliding
+// window, and memory budgets.
+#include <gtest/gtest.h>
+
+#include "faas/gateway.h"
+#include "faas/tenancy.h"
+#include "sim/simulator.h"
+
+namespace gfaas::faas {
+namespace {
+
+TEST(TokenBucketTest, StartsFullAndDrains) {
+  TokenBucket bucket(3, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_FALSE(bucket.try_acquire(0));
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(2, 1.0);  // 1 token/s
+  ASSERT_TRUE(bucket.try_acquire(0));
+  ASSERT_TRUE(bucket.try_acquire(0));
+  EXPECT_FALSE(bucket.try_acquire(msec(500)));
+  EXPECT_TRUE(bucket.try_acquire(sec(1)));
+  EXPECT_FALSE(bucket.try_acquire(sec(1)));
+}
+
+TEST(TokenBucketTest, RefillCapsAtCapacity) {
+  TokenBucket bucket(2, 10.0);
+  ASSERT_TRUE(bucket.try_acquire(0));
+  // After 100s the bucket holds at most 2 tokens, not 1000.
+  EXPECT_NEAR(bucket.available(sec(100)), 2.0, 1e-9);
+}
+
+TEST(TenantManagerTest, RegistrationValidation) {
+  TenantManager manager(12);
+  EXPECT_TRUE(manager.register_tenant("acme", {}).ok());
+  EXPECT_EQ(manager.register_tenant("acme", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(manager.register_tenant("", {}).code(), StatusCode::kInvalidArgument);
+  TenantQuota bad;
+  bad.gpu_time_share = 1.5;
+  EXPECT_EQ(manager.register_tenant("bad", bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(manager.known("acme"));
+  EXPECT_FALSE(manager.known("ghost"));
+}
+
+TEST(TenantManagerTest, UnknownTenantRejected) {
+  TenantManager manager(12);
+  EXPECT_EQ(manager.admit("ghost", 0).code(), StatusCode::kNotFound);
+}
+
+TEST(TenantManagerTest, RateLimitRejectsBurstOverflow) {
+  TenantManager manager(12);
+  TenantQuota quota;
+  quota.requests_per_sec = 1.0;
+  quota.burst = 2.0;
+  quota.max_concurrent_executions = 100;
+  ASSERT_TRUE(manager.register_tenant("t", quota).ok());
+  EXPECT_TRUE(manager.admit("t", 0).ok());
+  EXPECT_TRUE(manager.admit("t", 0).ok());
+  EXPECT_EQ(manager.admit("t", 0).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(manager.admit("t", sec(2)).ok());  // refilled
+  EXPECT_EQ(manager.usage("t").admitted, 3);
+  EXPECT_EQ(manager.usage("t").rejected, 1);
+}
+
+TEST(TenantManagerTest, ConcurrencyCapEnforced) {
+  // Paper: "limiting the number of GPU processes that each tenant can use".
+  TenantManager manager(12);
+  TenantQuota quota;
+  quota.max_concurrent_executions = 2;
+  quota.requests_per_sec = 1000;
+  quota.burst = 1000;
+  ASSERT_TRUE(manager.register_tenant("t", quota).ok());
+  ASSERT_TRUE(manager.admit("t", 0).ok());
+  manager.on_dispatch("t");
+  ASSERT_TRUE(manager.admit("t", 0).ok());
+  manager.on_dispatch("t");
+  EXPECT_EQ(manager.admit("t", 0).code(), StatusCode::kResourceExhausted);
+  manager.on_complete("t", sec(1), sec(1));
+  EXPECT_TRUE(manager.admit("t", sec(1)).ok());
+}
+
+TEST(TenantManagerTest, GpuTimeShareEnforcedOverWindow) {
+  // Paper: "limiting the GPU time share ... that a tenant can use".
+  TenantManager manager(/*total_gpus=*/2, /*window=*/sec(10));
+  TenantQuota quota;
+  quota.gpu_time_share = 0.25;  // 0.25 * 2 GPUs * 10s = 5s per window
+  quota.requests_per_sec = 1000;
+  quota.burst = 1000;
+  quota.max_concurrent_executions = 100;
+  ASSERT_TRUE(manager.register_tenant("greedy", quota).ok());
+
+  ASSERT_TRUE(manager.admit("greedy", sec(1)).ok());
+  manager.on_dispatch("greedy");
+  manager.on_complete("greedy", sec(2), sec(6));  // consumed 6s > 5s allowed
+  EXPECT_EQ(manager.admit("greedy", sec(3)).code(), StatusCode::kResourceExhausted);
+  // Window rolls: usage resets.
+  EXPECT_TRUE(manager.admit("greedy", sec(12)).ok());
+  EXPECT_EQ(manager.usage("greedy").gpu_time_in_window, 0);
+}
+
+TEST(TenantManagerTest, MemoryBudget) {
+  TenantManager manager(12);
+  TenantQuota quota;
+  quota.memory_budget = MB(4000);
+  ASSERT_TRUE(manager.register_tenant("t", quota).ok());
+  EXPECT_TRUE(manager.charge_memory("t", MB(3000)).ok());
+  EXPECT_EQ(manager.charge_memory("t", MB(2000)).code(),
+            StatusCode::kResourceExhausted);
+  manager.release_memory("t", MB(3000));
+  EXPECT_TRUE(manager.charge_memory("t", MB(2000)).ok());
+  EXPECT_EQ(manager.usage("t").resident_memory, MB(2000));
+}
+
+TEST(TenantManagerTest, UnlimitedMemoryWhenBudgetZero) {
+  TenantManager manager(12);
+  ASSERT_TRUE(manager.register_tenant("t", {}).ok());
+  EXPECT_TRUE(manager.charge_memory("t", GiB(100)).ok());
+}
+
+TEST(GatewayTenancyTest, EnforcesAdmissionOnInvoke) {
+  sim::Simulator sim;
+  datastore::KvStore store(&sim);
+  Gateway gateway(&store, &sim, /*gpu_backend=*/nullptr);
+  TenantManager tenants(/*total_gpus=*/12);
+  TenantQuota quota;
+  quota.requests_per_sec = 1.0;
+  quota.burst = 1.0;
+  ASSERT_TRUE(tenants.register_tenant("acme", quota).ok());
+  gateway.set_tenant_manager(&tenants);
+
+  FunctionSpec spec;
+  spec.name = "echo";
+  spec.dockerfile = "FROM gfaas/base\n";
+  spec.handler = [](const Payload& p) -> StatusOr<Payload> { return p; };
+  ASSERT_TRUE(gateway.register_function(spec).ok());
+
+  // First call admitted; second rate-limited; unknown tenant rejected.
+  EXPECT_TRUE(gateway.invoke_sync("echo", {}, "acme").ok());
+  EXPECT_EQ(gateway.invoke_sync("echo", {}, "acme").status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(gateway.invoke_sync("echo", {}, "ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tenants.usage("acme").admitted, 1);
+  EXPECT_EQ(tenants.usage("acme").rejected, 1);
+  // Execution accounting was bracketed: nothing left in flight.
+  EXPECT_EQ(tenants.usage("acme").concurrent_executions, 0);
+}
+
+TEST(GatewayTenancyTest, NoManagerMeansOpenAccess) {
+  sim::Simulator sim;
+  datastore::KvStore store(&sim);
+  Gateway gateway(&store, &sim, nullptr);
+  FunctionSpec spec;
+  spec.name = "echo";
+  spec.dockerfile = "FROM gfaas/base\n";
+  spec.handler = [](const Payload& p) -> StatusOr<Payload> { return p; };
+  ASSERT_TRUE(gateway.register_function(spec).ok());
+  EXPECT_TRUE(gateway.invoke_sync("echo", {}).ok());
+  EXPECT_TRUE(gateway.invoke_sync("echo", {}, "anyone").ok());
+}
+
+TEST(TenantManagerTest, TenantsAreIsolated) {
+  TenantManager manager(12);
+  TenantQuota tight;
+  tight.requests_per_sec = 1;
+  tight.burst = 1;
+  ASSERT_TRUE(manager.register_tenant("tight", tight).ok());
+  ASSERT_TRUE(manager.register_tenant("roomy", {}).ok());
+  ASSERT_TRUE(manager.admit("tight", 0).ok());
+  EXPECT_FALSE(manager.admit("tight", 0).ok());
+  // The other tenant is unaffected by tight's exhaustion.
+  EXPECT_TRUE(manager.admit("roomy", 0).ok());
+}
+
+}  // namespace
+}  // namespace gfaas::faas

@@ -1,0 +1,362 @@
+// Unit tests for the tensor/inference engine: tensor mechanics, layer
+// forward passes against hand-computed references, architecture builders
+// for every Table I family, and the synthetic datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/dataset.h"
+#include "tensor/model_builder.h"
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+
+namespace gfaas::tensor {
+namespace {
+
+TEST(TensorTest, ShapeAndNumel) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_EQ(t.ndim(), 4u);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.byte_size(), 480);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(TensorTest, FactoryFills) {
+  EXPECT_FLOAT_EQ(Tensor::zeros({3})[0], 0.f);
+  EXPECT_FLOAT_EQ(Tensor::ones({3})[2], 1.f);
+  EXPECT_FLOAT_EQ(Tensor::full({2}, 7.5f)[1], 7.5f);
+}
+
+TEST(TensorTest, At4RowMajorLayout) {
+  Tensor t({1, 2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) t[i] = static_cast<float>(i);
+  EXPECT_FLOAT_EQ(t.at4(0, 0, 0, 0), 0.f);
+  EXPECT_FLOAT_EQ(t.at4(0, 0, 0, 1), 1.f);
+  EXPECT_FLOAT_EQ(t.at4(0, 0, 1, 0), 2.f);
+  EXPECT_FLOAT_EQ(t.at4(0, 1, 0, 0), 4.f);
+  EXPECT_FLOAT_EQ(t.at4(0, 1, 1, 1), 7.f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_FLOAT_EQ(r.at2(2, 1), 6.f);
+  EXPECT_EQ(r.numel(), t.numel());
+}
+
+TEST(TensorTest, ElementwiseOpsAndReductions) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[2], 33.f);
+  a.mul_(2.f);
+  EXPECT_FLOAT_EQ(a[0], 22.f);
+  EXPECT_FLOAT_EQ(a.sum(), 22 + 44 + 66);
+  EXPECT_FLOAT_EQ(a.max(), 66.f);
+  EXPECT_EQ(a.argmax(), 2);
+}
+
+TEST(TensorTest, AllcloseDetectsDifferences) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f, 2.0f + 1e-7f});
+  Tensor c({2}, {1.0f, 2.1f});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(c));
+  EXPECT_FALSE(a.allclose(Tensor({1}, {1.0f})));
+}
+
+TEST(TensorTest, RandomInitsAreDeterministic) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::kaiming_uniform({4, 4}, 4, r1);
+  Tensor b = Tensor::kaiming_uniform({4, 4}, 4, r2);
+  EXPECT_TRUE(a.allclose(b, 0.f));
+}
+
+// --- layer references ---
+
+TEST(NnTest, Conv2dIdentityKernel) {
+  // A 1x1 conv with weight 1 must reproduce its input.
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, 0, rng);
+  // Rebuild with explicit weights via a 3x3 input trick: use kaiming conv
+  // on a known input and compare against direct computation instead.
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = conv.forward(input);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+}
+
+TEST(NnTest, Conv2dManualReference) {
+  // Single 2x2 kernel, stride 1, no padding over a 3x3 input: verify the
+  // full convolution arithmetic with a weight extracted by probing.
+  Rng rng(2);
+  Conv2d conv(1, 1, 2, 1, 0, rng);
+  // Probe kernel weights with unit impulses.
+  float w[2][2];
+  for (int ky = 0; ky < 2; ++ky) {
+    for (int kx = 0; kx < 2; ++kx) {
+      Tensor impulse({1, 1, 2, 2});
+      impulse.at4(0, 0, ky, kx) = 1.f;
+      w[ky][kx] = conv.forward(impulse).at4(0, 0, 0, 0);
+    }
+  }
+  Tensor input({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor out = conv.forward(input);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  for (int oy = 0; oy < 2; ++oy) {
+    for (int ox = 0; ox < 2; ++ox) {
+      float expect = 0;
+      for (int ky = 0; ky < 2; ++ky) {
+        for (int kx = 0; kx < 2; ++kx) {
+          expect += w[ky][kx] * input.at4(0, 0, oy + ky, ox + kx);
+        }
+      }
+      EXPECT_NEAR(out.at4(0, 0, oy, ox), expect, 1e-4f);
+    }
+  }
+}
+
+TEST(NnTest, Conv2dStrideAndPaddingShapes) {
+  Rng rng(3);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  Tensor input({2, 3, 16, 16});
+  const Tensor out = conv.forward(input);
+  EXPECT_EQ(out.shape(), (Shape{2, 8, 8, 8}));
+  EXPECT_EQ(conv.parameter_count(), 8 * 3 * 3 * 3 + 8);
+}
+
+TEST(NnTest, ReluClampsNegatives) {
+  ReLU relu;
+  Tensor x({4}, {-2, -0.5f, 0, 3});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 0.f);
+  EXPECT_FLOAT_EQ(y[3], 3.f);
+}
+
+TEST(NnTest, MaxPoolPicksWindowMax) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 5.f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 7.f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 13.f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 15.f);
+}
+
+TEST(NnTest, AdaptiveAvgPoolGlobalMean) {
+  AdaptiveAvgPool2d pool;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), 25.f);
+}
+
+TEST(NnTest, LinearManualReference) {
+  Rng rng(4);
+  Linear fc(3, 2, rng);
+  // Probe weights and bias.
+  Tensor zero({1, 3});
+  const Tensor bias = fc.forward(zero);
+  float w[2][3];
+  for (int i = 0; i < 3; ++i) {
+    Tensor e({1, 3});
+    e.at2(0, i) = 1.f;
+    const Tensor col = fc.forward(e);
+    for (int o = 0; o < 2; ++o) w[o][i] = col.at2(0, o) - bias.at2(0, o);
+  }
+  Tensor x({1, 3}, {0.5f, -1.f, 2.f});
+  const Tensor y = fc.forward(x);
+  for (int o = 0; o < 2; ++o) {
+    const float expect =
+        bias.at2(0, o) + 0.5f * w[o][0] - 1.f * w[o][1] + 2.f * w[o][2];
+    EXPECT_NEAR(y.at2(0, o), expect, 1e-4f);
+  }
+  EXPECT_EQ(fc.parameter_count(), 3 * 2 + 2);
+}
+
+TEST(NnTest, BatchNormNormalizesWithRunningStats) {
+  Rng rng(6);
+  BatchNorm2d bn(4, rng);
+  Tensor x({2, 4, 3, 3});
+  Rng data_rng(7);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(data_rng.normal());
+  }
+  const Tensor y = bn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // Affine transform: distinct inputs stay distinct.
+  EXPECT_FALSE(y.allclose(x));
+  EXPECT_EQ(bn.parameter_count(), 16);
+}
+
+TEST(NnTest, FlattenShape) {
+  Flatten flatten;
+  Tensor x({2, 3, 4, 4});
+  EXPECT_EQ(flatten.forward(x).shape(), (Shape{2, 48}));
+}
+
+TEST(NnTest, SoftmaxRowsSumToOne) {
+  Softmax softmax;
+  Tensor x({2, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 2, 3});
+  const Tensor y = softmax.forward(x);
+  for (int r = 0; r < 2; ++r) {
+    float total = 0;
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_GT(y.at2(r, c), 0.f);
+      total += y.at2(r, c);
+    }
+    EXPECT_NEAR(total, 1.f, 1e-5f);
+  }
+  // Largest logit gets the largest probability.
+  EXPECT_EQ(Tensor({1, 5}, {y.at2(0, 0), y.at2(0, 1), y.at2(0, 2), y.at2(0, 3),
+                            y.at2(0, 4)})
+                .argmax(),
+            4);
+}
+
+TEST(NnTest, SoftmaxNumericallyStableForLargeLogits) {
+  Softmax softmax;
+  Tensor x({1, 3}, {1000.f, 1001.f, 1002.f});
+  const Tensor y = softmax.forward(x);
+  float total = 0;
+  for (int c = 0; c < 3; ++c) total += y.at2(0, c);
+  EXPECT_NEAR(total, 1.f, 1e-5f);
+}
+
+TEST(NnTest, SequentialComposes) {
+  Rng rng(8);
+  Sequential seq;
+  seq.push_back(std::make_shared<Flatten>());
+  seq.push_back(std::make_shared<Linear>(16, 4, rng));
+  seq.push_back(std::make_shared<Softmax>());
+  Tensor x({3, 1, 4, 4});
+  const Tensor y = seq.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 4}));
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.parameter_count(), 16 * 4 + 4);
+}
+
+TEST(NnTest, ResidualBlockIdentityShapeAndDownsample) {
+  Rng rng(9);
+  ResidualBlock same(8, 8, 1, rng);
+  Tensor x({1, 8, 8, 8});
+  EXPECT_EQ(same.forward(x).shape(), (Shape{1, 8, 8, 8}));
+
+  ResidualBlock down(8, 16, 2, rng);
+  EXPECT_EQ(down.forward(x).shape(), (Shape{1, 16, 4, 4}));
+  EXPECT_GT(down.parameter_count(), same.parameter_count());
+}
+
+TEST(NnTest, ResidualOutputNonNegative) {
+  Rng rng(10);
+  ResidualBlock block(4, 4, 1, rng);
+  Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+  const Tensor y = block.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_GE(y[i], 0.f);
+}
+
+// --- architecture builders ---
+
+class BuilderTest : public ::testing::TestWithParam<CnnFamily> {};
+
+TEST_P(BuilderTest, BuildsAndRunsForwardPass) {
+  CnnConfig config;
+  config.family = GetParam();
+  config.depth = 2;
+  config.width = 4;
+  config.num_classes = 10;
+  config.seed = 11;
+  const ModulePtr net = build_cnn(config);
+  ASSERT_NE(net, nullptr);
+  Tensor x({2, 3, 32, 32});
+  Rng rng(12);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+  }
+  const Tensor y = net->forward(x);
+  ASSERT_EQ(y.shape(), (Shape{2, 10}));
+  for (int r = 0; r < 2; ++r) {
+    float total = 0;
+    for (int c = 0; c < 10; ++c) total += y.at2(r, c);
+    EXPECT_NEAR(total, 1.f, 1e-4f);
+  }
+  EXPECT_GT(net->parameter_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, BuilderTest,
+    ::testing::Values(CnnFamily::kSqueezeNet, CnnFamily::kResNet, CnnFamily::kAlexNet,
+                      CnnFamily::kResNeXt, CnnFamily::kDenseNet, CnnFamily::kInception,
+                      CnnFamily::kVgg, CnnFamily::kWideResNet),
+    [](const ::testing::TestParamInfo<CnnFamily>& info) {
+      return family_name(info.param);
+    });
+
+TEST(BuilderTest, DeterministicFromSeed) {
+  CnnConfig config;
+  config.family = CnnFamily::kResNet;
+  config.seed = 99;
+  const ModulePtr a = build_cnn(config);
+  const ModulePtr b = build_cnn(config);
+  Tensor x = Tensor::ones({1, 3, 16, 16});
+  EXPECT_TRUE(a->forward(x).allclose(b->forward(x), 0.f));
+}
+
+TEST(BuilderTest, WideResNetWiderThanResNet) {
+  CnnConfig narrow, wide;
+  narrow.family = CnnFamily::kResNet;
+  wide.family = CnnFamily::kWideResNet;
+  EXPECT_GT(build_cnn(wide)->parameter_count(), build_cnn(narrow)->parameter_count());
+}
+
+// --- datasets ---
+
+TEST(DatasetTest, SpecsMatchPaperDatasets) {
+  const DatasetSpec cifar = dataset_spec(DatasetKind::kCifar10Like);
+  EXPECT_EQ(cifar.channels, 3);
+  EXPECT_EQ(cifar.height, 32);
+  EXPECT_EQ(cifar.num_classes, 10);
+  const DatasetSpec mnist = dataset_spec(DatasetKind::kMnistLike);
+  EXPECT_EQ(mnist.channels, 1);
+  EXPECT_EQ(mnist.height, 28);
+  const DatasetSpec hym = dataset_spec(DatasetKind::kHymenopteraLike);
+  EXPECT_EQ(hym.num_classes, 2);
+  EXPECT_EQ(dataset_name(DatasetKind::kCifar10Like), "cifar10-like");
+}
+
+TEST(DatasetTest, BatchShapeAndLabels) {
+  SyntheticImageDataset data(DatasetKind::kCifar10Like, 3);
+  const Batch batch = data.make_batch(8);
+  EXPECT_EQ(batch.images.shape(), (Shape{8, 3, 32, 32}));
+  ASSERT_EQ(batch.labels.size(), 8u);
+  for (std::int64_t label : batch.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(DatasetTest, ClassesProduceDistinctPatterns) {
+  SyntheticImageDataset data(DatasetKind::kCifar10Like, 4);
+  const Tensor a = data.make_image(0);
+  const Tensor b = data.make_image(5);
+  EXPECT_FALSE(a.allclose(b, 0.2f));
+}
+
+TEST(DatasetTest, ResizeNearestNeighbour) {
+  Tensor img({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor up = SyntheticImageDataset::resize(img, 4, 4);
+  EXPECT_EQ(up.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(up.at4(0, 0, 0, 0), 1.f);
+  EXPECT_FLOAT_EQ(up.at4(0, 0, 3, 3), 4.f);
+  const Tensor down = SyntheticImageDataset::resize(up, 2, 2);
+  EXPECT_TRUE(down.allclose(img));
+}
+
+}  // namespace
+}  // namespace gfaas::tensor

@@ -1,0 +1,261 @@
+// Tests for the trace pipeline: synthesizer calibration against the
+// paper's reported workload statistics, CSV round-tripping, ranking, and
+// the workload builder's normalization / mapping / arrival rules.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "trace/azure_trace.h"
+#include "trace/workload.h"
+
+namespace gfaas::trace {
+namespace {
+
+TEST(SynthesizerTest, ShapeMatchesConfig) {
+  SynthesizerConfig config;
+  config.num_functions = 500;
+  config.minutes = 4;
+  const AzureTrace trace = synthesize_azure_trace(config);
+  EXPECT_EQ(trace.rows.size(), 500u);
+  EXPECT_EQ(trace.minutes, 4);
+  for (const auto& row : trace.rows) {
+    EXPECT_EQ(row.per_minute.size(), 4u);
+  }
+}
+
+TEST(SynthesizerTest, Top15CarriesCalibratedShare) {
+  // The paper's statistic: top-15 functions carry ~56% of invocations.
+  SynthesizerConfig config;
+  const AzureTrace trace = synthesize_azure_trace(config);
+  EXPECT_NEAR(trace.head_share(15, config.minutes), 0.56, 0.03);
+}
+
+TEST(SynthesizerTest, DeepTailFunctionsBelowPaperThreshold) {
+  SynthesizerConfig config;
+  const AzureTrace trace = synthesize_azure_trace(config);
+  const auto ranking = trace.rank_by_popularity(config.minutes);
+  // Far-tail functions each carry < 0.01% of per-minute invocations.
+  const std::size_t deep = ranking[ranking.size() - 10];
+  std::int64_t tail_total = 0, total = 0;
+  for (std::int64_t m = 0; m < config.minutes; ++m) {
+    tail_total += trace.rows[deep].per_minute[static_cast<std::size_t>(m)];
+    total += trace.total_in_minute(m);
+  }
+  EXPECT_LT(static_cast<double>(tail_total) / static_cast<double>(total), 0.0001);
+}
+
+TEST(SynthesizerTest, DeterministicPerSeed) {
+  SynthesizerConfig config;
+  config.num_functions = 100;
+  const AzureTrace a = synthesize_azure_trace(config);
+  const AzureTrace b = synthesize_azure_trace(config);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].per_minute, b.rows[i].per_minute);
+  }
+  config.seed = 99;
+  const AzureTrace c = synthesize_azure_trace(config);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.rows.size() && !any_diff; ++i) {
+    any_diff = a.rows[i].per_minute != c.rows[i].per_minute;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceCsvTest, RoundTrips) {
+  SynthesizerConfig config;
+  config.num_functions = 50;
+  config.minutes = 3;
+  const AzureTrace trace = synthesize_azure_trace(config);
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace_csv(trace, buffer).ok());
+  auto read_back = read_trace_csv(buffer);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->minutes, 3);
+  ASSERT_EQ(read_back->rows.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(read_back->rows[i].function_hash, trace.rows[i].function_hash);
+    EXPECT_EQ(read_back->rows[i].per_minute, trace.rows[i].per_minute);
+  }
+}
+
+TEST(TraceCsvTest, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_FALSE(read_trace_csv(empty).ok());
+  std::stringstream no_minutes("function\n");
+  EXPECT_FALSE(read_trace_csv(no_minutes).ok());
+  std::stringstream ragged("function,m0,m1\nfn0,1\n");
+  EXPECT_FALSE(read_trace_csv(ragged).ok());
+}
+
+TEST(TraceRankingTest, MostPopularFirst) {
+  AzureTrace trace;
+  trace.minutes = 2;
+  trace.rows = {{"a", {1, 1}}, {"b", {50, 50}}, {"c", {10, 10}}};
+  const auto ranking = trace.rank_by_popularity(2);
+  EXPECT_EQ(ranking, (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(trace.total_in_minute(0), 61);
+  EXPECT_NEAR(trace.head_share(1, 2), 50.0 / 61.0, 1e-9);
+}
+
+class WorkloadBuilderTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadBuilderTest, PaperNormalizationRules) {
+  WorkloadConfig config;
+  config.working_set_size = GetParam();
+  auto workload = build_standard_workload(config);
+  ASSERT_TRUE(workload.ok());
+
+  // 6 minutes x 325 requests, exactly.
+  EXPECT_EQ(workload->requests.size(), 6u * 325u);
+  // One distinct registered model (cache item) per working-set function.
+  EXPECT_EQ(workload->registry.size(), GetParam());
+
+  // Each minute holds exactly 325 arrivals, in sorted order.
+  std::vector<std::int64_t> per_minute(6, 0);
+  SimTime prev = 0;
+  std::set<std::int64_t> models_seen;
+  for (const auto& req : workload->requests) {
+    EXPECT_GE(req.arrival, prev);
+    prev = req.arrival;
+    EXPECT_EQ(req.batch, 32);
+    ASSERT_LT(req.arrival, minutes(6));
+    ++per_minute[static_cast<std::size_t>(req.arrival / minutes(1))];
+    models_seen.insert(req.model.value());
+    EXPECT_LT(req.model.value(), static_cast<std::int64_t>(GetParam()));
+  }
+  for (std::int64_t count : per_minute) EXPECT_EQ(count, 325);
+  // The head of the working set must actually receive traffic.
+  EXPECT_GE(models_seen.size(), std::min<std::size_t>(GetParam(), 15u));
+
+  // The top model is the most invoked.
+  EXPECT_TRUE(workload->top_model.valid());
+  EXPECT_GT(workload->invocations_of_top_model, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, WorkloadBuilderTest,
+                         ::testing::Values(15u, 25u, 35u));
+
+TEST(WorkloadBuilderTest, SizesSpreadAcrossWorkingSet) {
+  WorkloadConfig config;
+  config.working_set_size = 15;
+  auto workload = build_standard_workload(config);
+  ASSERT_TRUE(workload.ok());
+  // The size-interleaved mapping must mix small and large models in the
+  // popular head (first five functions span a wide size range).
+  Bytes smallest = GiB(100), largest = 0;
+  for (std::int64_t k = 0; k < 5; ++k) {
+    const Bytes occupation = workload->registry.get(ModelId(k))->occupation;
+    smallest = std::min(smallest, occupation);
+    largest = std::max(largest, occupation);
+  }
+  EXPECT_LT(smallest, MB(1600));
+  EXPECT_GT(largest, MB(3000));
+}
+
+TEST(WorkloadBuilderTest, CatalogReuseBeyond22Models) {
+  WorkloadConfig config;
+  config.working_set_size = 35;
+  auto workload = build_standard_workload(config);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->registry.size(), 35u);
+  // Entries beyond the catalog get disambiguated names and stay distinct
+  // cache items.
+  const auto reused = workload->registry.get(ModelId(25));
+  ASSERT_TRUE(reused.ok());
+  EXPECT_NE(reused->name.find('#'), std::string::npos);
+}
+
+TEST(WorkloadBuilderTest, ValidationErrors) {
+  WorkloadConfig config;
+  config.working_set_size = 0;
+  EXPECT_FALSE(build_standard_workload(config).ok());
+
+  AzureTrace tiny;
+  tiny.minutes = 2;
+  tiny.rows = {{"a", {1, 1}}};
+  WorkloadConfig needs_more;
+  needs_more.working_set_size = 5;
+  EXPECT_FALSE(build_workload(tiny, needs_more).ok());
+
+  WorkloadConfig long_window;
+  long_window.working_set_size = 1;
+  long_window.window_minutes = 10;
+  EXPECT_FALSE(build_workload(tiny, long_window).ok());
+}
+
+class ArrivalProcessTest : public ::testing::TestWithParam<ArrivalProcess> {};
+
+TEST_P(ArrivalProcessTest, PreservesPerMinuteTotalsAndBounds) {
+  WorkloadConfig config;
+  config.working_set_size = 15;
+  config.window_minutes = 3;
+  config.arrivals = GetParam();
+  auto workload = build_standard_workload(config);
+  ASSERT_TRUE(workload.ok());
+  std::vector<std::int64_t> per_minute(3, 0);
+  for (const auto& req : workload->requests) {
+    ASSERT_GE(req.arrival, 0);
+    ASSERT_LT(req.arrival, minutes(3));
+    ++per_minute[static_cast<std::size_t>(req.arrival / minutes(1))];
+  }
+  for (std::int64_t count : per_minute) EXPECT_EQ(count, 325);
+}
+
+TEST_P(ArrivalProcessTest, ArrivalsSorted) {
+  WorkloadConfig config;
+  config.working_set_size = 15;
+  config.window_minutes = 2;
+  config.arrivals = GetParam();
+  auto workload = build_standard_workload(config);
+  ASSERT_TRUE(workload.ok());
+  for (std::size_t i = 1; i < workload->requests.size(); ++i) {
+    EXPECT_LE(workload->requests[i - 1].arrival, workload->requests[i].arrival);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProcesses, ArrivalProcessTest,
+                         ::testing::Values(ArrivalProcess::kUniform,
+                                           ArrivalProcess::kPoisson,
+                                           ArrivalProcess::kBursty),
+                         [](const ::testing::TestParamInfo<ArrivalProcess>& info) {
+                           return arrival_process_name(info.param);
+                         });
+
+TEST(ArrivalProcessTest, BurstyClustersArrivals) {
+  // Bursty arrivals concentrate in a few 2-second windows: the busiest
+  // 10 seconds of a minute must carry far more than uniform's ~1/6 share.
+  WorkloadConfig uniform_config, bursty_config;
+  uniform_config.working_set_size = bursty_config.working_set_size = 15;
+  uniform_config.window_minutes = bursty_config.window_minutes = 1;
+  bursty_config.arrivals = ArrivalProcess::kBursty;
+  auto uniform = build_standard_workload(uniform_config);
+  auto bursty = build_standard_workload(bursty_config);
+  ASSERT_TRUE(uniform.ok() && bursty.ok());
+  auto max_decile = [](const Workload& w) {
+    std::vector<int> deciles(6, 0);
+    for (const auto& req : w.requests) {
+      ++deciles[static_cast<std::size_t>(req.arrival / sec(10))];
+    }
+    return *std::max_element(deciles.begin(), deciles.end());
+  };
+  // ~325/4 requests per 2s burst vs ~54 per 10s decile under uniform.
+  EXPECT_GT(max_decile(*bursty), max_decile(*uniform) * 3 / 2);
+}
+
+TEST(WorkloadBuilderTest, DeterministicFromSeeds) {
+  WorkloadConfig config;
+  config.working_set_size = 15;
+  auto a = build_standard_workload(config);
+  auto b = build_standard_workload(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->requests.size(), b->requests.size());
+  for (std::size_t i = 0; i < a->requests.size(); ++i) {
+    EXPECT_EQ(a->requests[i].arrival, b->requests[i].arrival);
+    EXPECT_EQ(a->requests[i].model, b->requests[i].model);
+  }
+}
+
+}  // namespace
+}  // namespace gfaas::trace
