@@ -6,31 +6,14 @@
 
 #include "cluster/faas_cluster.h"
 #include "datastore/keys.h"
+#include "testing/builders.h"
 #include "trace/workload.h"
 
 namespace gfaas::cluster {
 namespace {
 
-core::Request make_request(std::int64_t id, std::int64_t model, SimTime arrival) {
-  core::Request r;
-  r.id = RequestId(id);
-  r.function = FunctionId(id);
-  r.model = ModelId(model);
-  r.batch = 32;
-  r.arrival = arrival;
-  r.function_name = "fn" + std::to_string(id);
-  return r;
-}
-
-models::ModelRegistry head_registry(int count) {
-  models::ModelRegistry registry;
-  for (int i = 0; i < count; ++i) {
-    EXPECT_TRUE(
-        registry.register_model(models::table1_catalog()[static_cast<std::size_t>(i)])
-            .ok());
-  }
-  return registry;
-}
+using testkit::head_registry;
+using testkit::make_request;
 
 TEST(SimClusterTest, BuildsPaperTopology) {
   ClusterConfig config;  // 3 nodes x 4 GPUs
@@ -300,15 +283,14 @@ TEST(SchedulerEngineTest, PerMinuteSeriesTracksCompletions) {
 }
 
 TEST(FaasClusterTest, GatewayEndToEnd) {
-  ClusterConfig config;
-  config.nodes = 1;
-  config.gpus_per_node = 2;
-  FaasCluster faas_cluster(config, head_registry(2));
+  // ClusterBuilder defaults: 1 node x 2 GPUs.
+  auto built = testkit::ClusterBuilder().models(2).build_faas();
+  FaasCluster& faas_cluster = *built;
 
-  faas::FunctionSpec spec;
-  spec.name = "classify";
-  spec.dockerfile = "ENV GPU_ENABLED=1\nENV GFAAS_MODEL=squeezenet1.1\n";
-  ASSERT_TRUE(faas_cluster.gateway().register_function(spec).ok());
+  ASSERT_TRUE(faas_cluster.gateway()
+                  .register_function(
+                      testkit::gpu_function_spec("classify", "squeezenet1.1"))
+                  .ok());
 
   int completions = 0;
   SimTime first_latency = 0, second_latency = 0;
@@ -336,10 +318,10 @@ TEST(FaasClusterTest, UnknownModelRejectedAtSubmit) {
   config.nodes = 1;
   config.gpus_per_node = 1;
   FaasCluster faas_cluster(config, head_registry(1));
-  faas::FunctionSpec spec;
-  spec.name = "ghost";
-  spec.dockerfile = "ENV GPU_ENABLED=1\nENV GFAAS_MODEL=not-a-model\n";
-  ASSERT_TRUE(faas_cluster.gateway().register_function(spec).ok());
+  ASSERT_TRUE(faas_cluster.gateway()
+                  .register_function(
+                      testkit::gpu_function_spec("ghost", "not-a-model"))
+                  .ok());
   bool called = false;
   faas_cluster.gateway().invoke("ghost", {}, [&](StatusOr<faas::InvocationResult> r) {
     EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
@@ -354,12 +336,10 @@ TEST(FaasClusterTest, CpuAndGpuFunctionsCoexist) {
   config.gpus_per_node = 1;
   FaasCluster faas_cluster(config, head_registry(1));
 
-  faas::FunctionSpec cpu_spec;
-  cpu_spec.name = "plain";
-  cpu_spec.dockerfile = "FROM gfaas/base\n";
-  cpu_spec.handler = [](const faas::Payload& p) -> StatusOr<faas::Payload> {
-    return p;
-  };
+  faas::FunctionSpec cpu_spec = testkit::cpu_function_spec(
+      "plain", [](const faas::Payload& p) -> StatusOr<faas::Payload> {
+        return p;
+      });
   ASSERT_TRUE(faas_cluster.gateway().register_function(cpu_spec).ok());
   auto result = faas_cluster.gateway().invoke_sync("plain", {});
   EXPECT_TRUE(result.ok());

@@ -255,5 +255,106 @@ TEST(TypedIdTest, DistinctTagsAreDistinctTypes) {
   static_assert(!std::is_same_v<RequestId, FunctionId>);
 }
 
+// --- edge cases ---
+
+StatusOr<int> parse_positive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+StatusOr<int> doubled(int v) {
+  auto parsed = parse_positive(v);
+  if (!parsed.ok()) return parsed.status();
+  return *parsed * 2;
+}
+
+TEST(StatusTest, ErrorsPropagateThroughCallChains) {
+  auto good = doubled(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  auto bad = doubled(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.status().message(), "not positive");
+  EXPECT_EQ(bad.status().to_string(), "INVALID_ARGUMENT: not positive");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, ToStringOmitsEmptyMessage) {
+  EXPECT_EQ(Status::Unavailable("").to_string(), "UNAVAILABLE");
+  EXPECT_EQ(Status().to_string(), "OK");
+}
+
+TEST(RngTest, ReseedingReproducesTheStream) {
+  Rng a(0xDEADBEEFULL);
+  // Burn part of the stream, including the cached spare normal.
+  for (int i = 0; i < 100; ++i) a.next();
+  a.normal();
+
+  // A freshly-seeded generator replays the identical stream from the
+  // start, regardless of what any earlier instance consumed.
+  Rng b(0xDEADBEEFULL);
+  Rng c(0xDEADBEEFULL);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(b.next(), c.next());
+  }
+  EXPECT_DOUBLE_EQ(b.normal(), c.normal());
+  EXPECT_DOUBLE_EQ(b.uniform(), c.uniform());
+  EXPECT_EQ(b.next_below(1000), c.next_below(1000));
+}
+
+TEST(RngTest, ForkedStreamsAreReproducible) {
+  Rng a(42);
+  Rng b(42);
+  Rng fork_a = a.fork();
+  Rng fork_b = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork_a.next(), fork_b.next());
+  }
+  // Forking leaves the parents in identical states too.
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(BytesTest, FormattingBoundaries) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(KiB(1) - 1), "1023B");
+  EXPECT_EQ(format_bytes(MiB(1) - 1), "1024.00KiB");
+  EXPECT_EQ(format_bytes(GiB(1) - 1), "1024.00MiB");
+  EXPECT_EQ(format_bytes(-512), "-512B");
+}
+
+TEST(BytesTest, PaperSizesStayDecimal) {
+  // Table I quotes decimal MB; 44MB must not round through MiB.
+  EXPECT_EQ(MB(44), 44'000'000);
+  EXPECT_EQ(format_bytes(MB(44)), "41.96MiB");
+}
+
+TEST(TimeTest, FormatBoundariesAndNegatives) {
+  EXPECT_EQ(format_sim_time(0), "0us");
+  EXPECT_EQ(format_sim_time(999), "999us");
+  EXPECT_EQ(format_sim_time(1000), "1.000ms");
+  EXPECT_EQ(format_sim_time(msec(1000)), "1.000s");
+  EXPECT_EQ(format_sim_time(-msec(5)), "-5.000ms");
+  EXPECT_EQ(format_sim_time(-sec(2)), "-2.000s");
+}
+
+TEST(TimeTest, NegativeSecondsConversionRoundTrips) {
+  EXPECT_EQ(seconds_to_sim(-2.41), -2'410'000);
+  EXPECT_EQ(seconds_to_sim(-1.5001e-6), -2);
+  EXPECT_DOUBLE_EQ(sim_to_seconds(seconds_to_sim(-3.25)), -3.25);
+  // Every whole-microsecond value survives the double round-trip.
+  for (SimTime t : {msec(1), sec(7), minutes(3), usec(1)}) {
+    EXPECT_EQ(seconds_to_sim(sim_to_seconds(t)), t);
+  }
+}
+
 }  // namespace
 }  // namespace gfaas

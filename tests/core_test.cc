@@ -8,21 +8,13 @@
 #include "core/queues.h"
 #include "core/scheduler.h"
 #include "models/zoo.h"
+#include "testing/builders.h"
+#include "testing/matchers.h"
 
 namespace gfaas::core {
 namespace {
 
-Request make_request(std::int64_t id, std::int64_t model, SimTime arrival,
-                     int batch = 32) {
-  Request r;
-  r.id = RequestId(id);
-  r.function = FunctionId(id);
-  r.model = ModelId(model);
-  r.batch = batch;
-  r.arrival = arrival;
-  r.function_name = "fn" + std::to_string(id);
-  return r;
-}
+using testkit::make_request;
 
 TEST(GlobalQueueTest, ArrivalOrderPreserved) {
   GlobalQueue q;
@@ -100,32 +92,18 @@ class PolicyBehaviourTest : public ::testing::Test {
  protected:
   // 1 node x 2 GPUs; models 0/1/2 from the catalog head (squeezenet1.1,
   // resnet18, resnet34): loads 2.41/2.52/2.60 s, infers 1.28/1.25/1.25 s.
-  models::ModelRegistry small_registry() {
-    models::ModelRegistry registry;
-    for (int i = 0; i < 3; ++i) {
-      EXPECT_TRUE(registry.register_model(models::table1_catalog()[
-          static_cast<std::size_t>(i)]).ok());
-    }
-    return registry;
-  }
+  models::ModelRegistry small_registry() { return testkit::head_registry(3); }
 
   cluster::ClusterConfig config_for(PolicyName policy, int o3_limit = 25) {
-    cluster::ClusterConfig config;
-    config.nodes = 1;
-    config.gpus_per_node = 2;
-    config.policy = policy;
-    config.o3_limit = o3_limit;
-    return config;
+    return testkit::ClusterBuilder()
+        .policy(policy)
+        .o3_limit(o3_limit)
+        .config();
   }
 
   const CompletionRecord& completion_of(cluster::SimCluster& cluster,
                                         std::int64_t request_id) {
-    for (const auto& r : cluster.engine().completions()) {
-      if (r.id == RequestId(request_id)) return r;
-    }
-    ADD_FAILURE() << "no completion for request " << request_id;
-    static CompletionRecord dummy;
-    return dummy;
+    return testkit::completion_of(cluster, request_id);
   }
 };
 

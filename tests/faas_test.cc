@@ -9,6 +9,7 @@
 #include "faas/gateway.h"
 #include "faas/registry.h"
 #include "sim/simulator.h"
+#include "testing/builders.h"
 
 namespace gfaas::faas {
 namespace {
@@ -20,21 +21,14 @@ Payload double_payload(const Payload& input) {
 }
 
 FunctionSpec cpu_function(const std::string& name) {
-  FunctionSpec spec;
-  spec.name = name;
-  spec.dockerfile = "FROM gfaas/base\n";
-  spec.handler = [](const Payload& input) -> StatusOr<Payload> {
-    return double_payload(input);
-  };
-  return spec;
+  return testkit::cpu_function_spec(
+      name, [](const Payload& input) -> StatusOr<Payload> {
+        return double_payload(input);
+      });
 }
 
 FunctionSpec gpu_function(const std::string& name, const std::string& model) {
-  FunctionSpec spec;
-  spec.name = name;
-  spec.dockerfile =
-      "FROM gfaas/base\nENV GPU_ENABLED=1\nENV GFAAS_MODEL=" + model + "\n";
-  return spec;
+  return testkit::gpu_function_spec(name, model);
 }
 
 TEST(DockerfileTest, DetectsGpuFlagVariants) {

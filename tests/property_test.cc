@@ -8,6 +8,8 @@
 #include <tuple>
 
 #include "cluster/experiment.h"
+#include "testing/builders.h"
+#include "testing/matchers.h"
 #include "trace/workload.h"
 
 namespace gfaas::cluster {
@@ -20,45 +22,38 @@ class SchedulerInvariantTest : public ::testing::TestWithParam<Combo> {};
 TEST_P(SchedulerInvariantTest, SystemInvariantsHold) {
   const auto [policy, working_set, seed] = GetParam();
 
-  trace::WorkloadConfig wconfig;
-  wconfig.working_set_size = working_set;
-  wconfig.window_minutes = 2;  // 650 requests keeps the sweep fast
-  wconfig.seed = seed;
-  auto workload = trace::build_standard_workload(wconfig, /*trace_seed=*/seed * 31 + 1);
-  ASSERT_TRUE(workload.ok());
+  // 2-minute window: 650 requests keeps the sweep fast.
+  const trace::Workload workload =
+      testkit::make_workload(working_set, seed, /*window_minutes=*/2);
 
   ClusterConfig config;
   config.policy = policy;
-  SimCluster cluster(config, workload->registry);
-  cluster.engine().track_duplicates_of(workload->top_model);
-  const SimTime makespan = cluster.replay(workload->requests);
+  SimCluster cluster(config, workload.registry);
+  cluster.engine().track_duplicates_of(workload.top_model);
+  const SimTime makespan = cluster.replay(workload.requests);
 
   const auto& completions = cluster.engine().completions();
 
   // (1) Completeness: every submitted request completes exactly once.
-  ASSERT_EQ(completions.size(), workload->requests.size());
-  std::vector<bool> seen(completions.size(), false);
-  for (const auto& r : completions) {
-    const auto idx = static_cast<std::size_t>(r.id.value());
-    ASSERT_LT(idx, seen.size());
-    EXPECT_FALSE(seen[idx]) << "request completed twice";
-    seen[idx] = true;
-  }
+  ASSERT_TRUE(testkit::all_completed_once(cluster.engine(), workload.requests.size()));
 
   // (2) Causality: arrival <= dispatched < completed <= makespan.
   std::int64_t misses = 0, false_misses = 0;
   for (const auto& r : completions) {
-    EXPECT_LE(r.arrival, r.dispatched);
-    EXPECT_LT(r.dispatched, r.completed);
+    EXPECT_TRUE(testkit::has_causal_timestamps(r));
     EXPECT_LE(r.completed, makespan);
     EXPECT_TRUE(r.gpu.valid());
     EXPECT_LT(r.gpu.value(), static_cast<std::int64_t>(cluster.gpu_count()));
     if (!r.cache_hit) ++misses;
     if (r.false_miss) ++false_misses;
     // A false miss is by definition a miss.
-    if (r.false_miss) EXPECT_FALSE(r.cache_hit);
+    if (r.false_miss) {
+      EXPECT_FALSE(r.cache_hit);
+    }
     // Local-queue requests are guaranteed hits (the model was pinned).
-    if (r.via_local_queue) EXPECT_TRUE(r.cache_hit);
+    if (r.via_local_queue) {
+      EXPECT_TRUE(r.cache_hit);
+    }
     // Minimum service time: at least the pure inference latency.
     const SimTime infer = cluster.oracle().infer_time(r.model, 32).value();
     EXPECT_GE(r.completed - r.dispatched, infer);

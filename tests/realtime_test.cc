@@ -10,6 +10,7 @@
 #include "cluster/realtime.h"
 #include "metrics/timeline.h"
 #include "models/zoo.h"
+#include "testing/builders.h"
 
 namespace gfaas::cluster {
 namespace {
@@ -91,9 +92,7 @@ TEST(RealTimeExecutorTest, FullSchedulingStackRunsOnWallClock) {
   RealTimeExecutor executor(/*time_scale=*/10000.0);
   datastore::KvStore store(&executor);
   cache::CacheManager cache(cache::PolicyKind::kLru, &store);
-  models::ModelRegistry registry;
-  ASSERT_TRUE(registry.register_model(models::table1_catalog()[0]).ok());
-  ASSERT_TRUE(registry.register_model(models::table1_catalog()[1]).ok());
+  models::ModelRegistry registry = testkit::head_registry(2);
   models::LatencyOracle oracle(registry);
 
   gpu::PcieLink link(12.6, usec(20));

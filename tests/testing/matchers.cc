@@ -1,0 +1,76 @@
+#include "testing/matchers.h"
+
+#include <cmath>
+#include <vector>
+
+namespace gfaas::testkit {
+
+const core::CompletionRecord* find_completion(
+    const cluster::SchedulerEngine& engine, std::int64_t request_id) {
+  for (const auto& record : engine.completions()) {
+    if (record.id == RequestId(request_id)) return &record;
+  }
+  return nullptr;
+}
+
+const core::CompletionRecord& completion_of(cluster::SimCluster& cluster,
+                                            std::int64_t request_id) {
+  if (const auto* record = find_completion(cluster.engine(), request_id)) {
+    return *record;
+  }
+  ADD_FAILURE() << "no completion for request " << request_id;
+  static const core::CompletionRecord dummy{};
+  return dummy;
+}
+
+::testing::AssertionResult all_completed_once(
+    const cluster::SchedulerEngine& engine, std::size_t expected) {
+  const auto& completions = engine.completions();
+  if (completions.size() != expected) {
+    return ::testing::AssertionFailure()
+           << "expected " << expected << " completions, got "
+           << completions.size();
+  }
+  std::vector<bool> seen(expected, false);
+  for (const auto& record : completions) {
+    const auto idx = static_cast<std::size_t>(record.id.value());
+    if (idx >= expected) {
+      return ::testing::AssertionFailure()
+             << "completion for unknown request id " << record.id.value();
+    }
+    if (seen[idx]) {
+      return ::testing::AssertionFailure()
+             << "request " << record.id.value() << " completed twice";
+    }
+    seen[idx] = true;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult has_causal_timestamps(
+    const core::CompletionRecord& record) {
+  if (record.arrival > record.dispatched) {
+    return ::testing::AssertionFailure()
+           << "request " << record.id.value() << ": dispatched "
+           << record.dispatched << " before arrival " << record.arrival;
+  }
+  if (record.dispatched >= record.completed) {
+    return ::testing::AssertionFailure()
+           << "request " << record.id.value() << ": completed "
+           << record.completed << " not after dispatch " << record.dispatched;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult latency_near(const core::CompletionRecord& record,
+                                        double expected_s, double tolerance_s) {
+  const double actual_s = sim_to_seconds(record.latency());
+  if (std::abs(actual_s - expected_s) > tolerance_s) {
+    return ::testing::AssertionFailure()
+           << "request " << record.id.value() << ": latency " << actual_s
+           << "s not within " << tolerance_s << "s of " << expected_s << "s";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace gfaas::testkit

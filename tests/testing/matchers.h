@@ -1,0 +1,36 @@
+// Shared test support: lookups and gtest predicates over
+// CompletionRecords, so suites assert on scheduler outcomes uniformly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cluster/experiment.h"
+
+namespace gfaas::testkit {
+
+// Completion record for `request_id`, or nullptr if it never completed.
+const core::CompletionRecord* find_completion(
+    const cluster::SchedulerEngine& engine, std::int64_t request_id);
+
+// As above, but registers a test failure when the record is missing and
+// returns a zeroed dummy so the calling test can continue.
+const core::CompletionRecord& completion_of(cluster::SimCluster& cluster,
+                                            std::int64_t request_id);
+
+// Every submitted request completed exactly once (ids dense in
+// [0, expected)).
+::testing::AssertionResult all_completed_once(
+    const cluster::SchedulerEngine& engine, std::size_t expected);
+
+// arrival <= dispatched < completed.
+::testing::AssertionResult has_causal_timestamps(
+    const core::CompletionRecord& record);
+
+// End-to-end latency within `tolerance_s` of `expected_s`.
+::testing::AssertionResult latency_near(const core::CompletionRecord& record,
+                                        double expected_s,
+                                        double tolerance_s = 0.05);
+
+}  // namespace gfaas::testkit
