@@ -1,0 +1,85 @@
+// Bit-identity digest of the seed experiment grid.
+//
+// Runs the paper's standard grid (working set 15/25/35 x LB/LALB/LALBO3)
+// and prints every ExperimentResult metric in hexfloat (exact) plus an
+// FNV-1a hash over the full completion-record stream of each cell.
+// Scheduler-hot-path refactors must leave this output byte-identical:
+//
+//   ./build/bench_seed_digest > before.txt
+//   <refactor, rebuild>
+//   ./build/bench_seed_digest | diff before.txt -
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/log.h"
+
+namespace gfaas::bench {
+namespace {
+
+class Fnv1a {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t completion_digest(const cluster::ClusterConfig& config,
+                                const trace::Workload& workload) {
+  cluster::SimCluster cluster(config, workload.registry);
+  cluster.engine().track_duplicates_of(workload.top_model);
+  cluster.replay(workload.requests);
+  Fnv1a fnv;
+  for (const auto& r : cluster.engine().completions()) {
+    fnv.add(static_cast<std::uint64_t>(r.id.value()));
+    fnv.add(static_cast<std::uint64_t>(r.gpu.value()));
+    fnv.add(static_cast<std::uint64_t>(r.arrival));
+    fnv.add(static_cast<std::uint64_t>(r.dispatched));
+    fnv.add(static_cast<std::uint64_t>(r.completed));
+    fnv.add((r.cache_hit ? 1u : 0u) | (r.false_miss ? 2u : 0u) |
+            (r.via_local_queue ? 4u : 0u));
+  }
+  return fnv.value();
+}
+
+int run() {
+  GridOptions options;
+  for (std::size_t ws : options.working_sets) {
+    trace::WorkloadConfig wconfig;
+    wconfig.working_set_size = ws;
+    wconfig.seed = options.workload_seed;
+    auto workload = trace::build_standard_workload(wconfig, options.trace_seed);
+    GFAAS_CHECK(workload.ok()) << workload.status().to_string();
+    for (core::PolicyName policy : options.policies) {
+      cluster::ClusterConfig config;
+      config.policy = policy;
+      config.o3_limit = options.o3_limit;
+      config.cache_policy = options.cache_policy;
+      const auto r = cluster::run_experiment(config, *workload);
+      std::printf("ws=%zu policy=%s requests=%zu\n", ws, r.policy.c_str(), r.requests);
+      std::printf("  avg_latency_s=%a variance=%a p50=%a p95=%a p99=%a\n",
+                  r.avg_latency_s, r.latency_variance_s2, r.p50_latency_s,
+                  r.p95_latency_s, r.p99_latency_s);
+      std::printf("  miss=%a false_miss=%a sm_util=%a dup=%a\n", r.miss_ratio,
+                  r.false_miss_ratio, r.sm_utilization, r.avg_top_duplicates);
+      std::printf("  evictions=%lld loads=%lld makespan_s=%a\n",
+                  static_cast<long long>(r.evictions),
+                  static_cast<long long>(r.model_loads), r.makespan_s);
+      std::printf("  completion_digest=%016llx\n",
+                  static_cast<unsigned long long>(completion_digest(config, *workload)));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gfaas::bench
+
+int main() { return gfaas::bench::run(); }

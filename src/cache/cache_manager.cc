@@ -118,11 +118,10 @@ bool CacheManager::is_cached(GpuId gpu, ModelId model) const {
 
 std::vector<GpuId> CacheManager::locations(ModelId model) const {
   std::vector<GpuId> out;
-  for (const auto& gpu_state : gpus_) {
-    if (gpu_state != nullptr && gpu_state->contains(model)) {
-      out.push_back(gpu_state->gpu());
-    }
-  }
+  auto it = locations_.find(model.value());
+  if (it == locations_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::int64_t gpu : it->second) out.push_back(GpuId(gpu));
   return out;
 }
 
@@ -142,6 +141,10 @@ Status CacheManager::record_eviction(GpuId gpu, ModelId model) {
   Status s = mutable_state(gpu).remove(model);
   if (!s.ok()) return s;
   ++stats_.evictions;
+  auto it = locations_.find(model.value());
+  GFAAS_CHECK(it != locations_.end() && it->second.erase(gpu.value()) == 1)
+      << "location index out of sync for model " << model.value();
+  if (it->second.empty()) locations_.erase(it);
   mirror_to_store(gpu);
   mirror_locations(model);
   return Status::Ok();
@@ -151,6 +154,8 @@ Status CacheManager::record_insertion(GpuId gpu, ModelId model, Bytes size) {
   Status s = mutable_state(gpu).insert(model, size);
   if (!s.ok()) return s;
   ++stats_.misses;
+  GFAAS_CHECK(locations_[model.value()].insert(gpu.value()).second)
+      << "location index out of sync for model " << model.value();
   mirror_to_store(gpu);
   mirror_locations(model);
   return Status::Ok();

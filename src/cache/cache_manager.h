@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -89,10 +90,13 @@ class CacheManager {
 
   // --- queries used by the Scheduler ---
   bool is_cached(GpuId gpu, ModelId model) const;
-  // All GPUs that currently hold the model (any order cost O(#locations)).
+  // All GPUs that currently hold the model, ascending id. Served by the
+  // global model -> GPUs index (§VI): O(#locations), never a GPU scan.
   std::vector<GpuId> locations(ModelId model) const;
-  // Whether the model is cached on ANY gpu (false-miss accounting).
-  bool cached_anywhere(ModelId model) const { return !locations(model).empty(); }
+  // Whether the model is cached on ANY gpu (false-miss accounting). O(1).
+  bool cached_anywhere(ModelId model) const {
+    return locations_.count(model.value()) > 0;
+  }
 
   // --- mutations driven by the GPU Manager ---
   // Records a hit: refreshes the replacement order. Fails if not cached.
@@ -114,8 +118,11 @@ class CacheManager {
   const CacheStats& stats() const { return stats_; }
 
   // Number of GPUs holding each model, for the duplicate-count metric
-  // (Fig. 6 tracks the most popular model's duplicates).
-  std::size_t duplicate_count(ModelId model) const { return locations(model).size(); }
+  // (Fig. 6 tracks the most popular model's duplicates). O(1) index read.
+  std::size_t duplicate_count(ModelId model) const {
+    auto it = locations_.find(model.value());
+    return it == locations_.end() ? 0 : it->second.size();
+  }
 
  private:
   GpuCacheState& mutable_state(GpuId gpu);
@@ -125,6 +132,11 @@ class CacheManager {
   PolicyKind policy_;
   datastore::KvStore* store_;
   std::vector<std::unique_ptr<GpuCacheState>> gpus_;  // indexed by GpuId value
+  // Global model -> holder-GPU index, maintained on insertion/eviction.
+  // Ordered by GPU id so enumerations (and the datastore mirror) match
+  // the ascending-id order a full GPU scan would produce. A model with no
+  // holders has no entry, making cached_anywhere() a pure lookup.
+  std::unordered_map<std::int64_t, std::set<std::int64_t>> locations_;
   CacheStats stats_;
 };
 

@@ -1,0 +1,74 @@
+#include "cluster/cluster_state_index.h"
+
+#include "common/log.h"
+
+namespace gfaas::cluster {
+
+const ClusterStateIndex::PerGpu& ClusterStateIndex::state(GpuId gpu) const {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(gpu.valid() && index < gpus_.size()) << "unknown gpu " << gpu.value();
+  return gpus_[index];
+}
+
+ClusterStateIndex::PerGpu& ClusterStateIndex::state(GpuId gpu) {
+  return const_cast<PerGpu&>(static_cast<const ClusterStateIndex*>(this)->state(gpu));
+}
+
+void ClusterStateIndex::add_gpu(GpuId gpu) {
+  GFAAS_CHECK(gpu.valid());
+  GFAAS_CHECK(static_cast<std::size_t>(gpu.value()) == gpus_.size())
+      << "gpu ids must be registered densely from 0";
+  gpus_.emplace_back();
+  idle_.emplace(0, gpu.value());
+}
+
+void ClusterStateIndex::mark_busy(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  GFAAS_CHECK(s.idle) << "gpu " << gpu.value() << " already busy";
+  s.idle = false;
+  GFAAS_CHECK(idle_.erase({s.dispatches, gpu.value()}) == 1);
+}
+
+void ClusterStateIndex::mark_idle(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  GFAAS_CHECK(!s.idle) << "gpu " << gpu.value() << " already idle";
+  s.idle = true;
+  idle_.emplace(s.dispatches, gpu.value());
+}
+
+void ClusterStateIndex::record_dispatch(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  if (s.idle) {
+    GFAAS_CHECK(idle_.erase({s.dispatches, gpu.value()}) == 1);
+  }
+  ++s.dispatches;
+  if (s.idle) idle_.emplace(s.dispatches, gpu.value());
+}
+
+void ClusterStateIndex::set_committed_finish(GpuId gpu, SimTime finish) {
+  state(gpu).committed_finish = finish;
+}
+
+void ClusterStateIndex::add_local_work(GpuId gpu, SimTime delta) {
+  PerGpu& s = state(gpu);
+  s.local_work += delta;
+  GFAAS_CHECK(s.local_work >= 0)
+      << "negative local-queue work aggregate on gpu " << gpu.value();
+}
+
+std::vector<GpuId> ClusterStateIndex::idle_gpus() const {
+  std::vector<GpuId> out;
+  out.reserve(idle_.size());
+  for (const auto& [dispatches, id] : idle_) out.push_back(GpuId(id));
+  return out;
+}
+
+std::vector<GpuId> ClusterStateIndex::busy_gpus() const {
+  std::vector<GpuId> out;
+  for (std::size_t id = 0; id < gpus_.size(); ++id) {
+    if (!gpus_[id].idle) out.push_back(GpuId(static_cast<std::int64_t>(id)));
+  }
+  return out;
+}
+
+}  // namespace gfaas::cluster

@@ -1,0 +1,89 @@
+// Incrementally maintained cluster-state index for the scheduling engine.
+//
+// The paper's §VI scalability note requires the Scheduler to answer
+// "which GPUs are idle" and "how loaded is this GPU" in time bounded by
+// the answer, not by cluster size. This index keeps that promise by
+// updating state at the three mutation points the engine already owns —
+// dispatch, completion, and local-queue push/pop — instead of rebuilding
+// views per policy invocation:
+//
+//   * idle GPUs, ordered by dispatch frequency (most-dispatched first,
+//     ties by id): Algorithm 1's "sorted by frequency" input, O(#idle) to
+//     enumerate, O(log #gpus) to maintain;
+//   * busy GPUs in id order: O(#busy) to enumerate;
+//   * per-GPU committed finish time + local-queue work aggregate: the two
+//     integer terms of estimated_finish_time(), O(1) to read. SimTime is
+//     integer microseconds, so the running local-work sum is exact (no
+//     float drift against a per-invocation re-sum).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/id.h"
+#include "common/time.h"
+
+namespace gfaas::cluster {
+
+class ClusterStateIndex {
+ public:
+  // Registers a GPU (initially idle, zero dispatches). Ids must be dense
+  // from 0, matching the engine's GPU numbering.
+  void add_gpu(GpuId gpu);
+
+  std::size_t gpu_count() const { return gpus_.size(); }
+  std::size_t idle_count() const { return idle_.size(); }
+
+  // --- transitions (engine mutation points) ---
+  void mark_busy(GpuId gpu);
+  void mark_idle(GpuId gpu);
+  // Counts a dispatch for the frequency ordering; reorders the idle set
+  // entry if the GPU is currently idle.
+  void record_dispatch(GpuId gpu);
+  void set_committed_finish(GpuId gpu, SimTime finish);
+  // Adjusts the local-queue work aggregate (positive on push, negative on
+  // pop of the corresponding request's inference time).
+  void add_local_work(GpuId gpu, SimTime delta);
+
+  // --- O(1) lookups ---
+  bool is_idle(GpuId gpu) const { return state(gpu).idle; }
+  std::int64_t dispatch_count(GpuId gpu) const { return state(gpu).dispatches; }
+  SimTime committed_finish(GpuId gpu) const { return state(gpu).committed_finish; }
+  SimTime local_work(GpuId gpu) const { return state(gpu).local_work; }
+
+  // --- enumerations ---
+  // Idle GPUs, most-dispatched first, ties broken by ascending id;
+  // O(#idle) off the incrementally ordered set.
+  std::vector<GpuId> idle_gpus() const;
+  // Busy GPUs in ascending id order. Derived from the per-GPU flags in
+  // O(#gpus): since Algorithm 2 moved onto the cache location index this
+  // is a cold diagnostic path, not worth an ordered set maintained on
+  // every dispatch/completion transition.
+  std::vector<GpuId> busy_gpus() const;
+
+ private:
+  struct PerGpu {
+    bool idle = true;
+    std::int64_t dispatches = 0;
+    SimTime committed_finish = 0;
+    SimTime local_work = 0;
+  };
+  // (dispatches, id) ordered most-dispatched first, then id ascending.
+  struct IdleOrder {
+    bool operator()(const std::pair<std::int64_t, std::int64_t>& a,
+                    const std::pair<std::int64_t, std::int64_t>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  const PerGpu& state(GpuId gpu) const;
+  PerGpu& state(GpuId gpu);
+
+  std::vector<PerGpu> gpus_;  // indexed by GpuId value
+  std::set<std::pair<std::int64_t, std::int64_t>, IdleOrder> idle_;
+};
+
+}  // namespace gfaas::cluster

@@ -1,6 +1,7 @@
 #include "cluster/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.h"
 
@@ -20,6 +21,7 @@ SchedulerEngine::SchedulerEngine(sim::Executor* executor, cache::CacheManager* c
       local_queues_(gpus_.size()) {
   GFAAS_CHECK(executor_ && cache_ && oracle_ && policy_);
   GFAAS_CHECK(!gpus_.empty() && !managers_.empty());
+  for (const gpu::VirtualGpu* g : gpus_) index_.add_gpu(g->id());
 }
 
 GpuManager& SchedulerEngine::manager_for(GpuId gpu) {
@@ -38,44 +40,22 @@ void SchedulerEngine::submit(core::Request request) {
 SimTime SchedulerEngine::now() const { return executor_->now(); }
 
 std::vector<GpuId> SchedulerEngine::idle_gpus() const {
-  std::vector<GpuId> out;
-  for (const gpu::VirtualGpu* g : gpus_) {
-    if (!g->is_busy()) out.push_back(g->id());
-  }
   // "Sorted by frequency": most-dispatched first (hot GPUs hold hot
   // models); ties by id for determinism. LB picks from the back, i.e. the
-  // least-used idle GPU, which is classic load balancing.
-  std::sort(out.begin(), out.end(), [this](GpuId a, GpuId b) {
-    const auto ca = dispatch_counts_.find(a.value());
-    const auto cb = dispatch_counts_.find(b.value());
-    const std::int64_t na = ca == dispatch_counts_.end() ? 0 : ca->second;
-    const std::int64_t nb = cb == dispatch_counts_.end() ? 0 : cb->second;
-    if (na != nb) return na > nb;
-    return a.value() < b.value();
-  });
-  return out;
+  // least-used idle GPU, which is classic load balancing. The index keeps
+  // this ordering incrementally, so enumerating costs O(#idle).
+  return index_.idle_gpus();
 }
 
-std::vector<GpuId> SchedulerEngine::busy_gpus() const {
-  std::vector<GpuId> out;
-  for (const gpu::VirtualGpu* g : gpus_) {
-    if (g->is_busy()) out.push_back(g->id());
-  }
-  return out;
-}
+std::vector<GpuId> SchedulerEngine::busy_gpus() const { return index_.busy_gpus(); }
 
 SimTime SchedulerEngine::estimated_finish_time(GpuId gpu) const {
-  // In-flight work (committed at dispatch: load + inference)...
-  SimTime finish = now();
-  auto it = committed_finish_.find(gpu.value());
-  if (it != committed_finish_.end()) finish = std::max(finish, it->second);
-  // ...plus every request already waiting in the local queue (§IV-A "and
-  // requests already queued in its local queue"). Local-queue requests
-  // are cache hits by construction, so only inference time accrues.
-  for (const core::Request& req : local_queues_.queued(gpu)) {
-    finish += infer_time(req.model, req.batch);
-  }
-  return finish;
+  // In-flight work (committed at dispatch: load + inference), plus every
+  // request already waiting in the local queue (§IV-A "and requests
+  // already queued in its local queue"). Local-queue requests are cache
+  // hits by construction, so only inference time accrues; the index keeps
+  // that sum as a running aggregate, making this an O(1) lookup.
+  return std::max(now(), index_.committed_finish(gpu)) + index_.local_work(gpu);
 }
 
 SimTime SchedulerEngine::load_time(ModelId model) const {
@@ -101,6 +81,7 @@ void SchedulerEngine::dispatch_from_global(RequestId request, GpuId gpu,
 void SchedulerEngine::dispatch_from_local(GpuId gpu) {
   auto req = local_queues_.pop_head(gpu);
   GFAAS_CHECK(req.has_value()) << "local queue of gpu " << gpu.value() << " empty";
+  index_.add_local_work(gpu, -infer_time(req->model, req->batch));
   // Drop the pin taken at move time; execution re-pins for its duration.
   GFAAS_CHECK(cache_->unpin(gpu, req->model).ok());
   start_execution(std::move(*req), gpu, /*false_miss=*/false, /*via_local_queue=*/true);
@@ -112,24 +93,34 @@ void SchedulerEngine::move_to_local(RequestId request, GpuId gpu) {
   // Pin so the model cannot be evicted while the request waits; the local
   // queue would otherwise lose its guaranteed hit.
   GFAAS_CHECK(cache_->pin(gpu, req->model).ok()) << "move to gpu without cached model";
+  index_.add_local_work(gpu, infer_time(req->model, req->batch));
   local_queues_.push(gpu, std::move(req).value());
 }
 
 void SchedulerEngine::start_execution(core::Request request, GpuId gpu, bool false_miss,
                                       bool via_local_queue) {
-  ++dispatch_counts_[gpu.value()];
+  // Transition the index before execute(): under the wall-clock executor
+  // the completion callback can fire as soon as execute() schedules it,
+  // and mark_idle() must never observe a GPU the index still thinks is
+  // idle. Nothing reads the index between here and execute() returning,
+  // so simulated runs are unaffected by the ordering.
+  index_.record_dispatch(gpu);
+  index_.mark_busy(gpu);
   ++in_flight_;
   auto finish = manager_for(gpu).execute(
       request, gpu, false_miss, via_local_queue,
       [this](const core::CompletionRecord& record) { on_completion(record); });
   GFAAS_CHECK(finish.ok()) << "execute failed: " << finish.status().to_string();
-  committed_finish_[gpu.value()] = *finish;
+  index_.set_committed_finish(gpu, *finish);
   update_duplicates_meter();
 }
 
 void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
   GFAAS_CHECK(in_flight_ > 0);
   --in_flight_;
+  // The GPU Manager retired the inference before invoking us, so the GPU
+  // is idle again as of this event.
+  index_.mark_idle(record.gpu);
   completions_.push_back(record);
   latency_series_.add(record.completed, sim_to_seconds(record.latency()));
   if (!record.cache_hit) miss_series_.count(record.completed);
@@ -149,8 +140,17 @@ void SchedulerEngine::run_policy() {
   policy_running_ = true;
   // Invoke when any idle GPU could take work (global or local queue).
   const bool has_work = !global_queue_.empty() || local_queues_.total_pending() > 0;
-  if (has_work && !idle_gpus().empty()) {
+  if (has_work && index_.idle_count() > 0) {
+    const std::size_t queue_len = global_queue_.size();
+    ++policy_invocations_;
+    policy_queue_len_sum_ += queue_len;
+    policy_queue_len_max_ = std::max(policy_queue_len_max_, queue_len);
+    const auto start = std::chrono::steady_clock::now();
     policy_->schedule(*this);
+    policy_wall_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
   }
   policy_running_ = false;
 }

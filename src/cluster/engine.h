@@ -13,10 +13,10 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_manager.h"
+#include "cluster/cluster_state_index.h"
 #include "cluster/gpu_manager.h"
 #include "core/queues.h"
 #include "core/scheduler.h"
@@ -60,10 +60,23 @@ class SchedulerEngine final : public core::SchedulingContext {
   const metrics::TimeSeries& latency_series() const { return latency_series_; }
   const metrics::TimeSeries& miss_series() const { return miss_series_; }
 
+  // Policy-invocation cost counters (bench_cluster_scale): number of times
+  // the policy actually ran, cumulative wall-clock spent inside it, and the
+  // global-queue length observed at each invocation. Wall timing never
+  // feeds back into simulated time, so determinism is unaffected.
+  std::uint64_t policy_invocations() const { return policy_invocations_; }
+  std::uint64_t policy_wall_ns() const { return policy_wall_ns_; }
+  std::uint64_t policy_queue_len_sum() const { return policy_queue_len_sum_; }
+  std::size_t policy_queue_len_max() const { return policy_queue_len_max_; }
+
   // --- core::SchedulingContext ---
   SimTime now() const override;
   std::vector<GpuId> idle_gpus() const override;
   std::vector<GpuId> busy_gpus() const override;
+  bool is_idle(GpuId gpu) const override { return index_.is_idle(gpu); }
+  std::int64_t dispatch_count(GpuId gpu) const override {
+    return index_.dispatch_count(gpu);
+  }
   const core::GlobalQueue& global_queue() const override { return global_queue_; }
   core::GlobalQueue& mutable_global_queue() override { return global_queue_; }
   const core::LocalQueues& local_queues() const override { return local_queues_; }
@@ -92,12 +105,17 @@ class SchedulerEngine final : public core::SchedulingContext {
 
   core::GlobalQueue global_queue_;
   core::LocalQueues local_queues_;
-  // Committed absolute finish time of the work running on each GPU.
-  std::unordered_map<std::int64_t, SimTime> committed_finish_;
-  std::unordered_map<std::int64_t, std::int64_t> dispatch_counts_;
+  // Idle/busy sets, dispatch frequencies, committed finish times and
+  // local-queue work aggregates, maintained incrementally at dispatch,
+  // completion and local-queue push/pop.
+  ClusterStateIndex index_;
   std::size_t in_flight_ = 0;
   bool policy_running_ = false;
   std::int64_t false_misses_ = 0;
+  std::uint64_t policy_invocations_ = 0;
+  std::uint64_t policy_wall_ns_ = 0;
+  std::uint64_t policy_queue_len_sum_ = 0;
+  std::size_t policy_queue_len_max_ = 0;
 
   std::vector<core::CompletionRecord> completions_;
   std::function<void(const core::CompletionRecord&)> completion_hook_;

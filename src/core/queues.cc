@@ -15,6 +15,7 @@ void GlobalQueue::push(Request request) {
   auto it = std::prev(queue_.end());
   by_id_[it->id.value()] = it;
   by_model_[it->model.value()].push_back(it->id.value());
+  ++visits_histogram_[it->visits];
 }
 
 const Request* GlobalQueue::head() const {
@@ -26,9 +27,16 @@ const Request* GlobalQueue::find(RequestId id) const {
   return it == by_id_.end() ? nullptr : &*it->second;
 }
 
-Request* GlobalQueue::find_mutable(RequestId id) {
+int GlobalQueue::bump_visits(RequestId id) {
   auto it = by_id_.find(id.value());
-  return it == by_id_.end() ? nullptr : &*it->second;
+  GFAAS_CHECK(it != by_id_.end()) << "bump_visits on unqueued request " << id.value();
+  Request& req = *it->second;
+  auto bucket = visits_histogram_.find(req.visits);
+  GFAAS_CHECK(bucket != visits_histogram_.end() && bucket->second > 0);
+  if (--bucket->second == 0) visits_histogram_.erase(bucket);
+  ++req.visits;
+  ++visits_histogram_[req.visits];
+  return req.visits;
 }
 
 StatusOr<Request> GlobalQueue::take(RequestId id) {
@@ -42,6 +50,9 @@ StatusOr<Request> GlobalQueue::take(RequestId id) {
   GFAAS_CHECK(pos != model_deque.end());
   model_deque.erase(pos);
   if (model_deque.empty()) by_model_.erase(out.model.value());
+  auto bucket = visits_histogram_.find(out.visits);
+  GFAAS_CHECK(bucket != visits_histogram_.end() && bucket->second > 0);
+  if (--bucket->second == 0) visits_histogram_.erase(bucket);
   queue_.erase(it->second);
   by_id_.erase(it);
   return out;
@@ -68,9 +79,7 @@ std::vector<RequestId> GlobalQueue::in_arrival_order() const {
 }
 
 int GlobalQueue::max_visits() const {
-  int best = 0;
-  for (const auto& r : queue_) best = std::max(best, r.visits);
-  return best;
+  return visits_histogram_.empty() ? 0 : visits_histogram_.rbegin()->first;
 }
 
 void LocalQueues::push(GpuId gpu, Request request) {

@@ -28,6 +28,14 @@ namespace gfaas::core {
 
 class GlobalQueue {
  public:
+  // Const iteration in arrival order, without the O(n) snapshot copy of
+  // in_arrival_order(). Policies may dispatch/take requests while
+  // iterating: taking a request invalidates only iterators to THAT
+  // request (std::list semantics), so callers advance before acting.
+  using const_iterator = std::list<Request>::const_iterator;
+  const_iterator begin() const { return queue_.begin(); }
+  const_iterator end() const { return queue_.end(); }
+
   void push(Request request);
 
   bool empty() const { return queue_.empty(); }
@@ -36,7 +44,11 @@ class GlobalQueue {
   // Earliest-arrival pending request (nullptr if empty).
   const Request* head() const;
   const Request* find(RequestId id) const;
-  Request* find_mutable(RequestId id);
+
+  // Increments the request's O3 skip counter (Algorithm 1 lines 14-16)
+  // and keeps the visits histogram consistent; returns the new value.
+  // This is the only sanctioned way to mutate a queued request.
+  int bump_visits(RequestId id);
 
   // Removes and returns the request.
   StatusOr<Request> take(RequestId id);
@@ -48,10 +60,12 @@ class GlobalQueue {
   // Distinct models with at least one pending request.
   std::vector<ModelId> pending_models() const;
 
-  // Request ids in arrival order (snapshot; O(n)).
+  // Request ids in arrival order (snapshot; O(n)). Kept for tests that
+  // cross-check the iterator path; hot paths use begin()/end().
   std::vector<RequestId> in_arrival_order() const;
 
   // Highest `visits` value among pending requests (0 if empty).
+  // O(1) lookup against the incrementally maintained histogram.
   int max_visits() const;
 
  private:
@@ -59,6 +73,9 @@ class GlobalQueue {
   std::unordered_map<std::int64_t, std::list<Request>::iterator> by_id_;
   // model id -> request ids in arrival order.
   std::map<std::int64_t, std::deque<std::int64_t>> by_model_;
+  // visits value -> number of pending requests with that value, updated on
+  // push/take/bump_visits so max_visits() never rescans the queue.
+  std::map<int, std::size_t> visits_histogram_;
 };
 
 class LocalQueues {

@@ -1,6 +1,6 @@
 #include "core/scheduler.h"
 
-#include <algorithm>
+#include <iterator>
 
 #include "common/log.h"
 
@@ -15,9 +15,23 @@ bool is_false_miss(const SchedulingContext& ctx, ModelId model, GpuId gpu) {
   return ctx.cache().cached_anywhere(model);
 }
 
-bool still_idle(const SchedulingContext& ctx, GpuId gpu) {
-  const auto idle = ctx.idle_gpus();
-  return std::find(idle.begin(), idle.end(), gpu) != idle.end();
+// Earliest idle holder of `model` in the frequency ordering of
+// idle_gpus(): the idle holder maximizing (dispatch_count, lowest id).
+// Scans the O(#locations) holder list instead of the idle set, so the
+// cost is bounded by the model's duplicate count (§VI), not cluster size.
+GpuId best_idle_holder(const SchedulingContext& ctx, ModelId model, GpuId exclude) {
+  GpuId best;
+  std::int64_t best_count = -1;
+  for (GpuId gpu : ctx.cache().locations(model)) {
+    if (gpu == exclude || !ctx.is_idle(gpu)) continue;
+    // locations() is id-ascending, so strict > keeps the lowest id on ties.
+    const std::int64_t count = ctx.dispatch_count(gpu);
+    if (count > best_count) {
+      best_count = count;
+      best = gpu;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -81,6 +95,9 @@ bool LalbScheduler::locality_load_balance(SchedulingContext& ctx, GpuId gpu_i,
   const std::int64_t batch = req->batch;
   (void)batch;
 
+  // Every branch below probes only the model's holder list (the cache's
+  // model -> GPU location index), never the full idle/busy enumerations:
+  // Algorithm 2's cost is O(#locations of the model), per §VI.
   const std::vector<GpuId> locations = ctx.cache().locations(model);
   if (locations.empty()) {
     // Line 1-3: not cached anywhere -> plain cache miss on gpu_i.
@@ -89,12 +106,10 @@ bool LalbScheduler::locality_load_balance(SchedulingContext& ctx, GpuId gpu_i,
   }
 
   // Line 4-6: cached on another idle GPU -> hit there; gpu_i stays idle.
-  for (GpuId gpu_j : ctx.idle_gpus()) {
-    if (gpu_j == gpu_i) continue;
-    if (ctx.cache().is_cached(gpu_j, model)) {
-      ctx.dispatch_from_global(request, gpu_j, /*false_miss=*/false);
-      return false;
-    }
+  const GpuId idle_holder = best_idle_holder(ctx, model, /*exclude=*/gpu_i);
+  if (idle_holder.valid()) {
+    ctx.dispatch_from_global(request, idle_holder, /*false_miss=*/false);
+    return false;
   }
 
   // Line 8-15: cached only on busy GPUs. Move to the local queue of the
@@ -102,8 +117,9 @@ bool LalbScheduler::locality_load_balance(SchedulingContext& ctx, GpuId gpu_i,
   const SimTime load = ctx.load_time(model);
   GpuId best_gpu;
   SimTime best_wait = kSimTimeMax;
-  for (GpuId gpu_j : ctx.busy_gpus()) {
-    if (!ctx.cache().is_cached(gpu_j, model)) continue;
+  for (GpuId gpu_j : locations) {
+    if (ctx.is_idle(gpu_j)) continue;
+    // Strict < keeps the lowest-id holder on ties (locations() ascends).
     const SimTime wait = ctx.estimated_finish_time(gpu_j) - ctx.now();
     if (wait < best_wait) {
       best_wait = wait;
@@ -140,14 +156,9 @@ void LalbScheduler::schedule_in_order(SchedulingContext& ctx) {
     const auto idle = ctx.idle_gpus();
     if (idle.empty()) return;
 
-    // Hit on an idle GPU if possible.
-    GpuId hit_gpu;
-    for (GpuId gpu : idle) {
-      if (ctx.cache().is_cached(gpu, head->model)) {
-        hit_gpu = gpu;
-        break;
-      }
-    }
+    // Hit on an idle GPU if possible — resolved against the model's
+    // holder list (O(#locations)), not a scan of the idle set.
+    const GpuId hit_gpu = best_idle_holder(ctx, head->model, GpuId());
     if (hit_gpu.valid()) {
       ctx.dispatch_from_global(head->id, hit_gpu, /*false_miss=*/false);
       continue;
@@ -158,10 +169,21 @@ void LalbScheduler::schedule_in_order(SchedulingContext& ctx) {
 }
 
 void LalbScheduler::schedule_out_of_order(SchedulingContext& ctx) {
-  // Algorithm 1 with the O3 skip counter.
+  // Algorithm 1 with the O3 skip counter, driven by live arrival-order
+  // iterators instead of per-GPU O(n) snapshots. Within one invocation
+  // the only queue mutations are our own actions, and Algorithm 2 only
+  // ever removes the request passed to it, so advancing the iterator
+  // before acting keeps iteration valid (std::list erase semantics).
+  //
+  // The scan over the uncached prefix is bounded by the O3 limit in the
+  // amortized sense: every touch of a request either dispatches it, ages
+  // it (at most o3_limit_ + 1 times over its lifetime), or force-places
+  // it, so total scan work per request is O(o3_limit_), independent of
+  // queue length.
   const std::vector<GpuId> idle_snapshot = ctx.idle_gpus();
+  const GlobalQueue& queue = ctx.global_queue();
   for (GpuId gpu_i : idle_snapshot) {
-    if (!still_idle(ctx, gpu_i)) continue;  // used by an earlier iteration
+    if (!ctx.is_idle(gpu_i)) continue;  // used by an earlier iteration
 
     // Lines 2-5: local queue first.
     if (!ctx.local_queues().empty(gpu_i)) {
@@ -172,37 +194,38 @@ void LalbScheduler::schedule_out_of_order(SchedulingContext& ctx) {
     // Lines 6-16: find the earliest request with its model cached on
     // gpu_i, skipping (and aging) non-cached requests up to the limit.
     bool dispatched = false;
-    const std::vector<RequestId> scan = ctx.global_queue().in_arrival_order();
-    for (RequestId req_id : scan) {
-      Request* req = ctx.mutable_global_queue().find_mutable(req_id);
-      if (req == nullptr) continue;  // placed meanwhile by Algorithm 2
-      if (ctx.cache().is_cached(gpu_i, req->model)) {
-        ctx.dispatch_from_global(req_id, gpu_i, /*false_miss=*/false);
+    for (auto it = queue.begin(); it != queue.end();) {
+      const auto next = std::next(it);
+      if (ctx.cache().is_cached(gpu_i, it->model)) {
+        ctx.dispatch_from_global(it->id, gpu_i, /*false_miss=*/false);
         dispatched = true;
         break;
       }
-      if (req->visits > o3_limit_) {
+      if (it->visits > o3_limit_) {
         // Starvation limit reached: place unconditionally (lines 11-13).
-        if (locality_load_balance(ctx, gpu_i, req_id)) {
+        if (locality_load_balance(ctx, gpu_i, it->id)) {
           dispatched = true;
           break;
         }
-        if (!still_idle(ctx, gpu_i)) {
+        if (!ctx.is_idle(gpu_i)) {
           dispatched = true;  // gpu_i consumed by a re-entrant action
           break;
         }
+        it = next;
         continue;
       }
-      ++req->visits;  // lines 14-16
+      ctx.mutable_global_queue().bump_visits(it->id);  // lines 14-16
+      it = next;
     }
     if (dispatched) continue;
 
     // For-else (lines 17-21): nothing cached on gpu_i; fall back to
     // locality-aware load balancing in arrival order until gpu_i is used.
-    for (RequestId req_id : ctx.global_queue().in_arrival_order()) {
-      if (ctx.global_queue().find(req_id) == nullptr) continue;
-      if (locality_load_balance(ctx, gpu_i, req_id)) break;
-      if (!still_idle(ctx, gpu_i)) break;
+    for (auto it = queue.begin(); it != queue.end();) {
+      const auto next = std::next(it);
+      if (locality_load_balance(ctx, gpu_i, it->id)) break;
+      if (!ctx.is_idle(gpu_i)) break;
+      it = next;
     }
   }
 }

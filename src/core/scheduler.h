@@ -43,6 +43,14 @@ class SchedulingContext {
   // models, so scanning them first maximizes hit chances.
   virtual std::vector<GpuId> idle_gpus() const = 0;
   virtual std::vector<GpuId> busy_gpus() const = 0;
+  // O(1) lookups against the engine's cluster-state index, so policies can
+  // probe individual GPUs (e.g. the holders from cache().locations())
+  // without materializing the idle/busy vectors.
+  virtual bool is_idle(GpuId gpu) const = 0;
+  // Dispatch count backing the idle-GPU frequency ordering: among a set of
+  // candidates, the "first in idle order" is the one maximizing
+  // (dispatch_count, lowest id).
+  virtual std::int64_t dispatch_count(GpuId gpu) const = 0;
 
   virtual const GlobalQueue& global_queue() const = 0;
   virtual GlobalQueue& mutable_global_queue() = 0;

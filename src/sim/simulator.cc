@@ -9,39 +9,31 @@ std::uint64_t Simulator::schedule_at(SimTime when, std::function<void()> fn) {
   GFAAS_CHECK(fn != nullptr);
   const std::uint64_t id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  pending_ids_.push_back(id);
+  live_.insert(id);
   return id;
 }
 
 bool Simulator::cancel(std::uint64_t event_id) {
-  // Only events still pending (scheduled, not yet run or cancelled) can
-  // be cancelled.
-  auto pending = std::find(pending_ids_.begin(), pending_ids_.end(), event_id);
-  if (pending == pending_ids_.end()) return false;
-  pending_ids_.erase(pending);
-  cancelled_.push_back(event_id);
-  ++cancelled_count_;
-  return true;
+  // Only events still pending (scheduled, not yet run or cancelled) can be
+  // cancelled. The heap entry stays behind as a tombstone and is dropped
+  // lazily by settle_head(); amortized O(1).
+  return live_.erase(event_id) > 0;
+}
+
+void Simulator::settle_head() {
+  while (!queue_.empty() && live_.count(queue_.top().id) == 0) queue_.pop();
 }
 
 bool Simulator::pop_and_run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
-      continue;  // tombstoned
-    }
-    auto pending = std::find(pending_ids_.begin(), pending_ids_.end(), ev.id);
-    if (pending != pending_ids_.end()) pending_ids_.erase(pending);
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  settle_head();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  live_.erase(ev.id);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
 }
 
 std::size_t Simulator::run() {
@@ -52,7 +44,10 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  // Settle before testing the head so a cancelled tombstone inside the
+  // deadline can never pull a live event from beyond it.
+  for (settle_head(); !queue_.empty() && queue_.top().time <= deadline;
+       settle_head()) {
     if (pop_and_run()) ++n;
   }
   now_ = std::max(now_, deadline);

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/log.h"
@@ -69,7 +70,7 @@ class Simulator final : public Executor {
   // Executes the single next event, if any. Returns false if queue empty.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_count_; }
+  std::size_t pending_events() const { return live_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
  private:
@@ -86,16 +87,19 @@ class Simulator final : public Executor {
     }
   };
 
+  // Pops cancelled tombstones off the queue head so queue_.top(), when it
+  // exists, is always a live event.
+  void settle_head();
   bool pop_and_run();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t cancelled_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::vector<std::uint64_t> cancelled_;  // tombstones of pending events
-  std::vector<std::uint64_t> pending_ids_;  // ids still in the queue
+  // Ids of events scheduled but not yet run or cancelled. An event popped
+  // off the heap whose id is absent here was cancelled (lazy tombstone).
+  std::unordered_set<std::uint64_t> live_;
 };
 
 }  // namespace gfaas::sim

@@ -4,7 +4,12 @@
 // observable through completion records.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
 #include "cluster/experiment.h"
+#include "common/rng.h"
 #include "core/queues.h"
 #include "core/scheduler.h"
 #include "models/zoo.h"
@@ -58,8 +63,98 @@ TEST(GlobalQueueTest, VisitsTracking) {
   GlobalQueue q;
   q.push(make_request(1, 0, 10));
   EXPECT_EQ(q.max_visits(), 0);
-  q.find_mutable(RequestId(1))->visits = 7;
+  for (int i = 1; i <= 7; ++i) EXPECT_EQ(q.bump_visits(RequestId(1)), i);
   EXPECT_EQ(q.max_visits(), 7);
+  EXPECT_EQ(q.find(RequestId(1))->visits, 7);
+}
+
+TEST(GlobalQueueTest, MaxVisitsFallsWhenHolderLeaves) {
+  // The incremental histogram must track removals of the current maximum,
+  // not just increments.
+  GlobalQueue q;
+  q.push(make_request(1, 0, 10));
+  q.push(make_request(2, 1, 20));
+  for (int i = 0; i < 5; ++i) q.bump_visits(RequestId(1));
+  q.bump_visits(RequestId(2));
+  EXPECT_EQ(q.max_visits(), 5);
+  ASSERT_TRUE(q.take(RequestId(1)).ok());
+  EXPECT_EQ(q.max_visits(), 1);
+  ASSERT_TRUE(q.take(RequestId(2)).ok());
+  EXPECT_EQ(q.max_visits(), 0);
+}
+
+TEST(GlobalQueueTest, IndexInvariantsThroughInterleavedPushTake) {
+  GlobalQueue q;
+  q.push(make_request(1, 5, 10));
+  q.push(make_request(2, 7, 20));
+  q.push(make_request(3, 5, 30));
+  ASSERT_TRUE(q.take(RequestId(1)).ok());
+  q.push(make_request(4, 9, 40));
+  ASSERT_TRUE(q.take(RequestId(4)).ok());
+  q.push(make_request(5, 5, 50));
+
+  // first_for_model tracks the earliest survivor per model.
+  EXPECT_EQ(q.first_for_model(ModelId(5))->id, RequestId(3));
+  EXPECT_EQ(q.first_for_model(ModelId(7))->id, RequestId(2));
+  EXPECT_EQ(q.first_for_model(ModelId(9)), nullptr);
+  // pending_models reflects only models with survivors.
+  const auto models = q.pending_models();
+  EXPECT_EQ(models.size(), 2u);
+  // Arrival order is preserved across the holes.
+  EXPECT_EQ(q.in_arrival_order(),
+            (std::vector<RequestId>{RequestId(2), RequestId(3), RequestId(5)}));
+}
+
+TEST(GlobalQueueTest, IteratorMatchesSnapshotUnderRandomOps) {
+  // Property check: the snapshot-free const iteration, the per-model
+  // index, and the incremental max_visits must agree with ground truth
+  // recomputed from in_arrival_order() after every random operation.
+  Rng rng(0xfeed5eed);
+  GlobalQueue q;
+  std::vector<std::int64_t> live;
+  std::int64_t next_id = 1;
+  for (int op = 0; op < 500; ++op) {
+    const std::uint64_t dice = rng.next_below(10);
+    if (dice < 5 || live.empty()) {
+      const std::int64_t id = next_id++;
+      q.push(make_request(id, rng.uniform_int(0, 6), op));
+      live.push_back(id);
+    } else if (dice < 8) {
+      const std::size_t pick = rng.next_below(live.size());
+      q.bump_visits(RequestId(live[pick]));
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      ASSERT_TRUE(q.take(RequestId(live[pick])).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    // Iteration order == snapshot order.
+    const std::vector<RequestId> snapshot = q.in_arrival_order();
+    std::vector<RequestId> iterated;
+    int scan_max = 0;
+    std::map<std::int64_t, RequestId> first_by_model;
+    for (const Request& r : q) {
+      iterated.push_back(r.id);
+      scan_max = std::max(scan_max, r.visits);
+      first_by_model.emplace(r.model.value(), r.id);
+    }
+    ASSERT_EQ(iterated, snapshot);
+    // Incremental max_visits == scan recomputation.
+    ASSERT_EQ(q.max_visits(), scan_max);
+    // Per-model index == scan recomputation, including absent models.
+    ASSERT_EQ(q.pending_models().size(), first_by_model.size());
+    for (std::int64_t model = 0; model <= 6; ++model) {
+      const Request* first = q.first_for_model(ModelId(model));
+      auto expect = first_by_model.find(model);
+      if (expect == first_by_model.end()) {
+        ASSERT_EQ(first, nullptr);
+      } else {
+        ASSERT_NE(first, nullptr);
+        ASSERT_EQ(first->id, expect->second);
+      }
+    }
+  }
+  EXPECT_GT(q.size(), 0u);
 }
 
 TEST(LocalQueuesTest, FifoPerGpu) {

@@ -124,6 +124,75 @@ TEST(SimulatorTest, PendingCountExcludesCancelled) {
   sim.run();
 }
 
+TEST(SimulatorTest, CancelFromInsideSameTimestampEvent) {
+  // An event may cancel a later event scheduled at the SAME timestamp;
+  // the victim is already in the heap, so this exercises the lazy
+  // tombstone path inside the currently-running time step.
+  Simulator sim;
+  bool victim_ran = false;
+  std::uint64_t victim = 0;
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  victim = sim.schedule_at(10, [&] { victim_ran = true; });
+  sim.schedule_at(10, [&] {});  // a live event after the victim still runs
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelOwnFollowupFromEarlierTime) {
+  // Cancelling from strictly earlier simulated time: the victim never
+  // reaches the head of the queue alive.
+  Simulator sim;
+  int fired = 0;
+  const auto victim = sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(10, [&] {
+    EXPECT_TRUE(sim.cancel(victim));
+    EXPECT_FALSE(sim.cancel(victim));  // double cancel still fails
+  });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotRunPastDeadlineOverCancelledHead) {
+  // Regression: a cancelled tombstone inside the deadline must not pull a
+  // live event from beyond the deadline into run_until().
+  Simulator sim;
+  bool late_ran = false;
+  const auto head = sim.schedule_at(5, [] {});
+  sim.schedule_at(50, [&] { late_ran = true; });
+  EXPECT_TRUE(sim.cancel(head));
+  EXPECT_EQ(sim.run_until(10), 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SimulatorTest, PendingEventsAccurateThroughMixedCancelAndRun) {
+  Simulator sim;
+  std::vector<std::uint64_t> ids;
+  for (int i = 1; i <= 6; ++i) {
+    ids.push_back(sim.schedule_at(i * 10, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 6u);
+  EXPECT_TRUE(sim.cancel(ids[1]));
+  EXPECT_TRUE(sim.cancel(ids[4]));
+  EXPECT_EQ(sim.pending_events(), 4u);
+  EXPECT_TRUE(sim.step());  // runs t=10
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_TRUE(sim.step());  // skips cancelled t=20, runs t=30
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_FALSE(sim.cancel(ids[0]));  // already ran
+  EXPECT_EQ(sim.run_until(40), 1u);
+  EXPECT_EQ(sim.pending_events(), 1u);  // t=50 cancelled, t=60 live
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_executed(), 4u);
+}
+
 TEST(SimulatorTest, DeterministicAcrossRuns) {
   auto run_once = [] {
     Simulator sim;
