@@ -1,0 +1,287 @@
+// Cost/latency bench for the elastic fleet controller (src/autoscale).
+//
+// Replays a diurnal (day/night) trace against three fleets:
+//   * fixed    — a peak-sized fixed fleet (the paper's setting, scaled up);
+//   * reactive — Autoscaler + ReactivePolicy (queue-pressure up, sustained
+//                idle down);
+//   * keepalive— Autoscaler + KeepAlivePolicy (Azure-style windowed
+//                keep-alive capacity).
+// and reports, per fleet: GPU-seconds and dollar cost (powered-capacity
+// integral), latency percentiles, fleet-size extremes, and cold-start /
+// retirement counts, plus a sampled fleet-size timeline for every fleet.
+//
+// The headline trade-off this bench exists to show: on a diurnal trace an
+// autoscaled fleet should save >= 30% GPU-seconds against the peak-sized
+// fixed fleet while keeping p99 latency within 2x of the fixed fleet's.
+// The final ACCEPTANCE lines check exactly that for the reactive policy.
+//
+// Usage:
+//   bench_autoscale [--minutes 60] [--period 60] [--trough-rpm 40]
+//                   [--peak-rpm 400] [--burst-prob 0.05] [--burst-mult 1.5]
+//                   [--working-set 25] [--fixed-gpus 20] [--min-gpus 4]
+//                   [--max-gpus 24] [--cold-start-s 20] [--interval-s 5]
+//                   [--keep-alive-s 120]
+//
+// The CI Release job smoke-runs a small fleet / short trace configuration
+// so the subsystem and this harness cannot rot.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "cluster/experiment.h"
+#include "common/log.h"
+#include "metrics/fleet.h"
+#include "metrics/reporter.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+namespace {
+
+struct Options {
+  std::int64_t minutes = 60;
+  std::int64_t period = 60;
+  std::int64_t trough_rpm = 40;
+  std::int64_t peak_rpm = 400;
+  double burst_prob = 0.05;
+  double burst_mult = 1.5;
+  std::size_t working_set = 25;
+  std::size_t fixed_gpus = 20;
+  std::size_t min_gpus = 4;
+  std::size_t max_gpus = 24;
+  SimTime cold_start = sec(20);
+  SimTime interval = sec(5);
+  SimTime keep_alive = sec(120);
+};
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      GFAAS_CHECK(i + 1 < argc) << "missing value for " << flag;
+      return argv[++i];
+    };
+    if (flag == "--minutes") {
+      options->minutes = std::atoll(next());
+    } else if (flag == "--period") {
+      options->period = std::atoll(next());
+    } else if (flag == "--trough-rpm") {
+      options->trough_rpm = std::atoll(next());
+    } else if (flag == "--peak-rpm") {
+      options->peak_rpm = std::atoll(next());
+    } else if (flag == "--burst-prob") {
+      options->burst_prob = std::atof(next());
+    } else if (flag == "--burst-mult") {
+      options->burst_mult = std::atof(next());
+    } else if (flag == "--working-set") {
+      options->working_set = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--fixed-gpus") {
+      options->fixed_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--min-gpus") {
+      options->min_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--max-gpus") {
+      options->max_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--cold-start-s") {
+      options->cold_start = sec(std::atoll(next()));
+    } else if (flag == "--interval-s") {
+      options->interval = sec(std::atoll(next()));
+    } else if (flag == "--keep-alive-s") {
+      options->keep_alive = sec(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return options->minutes > 0 && options->trough_rpm >= 0 &&
+         options->peak_rpm >= options->trough_rpm && options->fixed_gpus >= 1 &&
+         options->min_gpus >= 1 && options->max_gpus >= options->min_gpus;
+}
+
+struct RunResult {
+  std::string name;
+  std::size_t completed = 0;
+  double p50_s = 0, p95_s = 0, p99_s = 0, avg_s = 0;
+  double gpu_seconds = 0;
+  double cost = 0;
+  double fleet_min = 0, fleet_mean = 0, fleet_max = 0;
+  std::int64_t cold_starts = 0, retired = 0;
+  metrics::StepTimeline powered;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+void fill_latencies(const cluster::SchedulerEngine& engine, RunResult* run) {
+  std::vector<double> latencies;
+  double sum = 0;
+  latencies.reserve(engine.completions().size());
+  for (const auto& record : engine.completions()) {
+    latencies.push_back(sim_to_seconds(record.latency()));
+    sum += latencies.back();
+  }
+  std::sort(latencies.begin(), latencies.end());
+  run->completed = latencies.size();
+  run->p50_s = percentile(latencies, 0.50);
+  run->p95_s = percentile(latencies, 0.95);
+  run->p99_s = percentile(latencies, 0.99);
+  run->avg_s = latencies.empty() ? 0 : sum / static_cast<double>(latencies.size());
+}
+
+cluster::ClusterConfig one_gpu_per_node(std::size_t gpus) {
+  // Every fleet uses single-GPU nodes with dedicated PCIe links, matching
+  // what the autoscaler provisions, so fixed vs elastic is apples to
+  // apples on the transfer path.
+  cluster::ClusterConfig config;
+  config.nodes = static_cast<int>(gpus);
+  config.gpus_per_node = 1;
+  config.shared_pcie_per_node = false;
+  return config;
+}
+
+RunResult run_fixed(const Options& options, const trace::Workload& workload,
+                    const metrics::GpuCostModel& cost_model) {
+  cluster::SimCluster cluster(one_gpu_per_node(options.fixed_gpus),
+                              workload.registry);
+  const SimTime makespan = cluster.replay(workload.requests);
+  RunResult run;
+  run.name = "fixed-" + std::to_string(options.fixed_gpus);
+  fill_latencies(cluster.engine(), &run);
+  run.powered.set(0, static_cast<double>(options.fixed_gpus));
+  run.gpu_seconds = run.powered.value_seconds(makespan);
+  run.cost = cost_model.cost(run.gpu_seconds);
+  run.fleet_min = run.fleet_mean = run.fleet_max =
+      static_cast<double>(options.fixed_gpus);
+  return run;
+}
+
+RunResult run_autoscaled(const Options& options, const trace::Workload& workload,
+                         const metrics::GpuCostModel& cost_model,
+                         std::unique_ptr<autoscale::ScalingPolicy> policy) {
+  autoscale::AutoscalerConfig config;
+  config.evaluation_interval = options.interval;
+  config.cold_start = options.cold_start;
+  config.min_gpus = options.min_gpus;
+  config.max_gpus = options.max_gpus;
+
+  cluster::SimCluster cluster(one_gpu_per_node(options.min_gpus), workload.registry);
+  RunResult run;
+  run.name = policy->name();
+  autoscale::Autoscaler scaler(&cluster, std::move(policy), config);
+
+  for (const core::Request& req : workload.requests) {
+    cluster.simulator().schedule_at(req.arrival,
+                                    [&cluster, req] { cluster.engine().submit(req); });
+  }
+  scaler.start(workload.requests.empty() ? 0 : workload.requests.back().arrival);
+  cluster.simulator().run();
+  scaler.finalize();
+  GFAAS_CHECK(cluster.engine().pending() == 0)
+      << cluster.engine().pending() << " requests stranded";
+
+  fill_latencies(cluster.engine(), &run);
+  const SimTime end = cluster.simulator().now();
+  run.powered = scaler.powered_timeline();
+  run.gpu_seconds = scaler.gpu_seconds(end);
+  run.cost = cost_model.cost(run.gpu_seconds);
+  run.fleet_min = run.powered.min_value();
+  run.fleet_mean = run.powered.time_weighted_mean(end);
+  run.fleet_max = run.powered.max_value();
+  run.cold_starts = scaler.counters().gpus_added;
+  run.retired = scaler.counters().gpus_retired;
+  return run;
+}
+
+void print_timelines(const std::vector<RunResult>& runs, SimTime window) {
+  const SimTime step = std::max<SimTime>(minutes(1), window / 12);
+  std::printf("Fleet-size timeline (powered GPUs, sampled every %lld min):\n",
+              static_cast<long long>(step / minutes(1)));
+  std::printf("  %-12s", "t(min)");
+  for (SimTime t = 0; t <= window; t += step) {
+    std::printf("%6lld", static_cast<long long>(t / minutes(1)));
+  }
+  std::printf("\n");
+  for (const RunResult& run : runs) {
+    std::printf("  %-12s", run.name.c_str());
+    for (SimTime t = 0; t <= window; t += step) {
+      std::printf("%6.0f", run.powered.value_at(t));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, &options)) return 1;
+
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = options.working_set;
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = options.minutes;
+  diurnal.period_minutes = options.period;
+  diurnal.trough_rpm = options.trough_rpm;
+  diurnal.peak_rpm = options.peak_rpm;
+  diurnal.burst_probability = options.burst_prob;
+  diurnal.burst_multiplier = options.burst_mult;
+  auto workload = trace::build_diurnal_workload(wconfig, diurnal);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "=== Autoscale: %lld min diurnal window (trough %lld rpm, peak %lld rpm), "
+      "%zu requests, working set %zu ===\n",
+      static_cast<long long>(options.minutes),
+      static_cast<long long>(options.trough_rpm),
+      static_cast<long long>(options.peak_rpm), workload->requests.size(),
+      options.working_set);
+
+  const metrics::GpuCostModel cost_model;
+  std::vector<RunResult> runs;
+  runs.push_back(run_fixed(options, *workload, cost_model));
+  runs.push_back(run_autoscaled(options, *workload, cost_model,
+                                std::make_unique<autoscale::ReactivePolicy>()));
+  autoscale::KeepAlivePolicyConfig keep_alive;
+  keep_alive.keep_alive = options.keep_alive;
+  runs.push_back(
+      run_autoscaled(options, *workload, cost_model,
+                     std::make_unique<autoscale::KeepAlivePolicy>(keep_alive)));
+
+  metrics::Table table({"Fleet", "Done", "GPUs(min/mean/max)", "GPU-s", "Cost($)",
+                        "Avg(s)", "p50(s)", "p95(s)", "p99(s)", "Cold", "Retired"});
+  for (const RunResult& run : runs) {
+    table.add_row({run.name, std::to_string(run.completed),
+                   metrics::Table::fmt(run.fleet_min, 0) + "/" +
+                       metrics::Table::fmt(run.fleet_mean, 1) + "/" +
+                       metrics::Table::fmt(run.fleet_max, 0),
+                   metrics::Table::fmt(run.gpu_seconds, 0),
+                   metrics::Table::fmt(run.cost), metrics::Table::fmt(run.avg_s),
+                   metrics::Table::fmt(run.p50_s), metrics::Table::fmt(run.p95_s),
+                   metrics::Table::fmt(run.p99_s), std::to_string(run.cold_starts),
+                   std::to_string(run.retired)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  print_timelines(runs, minutes(options.minutes));
+
+  const RunResult& fixed = runs[0];
+  const RunResult& reactive = runs[1];
+  const double saving = 1.0 - reactive.gpu_seconds / fixed.gpu_seconds;
+  const double p99_ratio = fixed.p99_s > 0 ? reactive.p99_s / fixed.p99_s : 0;
+  std::printf("\nACCEPTANCE reactive-vs-fixed: GPU-seconds saving %.1f%% (target >= "
+              "30%%): %s\n",
+              saving * 100.0, saving >= 0.30 ? "PASS" : "FAIL");
+  std::printf("ACCEPTANCE reactive-vs-fixed: p99 ratio %.2fx (target <= 2x): %s\n",
+              p99_ratio, p99_ratio <= 2.0 ? "PASS" : "FAIL");
+  return (saving >= 0.30 && p99_ratio <= 2.0) ? 0 : 1;
+}

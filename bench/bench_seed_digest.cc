@@ -10,6 +10,7 @@
 //   ./build/bench_seed_digest | diff before.txt -
 #include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/log.h"
@@ -31,13 +32,9 @@ class Fnv1a {
   std::uint64_t hash_ = 0xcbf29ce484222325ull;
 };
 
-std::uint64_t completion_digest(const cluster::ClusterConfig& config,
-                                const trace::Workload& workload) {
-  cluster::SimCluster cluster(config, workload.registry);
-  cluster.engine().track_duplicates_of(workload.top_model);
-  cluster.replay(workload.requests);
+std::uint64_t completion_digest(const std::vector<core::CompletionRecord>& records) {
   Fnv1a fnv;
-  for (const auto& r : cluster.engine().completions()) {
+  for (const auto& r : records) {
     fnv.add(static_cast<std::uint64_t>(r.id.value()));
     fnv.add(static_cast<std::uint64_t>(r.gpu.value()));
     fnv.add(static_cast<std::uint64_t>(r.arrival));
@@ -62,7 +59,8 @@ int run() {
       config.policy = policy;
       config.o3_limit = options.o3_limit;
       config.cache_policy = options.cache_policy;
-      const auto r = cluster::run_experiment(config, *workload);
+      std::vector<core::CompletionRecord> records;
+      const auto r = cluster::run_experiment(config, *workload, &records);
       std::printf("ws=%zu policy=%s requests=%zu\n", ws, r.policy.c_str(), r.requests);
       std::printf("  avg_latency_s=%a variance=%a p50=%a p95=%a p99=%a\n",
                   r.avg_latency_s, r.latency_variance_s2, r.p50_latency_s,
@@ -73,7 +71,7 @@ int run() {
                   static_cast<long long>(r.evictions),
                   static_cast<long long>(r.model_loads), r.makespan_s);
       std::printf("  completion_digest=%016llx\n",
-                  static_cast<unsigned long long>(completion_digest(config, *workload)));
+                  static_cast<unsigned long long>(completion_digest(records)));
     }
   }
   return 0;

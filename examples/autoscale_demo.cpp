@@ -1,0 +1,74 @@
+// Elastic fleet demo: a 24-minute diurnal trace served by an autoscaled
+// cluster (reactive policy, 2..10 GPUs) — watch the fleet breathe with
+// the traffic, then compare its GPU-seconds bill against a peak-sized
+// fixed fleet.
+//
+//   ./example_autoscale_demo
+#include <cstdio>
+#include <memory>
+
+#include "autoscale/autoscaler.h"
+#include "cluster/experiment.h"
+#include "metrics/fleet.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+int main() {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 15;
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = 24;
+  diurnal.period_minutes = 24;
+  diurnal.trough_rpm = 30;
+  diurnal.peak_rpm = 180;
+  auto workload = trace::build_diurnal_workload(wconfig, diurnal);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload build failed: %s\n",
+                 workload.status().to_string().c_str());
+    return 1;
+  }
+
+  autoscale::AutoscalerConfig config;
+  config.min_gpus = 2;
+  config.max_gpus = 10;
+  config.cold_start = sec(15);
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = static_cast<int>(config.min_gpus);
+  cluster_config.gpus_per_node = 1;
+  cluster_config.shared_pcie_per_node = false;
+
+  cluster::SimCluster cluster(cluster_config, workload->registry);
+  autoscale::Autoscaler scaler(&cluster,
+                               std::make_unique<autoscale::ReactivePolicy>(), config);
+  for (const core::Request& req : workload->requests) {
+    cluster.simulator().schedule_at(req.arrival,
+                                    [&cluster, req] { cluster.engine().submit(req); });
+  }
+  scaler.start(workload->requests.back().arrival);
+  cluster.simulator().run();
+  scaler.finalize();
+
+  const SimTime end = cluster.simulator().now();
+  std::printf("served %zu requests over %.0f min\n",
+              cluster.engine().completions().size(), sim_to_seconds(end) / 60.0);
+  std::printf("fleet size (powered GPUs) per 2 minutes:\n  ");
+  for (SimTime t = 0; t <= end; t += minutes(2)) {
+    std::printf("%3.0f", scaler.powered_timeline().value_at(t));
+  }
+  std::printf("\n");
+  std::printf("cold starts completed: %lld, GPUs drained+retired: %lld\n",
+              static_cast<long long>(scaler.counters().gpus_added),
+              static_cast<long long>(scaler.counters().gpus_retired));
+
+  const metrics::GpuCostModel cost;
+  const double elastic = scaler.gpu_seconds(end);
+  const double fixed =
+      static_cast<double>(config.max_gpus) * sim_to_seconds(end);
+  std::printf("GPU-seconds: autoscaled %.0f vs peak-sized fixed %.0f (saving %.0f%%)\n",
+              elastic, fixed, (1.0 - elastic / fixed) * 100.0);
+  std::printf("cost: $%.2f vs $%.2f at $%.2f/GPU-hour\n", cost.cost(elastic),
+              cost.cost(fixed), cost.dollars_per_gpu_hour);
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "autoscale/autoscaler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gfaas::autoscale {
+
+Autoscaler::Autoscaler(cluster::SimCluster* cluster,
+                       std::unique_ptr<ScalingPolicy> policy, AutoscalerConfig config)
+    : cluster_(cluster), policy_(std::move(policy)), config_(config) {
+  GFAAS_CHECK(cluster_ != nullptr && policy_ != nullptr);
+  GFAAS_CHECK(config_.min_gpus >= 1 && config_.max_gpus >= config_.min_gpus);
+  GFAAS_CHECK(config_.evaluation_interval > 0 && config_.cold_start >= 0);
+}
+
+void Autoscaler::start(SimTime horizon) {
+  GFAAS_CHECK(!started_) << "autoscaler already started";
+  started_ = true;
+  horizon_ = horizon;
+  record_fleet();
+  if (!config_.enabled) return;
+  schedule_tick();
+}
+
+void Autoscaler::finalize() {
+  reap_drained();
+  record_fleet();
+  GFAAS_CHECK(provisioning_ == 0 && draining_.empty())
+      << "finalize with in-flight membership changes";
+}
+
+void Autoscaler::schedule_tick() {
+  cluster_->simulator().schedule_after(config_.evaluation_interval,
+                                       [this] { tick(); });
+}
+
+void Autoscaler::tick() {
+  ++counters_.ticks;
+  reap_drained();
+
+  const FleetView view = snapshot();
+  const ScalingDecision decision = policy_->evaluate(view);
+  apply(decision);
+
+  // Re-arm while the trace is still arriving or the fleet has committed
+  // work / membership changes outstanding; otherwise let the simulator's
+  // event queue drain so the run terminates.
+  const bool keep_ticking = cluster_->simulator().now() < horizon_ ||
+                            cluster_->engine().pending() > 0 || provisioning_ > 0 ||
+                            !draining_.empty();
+  if (keep_ticking) schedule_tick();
+}
+
+FleetView Autoscaler::snapshot() const {
+  const cluster::SchedulerEngine& engine = cluster_->engine();
+  FleetView view;
+  view.now = cluster_->simulator().now();
+  view.schedulable_gpus = engine.schedulable_gpu_count();
+  view.provisioning_gpus = provisioning_;
+  view.draining_gpus = draining_.size();
+  view.idle_gpus = engine.idle_gpu_count();
+  view.queue_len = engine.global_queue().size();
+  view.in_flight = engine.in_flight();
+  view.local_pending = engine.local_queues().total_pending();
+  view.min_gpus = config_.min_gpus;
+  view.max_gpus = config_.max_gpus;
+  return view;
+}
+
+void Autoscaler::apply(const ScalingDecision& decision) {
+  // The min/max clamps live here, not in the policies (policy.h contract):
+  // a decision can never push committed capacity above max_gpus...
+  const std::size_t committed =
+      cluster_->engine().schedulable_gpu_count() + provisioning_;
+  const std::size_t add =
+      std::min(decision.add, config_.max_gpus > committed
+                                 ? config_.max_gpus - committed
+                                 : 0);
+  if (add > 0) {
+    ++counters_.scale_up_decisions;
+    for (std::size_t i = 0; i < add; ++i) begin_cold_start();
+    record_fleet();
+  }
+  if (decision.remove > 0) {
+    ++counters_.scale_down_decisions;
+    begin_drain(decision.remove);
+    reap_drained();  // idle victims with no local work retire immediately
+  }
+}
+
+void Autoscaler::begin_cold_start() {
+  ++provisioning_;
+  cluster_->simulator().schedule_after(config_.cold_start, [this] {
+    GFAAS_CHECK(provisioning_ > 0);
+    --provisioning_;
+    cluster_->add_gpu(config_.spec);
+    ++counters_.gpus_added;
+    record_fleet();
+  });
+}
+
+void Autoscaler::begin_drain(std::size_t count) {
+  // ...and never drain the serving fleet below min_gpus — provisioning
+  // GPUs do not count toward the floor, they cannot serve yet.
+  const std::size_t schedulable = cluster_->engine().schedulable_gpu_count();
+  count = std::min(count, schedulable > config_.min_gpus
+                              ? schedulable - config_.min_gpus
+                              : 0);
+  // Reclaim from the back of the frequency-ordered idle set: the
+  // least-frequently-dispatched idle GPUs hold the coldest models, so
+  // draining them forfeits the least locality.
+  const std::vector<GpuId> idle = cluster_->engine().idle_gpus();
+  count = std::min(count, idle.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const GpuId victim = idle[idle.size() - 1 - i];
+    cluster_->fence_gpu(victim);
+    draining_.push_back(victim);
+  }
+  record_fleet();
+}
+
+void Autoscaler::reap_drained() {
+  bool changed = false;
+  for (auto it = draining_.begin(); it != draining_.end();) {
+    if (cluster_->gpu_drained(*it)) {
+      cluster_->remove_gpu(*it);
+      ++counters_.gpus_retired;
+      it = draining_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) record_fleet();
+}
+
+void Autoscaler::record_fleet() {
+  const SimTime now = cluster_->simulator().now();
+  const double schedulable =
+      static_cast<double>(cluster_->engine().schedulable_gpu_count());
+  powered_.set(now, schedulable + static_cast<double>(provisioning_) +
+                        static_cast<double>(draining_.size()));
+  schedulable_.set(now, schedulable);
+}
+
+}  // namespace gfaas::autoscale

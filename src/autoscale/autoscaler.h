@@ -1,0 +1,113 @@
+// Elastic fleet controller: periodic policy evaluation, cold-start
+// provisioning, and drain-based decommissioning over a SimCluster.
+//
+// The paper's scheduler assumes a fixed fleet; in the serverless setting
+// it targets, the provider adds and reclaims GPUs as traffic breathes.
+// The Autoscaler closes that loop on the simulator:
+//
+//   * every evaluation_interval it snapshots the cluster (queue depth,
+//     idle fraction, in-flight work) into a FleetView and asks the
+//     ScalingPolicy for a decision;
+//   * scale-up models cold start: the GPU is "provisioning" (billed, not
+//     schedulable) for cold_start, then joins the engine's idle set, the
+//     cache, and the cluster-state index via SimCluster::add_gpu — an
+//     immediately backed-up queue starts using it that instant;
+//   * scale-down drains: the least-frequently-dispatched idle GPUs are
+//     fenced (no new dispatches, cached models leave the location index),
+//     finish any committed work, and are removed once drained — their
+//     cached models are dropped and their ClusterStateIndex entries
+//     retired. Ids are never reused.
+//
+// Accounting: a powered-GPU StepTimeline (schedulable + provisioning +
+// draining — what the provider pays for) and a schedulable timeline, from
+// which bench_autoscale integrates GPU-seconds and cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autoscale/policy.h"
+#include "cluster/experiment.h"
+#include "gpu/gpu_spec.h"
+#include "metrics/fleet.h"
+
+namespace gfaas::autoscale {
+
+struct AutoscalerConfig {
+  // When false, start() records the initial fleet and never ticks: the
+  // cluster behaves exactly as a fixed fleet (determinism guard).
+  bool enabled = true;
+  SimTime evaluation_interval = sec(5);
+  // Provisioning delay between a scale-up decision and the GPU joining
+  // the idle set (container pull + process start + runtime init).
+  SimTime cold_start = sec(20);
+  std::size_t min_gpus = 2;
+  std::size_t max_gpus = 64;
+  // Spec of dynamically provisioned GPUs (one per node, dedicated link).
+  gpu::GpuSpec spec = gpu::rtx2080();
+};
+
+struct AutoscalerCounters {
+  std::int64_t ticks = 0;
+  std::int64_t scale_up_decisions = 0;
+  std::int64_t scale_down_decisions = 0;
+  std::int64_t gpus_added = 0;    // cold starts completed
+  std::int64_t gpus_retired = 0;  // drains completed
+};
+
+class Autoscaler {
+ public:
+  // `cluster` must outlive the autoscaler and already hold the initial
+  // fleet (its size should match config.min_gpus for a clean ramp).
+  Autoscaler(cluster::SimCluster* cluster, std::unique_ptr<ScalingPolicy> policy,
+             AutoscalerConfig config);
+
+  // Schedules evaluation ticks. Ticks re-arm while simulated time is
+  // before `horizon` (the last trace arrival) or work/cold-starts/drains
+  // are still pending, so the simulator's event queue drains naturally
+  // once the run is over.
+  void start(SimTime horizon);
+
+  // After the simulator drains: retires any still-fenced GPUs whose work
+  // completed after the final tick, closing the accounting.
+  void finalize();
+
+  const ScalingPolicy& policy() const { return *policy_; }
+  const AutoscalerConfig& config() const { return config_; }
+  const AutoscalerCounters& counters() const { return counters_; }
+
+  // Powered = schedulable + provisioning + draining (billed capacity).
+  const metrics::StepTimeline& powered_timeline() const { return powered_; }
+  const metrics::StepTimeline& schedulable_timeline() const { return schedulable_; }
+  double gpu_seconds(SimTime end) const { return powered_.value_seconds(end); }
+
+  std::size_t provisioning_count() const { return provisioning_; }
+  std::size_t draining_count() const { return draining_.size(); }
+
+ private:
+  void schedule_tick();
+  void tick();
+  FleetView snapshot() const;
+  void apply(const ScalingDecision& decision);
+  void begin_cold_start();
+  void begin_drain(std::size_t count);
+  // Removes fenced GPUs whose committed work has finished.
+  void reap_drained();
+  void record_fleet();
+
+  cluster::SimCluster* cluster_;
+  std::unique_ptr<ScalingPolicy> policy_;
+  AutoscalerConfig config_;
+
+  bool started_ = false;
+  SimTime horizon_ = 0;
+  std::size_t provisioning_ = 0;
+  std::vector<GpuId> draining_;
+
+  metrics::StepTimeline powered_;
+  metrics::StepTimeline schedulable_;
+  AutoscalerCounters counters_;
+};
+
+}  // namespace gfaas::autoscale

@@ -1,0 +1,84 @@
+#include "autoscale/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gfaas::autoscale {
+
+ScalingDecision ReactivePolicy::evaluate(const FleetView& view) {
+  ScalingDecision decision;
+  const std::size_t committed = view.schedulable_gpus + view.provisioning_gpus;
+
+  // --- scale up: queued work per committed GPU above threshold ---
+  const double queue_per_gpu = static_cast<double>(view.queue_len) /
+                               static_cast<double>(std::max<std::size_t>(1, committed));
+  if (queue_per_gpu > config_.queue_per_gpu_up) {
+    high_idle_since_ = -1;  // pressure interrupts any idle stretch
+    if (committed < view.max_gpus && view.now - last_up_ >= config_.up_cooldown) {
+      // Size the fleet so the queue spreads back down to the threshold;
+      // the pressure test above guarantees want > committed.
+      const auto want = static_cast<std::size_t>(std::ceil(
+          static_cast<double>(view.queue_len) / config_.queue_per_gpu_up));
+      std::size_t add = want - committed;
+      add = std::min(add, config_.max_step_up);
+      add = std::min(add, view.max_gpus - committed);
+      decision.add = add;
+      last_up_ = view.now;
+    }
+    return decision;
+  }
+
+  // --- scale down: sustained high idle fraction with an empty queue ---
+  const double idle_fraction =
+      view.schedulable_gpus > 0
+          ? static_cast<double>(view.idle_gpus) /
+                static_cast<double>(view.schedulable_gpus)
+          : 0.0;
+  const bool surplus = view.queue_len == 0 && view.provisioning_gpus == 0 &&
+                       idle_fraction >= config_.idle_fraction_down;
+  if (!surplus) {
+    high_idle_since_ = -1;
+    return decision;
+  }
+  if (high_idle_since_ < 0) high_idle_since_ = view.now;
+  if (view.now - high_idle_since_ < config_.down_stability) return decision;
+  if (view.now - last_down_ < config_.down_cooldown) return decision;
+  if (view.schedulable_gpus <= view.min_gpus) return decision;
+
+  // Reclaim at most half the idle set per decision so a single quiet tick
+  // cannot gut the fleet.
+  std::size_t remove = std::max<std::size_t>(1, view.idle_gpus / 2);
+  remove = std::min(remove, config_.max_step_down);
+  remove = std::min(remove, view.schedulable_gpus - view.min_gpus);
+  if (remove > 0) {
+    decision.remove = remove;
+    last_down_ = view.now;
+  }
+  return decision;
+}
+
+ScalingDecision KeepAlivePolicy::evaluate(const FleetView& view) {
+  window_.emplace_back(view.now, view.demand());
+  while (!window_.empty() && window_.front().first + config_.keep_alive < view.now) {
+    window_.pop_front();
+  }
+  std::size_t peak = 0;
+  for (const auto& [when, demand] : window_) peak = std::max(peak, demand);
+
+  auto target = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(peak) * config_.headroom));
+  target = std::max(target, view.min_gpus);
+  target = std::min(target, view.max_gpus);
+
+  ScalingDecision decision;
+  const std::size_t committed = view.schedulable_gpus + view.provisioning_gpus;
+  if (target > committed) {
+    decision.add = target - committed;
+  } else if (committed > target) {
+    // Only idle GPUs are reclaimable; busy surplus waits for a later tick.
+    decision.remove = std::min(committed - target, view.idle_gpus);
+  }
+  return decision;
+}
+
+}  // namespace gfaas::autoscale

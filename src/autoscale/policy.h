@@ -1,0 +1,114 @@
+// Scaling policies for the elastic fleet controller (src/autoscale).
+//
+// The Autoscaler periodically snapshots the cluster into a FleetView and
+// asks the configured ScalingPolicy how many GPUs to add or reclaim.
+// Policies are pure decision logic: provisioning delays, drain mechanics
+// and min/max clamping all live in the Autoscaler, so policies stay
+// trivially unit-testable.
+//
+// Policies:
+//   * ReactivePolicy  — scales up on global-queue pressure (queued
+//                       requests per powered GPU) and down on sustained
+//                       idle fraction, with independent cooldowns. The
+//                       classic threshold autoscaler.
+//   * KeepAlivePolicy — Azure-Functions-style windowed keep-alive: the
+//                       fleet tracks the peak concurrency demand observed
+//                       over a trailing window, so capacity persists for
+//                       `keep_alive` after a burst instead of collapsing
+//                       the moment traffic dips.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/time.h"
+
+namespace gfaas::autoscale {
+
+// What a policy sees at each evaluation tick.
+struct FleetView {
+  SimTime now = 0;
+  std::size_t schedulable_gpus = 0;  // joined and not fenced
+  std::size_t provisioning_gpus = 0; // cold-starting, not yet joined
+  std::size_t draining_gpus = 0;     // fenced, finishing committed work
+  std::size_t idle_gpus = 0;         // idle among schedulable
+  std::size_t queue_len = 0;         // global queue
+  std::size_t in_flight = 0;         // running on a GPU
+  std::size_t local_pending = 0;     // waiting in local queues
+  std::size_t min_gpus = 0;          // autoscaler floor/ceiling
+  std::size_t max_gpus = 0;
+
+  // Powered capacity the provider is paying for or has committed to.
+  std::size_t powered() const {
+    return schedulable_gpus + provisioning_gpus + draining_gpus;
+  }
+  // Instantaneous concurrency demand.
+  std::size_t demand() const { return in_flight + queue_len + local_pending; }
+};
+
+struct ScalingDecision {
+  std::size_t add = 0;
+  std::size_t remove = 0;
+};
+
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual ScalingDecision evaluate(const FleetView& view) = 0;
+};
+
+struct ReactivePolicyConfig {
+  // Scale up when queued requests per (schedulable + provisioning) GPU
+  // exceed this; the step sizes the fleet toward queue_len / this.
+  double queue_per_gpu_up = 1.0;
+  // Scale down when idle_gpus / schedulable_gpus stays at or above this...
+  double idle_fraction_down = 0.5;
+  // ...continuously for this long (resets whenever pressure returns).
+  SimTime down_stability = sec(45);
+  SimTime up_cooldown = sec(15);
+  SimTime down_cooldown = sec(60);
+  std::size_t max_step_up = 8;
+  std::size_t max_step_down = 2;
+};
+
+class ReactivePolicy final : public ScalingPolicy {
+ public:
+  explicit ReactivePolicy(ReactivePolicyConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "reactive"; }
+  ScalingDecision evaluate(const FleetView& view) override;
+
+ private:
+  ReactivePolicyConfig config_;
+  // "Long ago" without risking overflow in now() - last_*_ deltas.
+  SimTime last_up_ = -(kSimTimeMax / 2);
+  SimTime last_down_ = -(kSimTimeMax / 2);
+  // Start of the current uninterrupted high-idle stretch (-1: none).
+  SimTime high_idle_since_ = -1;
+};
+
+struct KeepAlivePolicyConfig {
+  // How long observed peak demand keeps capacity alive.
+  SimTime keep_alive = minutes(2);
+  // Provision slightly above the windowed peak to absorb ramps.
+  double headroom = 1.15;
+};
+
+class KeepAlivePolicy final : public ScalingPolicy {
+ public:
+  explicit KeepAlivePolicy(KeepAlivePolicyConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "keepalive"; }
+  ScalingDecision evaluate(const FleetView& view) override;
+
+ private:
+  KeepAlivePolicyConfig config_;
+  // (time, demand) samples inside the trailing keep-alive window.
+  std::deque<std::pair<SimTime, std::size_t>> window_;
+};
+
+}  // namespace gfaas::autoscale

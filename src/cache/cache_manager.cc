@@ -90,6 +90,14 @@ Bytes GpuCacheState::size_of(ModelId model) const {
   return it == sizes_.end() ? 0 : it->second;
 }
 
+std::vector<ModelId> GpuCacheState::models() const {
+  std::vector<ModelId> out;
+  out.reserve(sizes_.size());
+  for (const auto& [id, size] : sizes_) out.push_back(ModelId(id));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 CacheManager::CacheManager(PolicyKind policy, datastore::KvStore* store)
     : policy_(policy), store_(store) {}
 
@@ -99,6 +107,55 @@ void CacheManager::add_gpu(GpuId gpu, Bytes capacity) {
   if (gpus_.size() <= index) gpus_.resize(index + 1);
   GFAAS_CHECK(gpus_[index] == nullptr) << "gpu " << gpu.value() << " already added";
   gpus_[index] = std::make_unique<GpuCacheState>(gpu, capacity, policy_);
+}
+
+std::size_t CacheManager::gpu_count() const {
+  std::size_t count = 0;
+  for (const auto& state : gpus_) {
+    if (state != nullptr) ++count;
+  }
+  return count;
+}
+
+void CacheManager::index_location(GpuId gpu, ModelId model) {
+  GFAAS_CHECK(locations_[model.value()].insert(gpu.value()).second)
+      << "location index out of sync for model " << model.value();
+  mirror_locations(model);
+}
+
+void CacheManager::deindex_location(GpuId gpu, ModelId model) {
+  auto it = locations_.find(model.value());
+  GFAAS_CHECK(it != locations_.end() && it->second.erase(gpu.value()) == 1)
+      << "location index out of sync for model " << model.value();
+  if (it->second.empty()) locations_.erase(it);
+  mirror_locations(model);
+}
+
+void CacheManager::fence_gpu(GpuId gpu) {
+  GFAAS_CHECK(fenced_.insert(gpu.value()).second)
+      << "gpu " << gpu.value() << " already fenced";
+  for (ModelId model : state(gpu).models()) deindex_location(gpu, model);
+}
+
+void CacheManager::unfence_gpu(GpuId gpu) {
+  GFAAS_CHECK(fenced_.erase(gpu.value()) == 1)
+      << "gpu " << gpu.value() << " is not fenced";
+  for (ModelId model : state(gpu).models()) index_location(gpu, model);
+}
+
+void CacheManager::remove_gpu(GpuId gpu) {
+  GFAAS_CHECK(is_fenced(gpu)) << "gpu " << gpu.value() << " must be fenced first";
+  GpuCacheState& st = mutable_state(gpu);
+  GFAAS_CHECK(!st.any_pinned()) << "gpu " << gpu.value() << " removed with pinned model";
+  // Resident models are already absent from locations_ (fenced); drop the
+  // per-GPU state wholesale. These are decommission drops, not cache
+  // pressure, so stats().evictions is not touched.
+  for (ModelId model : st.models()) GFAAS_CHECK(st.remove(model).ok());
+  fenced_.erase(gpu.value());
+  gpus_[static_cast<std::size_t>(gpu.value())] = nullptr;
+  if (store_ != nullptr) {
+    store_->put(datastore::keys::gpu_lru(gpu), "");
+  }
 }
 
 const GpuCacheState& CacheManager::state(GpuId gpu) const {
@@ -141,23 +198,20 @@ Status CacheManager::record_eviction(GpuId gpu, ModelId model) {
   Status s = mutable_state(gpu).remove(model);
   if (!s.ok()) return s;
   ++stats_.evictions;
-  auto it = locations_.find(model.value());
-  GFAAS_CHECK(it != locations_.end() && it->second.erase(gpu.value()) == 1)
-      << "location index out of sync for model " << model.value();
-  if (it->second.empty()) locations_.erase(it);
   mirror_to_store(gpu);
-  mirror_locations(model);
+  // A fenced GPU's entries were already pulled from the location index.
+  if (!is_fenced(gpu)) deindex_location(gpu, model);
   return Status::Ok();
 }
 
 Status CacheManager::record_insertion(GpuId gpu, ModelId model, Bytes size) {
+  GFAAS_CHECK(!is_fenced(gpu))
+      << "insertion on fenced gpu " << gpu.value() << " (drain dispatched new work?)";
   Status s = mutable_state(gpu).insert(model, size);
   if (!s.ok()) return s;
   ++stats_.misses;
-  GFAAS_CHECK(locations_[model.value()].insert(gpu.value()).second)
-      << "location index out of sync for model " << model.value();
   mirror_to_store(gpu);
-  mirror_locations(model);
+  index_location(gpu, model);
   return Status::Ok();
 }
 

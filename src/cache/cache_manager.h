@@ -61,6 +61,10 @@ class GpuCacheState {
   void pin(ModelId model);
   void unpin(ModelId model);
   bool pinned(ModelId model) const;
+  bool any_pinned() const { return !pin_counts_.empty(); }
+
+  // Resident models in ascending id order (drain/fence enumeration).
+  std::vector<ModelId> models() const;
 
   // Victims (in policy order, skipping pinned models) whose removal frees
   // at least `needed` bytes beyond current free space. Fails if even
@@ -84,9 +88,28 @@ class CacheManager {
   // tests that exercise the manager standalone.
   CacheManager(PolicyKind policy, datastore::KvStore* store = nullptr);
 
-  // Registers a GPU's memory as a managed cache (called at cluster build).
+  // Registers a GPU's memory as a managed cache (called at cluster build,
+  // or by the autoscaler when a cold-started GPU joins the fleet).
   void add_gpu(GpuId gpu, Bytes capacity);
-  std::size_t gpu_count() const { return gpus_.size(); }
+  std::size_t gpu_count() const;
+
+  // --- dynamic membership (elastic fleets, src/autoscale) ---
+  // Fences a draining GPU: its entries leave the model -> GPUs location
+  // index (so the Scheduler stops routing toward its cached models), while
+  // the per-GPU state stays live for the in-flight request's pin/unpin and
+  // hit bookkeeping. locations()/cached_anywhere()/duplicate_count() never
+  // report fenced holders.
+  void fence_gpu(GpuId gpu);
+  // Reverses fence_gpu (aborted scale-down): entries rejoin the index.
+  void unfence_gpu(GpuId gpu);
+  // Retires a fenced GPU, evicting all resident models. No model may be
+  // pinned (i.e. the GPU must have drained its in-flight work first).
+  void remove_gpu(GpuId gpu);
+  bool is_fenced(GpuId gpu) const { return fenced_.count(gpu.value()) > 0; }
+  bool is_registered(GpuId gpu) const {
+    const auto index = static_cast<std::size_t>(gpu.value());
+    return gpu.valid() && index < gpus_.size() && gpus_[index] != nullptr;
+  }
 
   // --- queries used by the Scheduler ---
   bool is_cached(GpuId gpu, ModelId model) const;
@@ -126,12 +149,20 @@ class CacheManager {
 
  private:
   GpuCacheState& mutable_state(GpuId gpu);
+  // Checked locations_ maintenance (insert/erase + datastore mirror); every
+  // index mutation funnels through these two.
+  void index_location(GpuId gpu, ModelId model);
+  void deindex_location(GpuId gpu, ModelId model);
   void mirror_to_store(GpuId gpu);
   void mirror_locations(ModelId model);
 
   PolicyKind policy_;
   datastore::KvStore* store_;
-  std::vector<std::unique_ptr<GpuCacheState>> gpus_;  // indexed by GpuId value
+  // Indexed by GpuId value; removed GPUs leave a null slot (ids are never
+  // reused, matching ClusterStateIndex).
+  std::vector<std::unique_ptr<GpuCacheState>> gpus_;
+  // GPUs currently fenced for drain: excluded from locations_.
+  std::set<std::int64_t> fenced_;
   // Global model -> holder-GPU index, maintained on insertion/eviction.
   // Ordered by GPU id so enumerations (and the datastore mirror) match
   // the ascending-id order a full GPU scan would produce. A model with no

@@ -7,6 +7,7 @@ namespace gfaas::cluster {
 const ClusterStateIndex::PerGpu& ClusterStateIndex::state(GpuId gpu) const {
   const auto index = static_cast<std::size_t>(gpu.value());
   GFAAS_CHECK(gpu.valid() && index < gpus_.size()) << "unknown gpu " << gpu.value();
+  GFAAS_CHECK(gpus_[index].registered) << "gpu " << gpu.value() << " was removed";
   return gpus_[index];
 }
 
@@ -14,35 +15,75 @@ ClusterStateIndex::PerGpu& ClusterStateIndex::state(GpuId gpu) {
   return const_cast<PerGpu&>(static_cast<const ClusterStateIndex*>(this)->state(gpu));
 }
 
+void ClusterStateIndex::enter_sets(const PerGpu& s, GpuId gpu) {
+  if (!s.idle || s.fenced) return;
+  GFAAS_CHECK(idle_.emplace(s.dispatches, gpu.value()).second);
+  if (s.local_pending > 0) {
+    GFAAS_CHECK(serviceable_.emplace(s.dispatches, gpu.value()).second);
+  }
+}
+
+void ClusterStateIndex::leave_sets(const PerGpu& s, GpuId gpu) {
+  if (!s.idle || s.fenced) return;
+  GFAAS_CHECK(idle_.erase({s.dispatches, gpu.value()}) == 1);
+  if (s.local_pending > 0) {
+    GFAAS_CHECK(serviceable_.erase({s.dispatches, gpu.value()}) == 1);
+  }
+}
+
 void ClusterStateIndex::add_gpu(GpuId gpu) {
   GFAAS_CHECK(gpu.valid());
   GFAAS_CHECK(static_cast<std::size_t>(gpu.value()) == gpus_.size())
-      << "gpu ids must be registered densely from 0";
+      << "gpu ids must be registered densely from 0 (ids are never reused)";
   gpus_.emplace_back();
-  idle_.emplace(0, gpu.value());
+  gpus_.back().registered = true;
+  ++schedulable_count_;
+  enter_sets(gpus_.back(), gpu);
+}
+
+void ClusterStateIndex::fence(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  GFAAS_CHECK(!s.fenced) << "gpu " << gpu.value() << " already fenced";
+  leave_sets(s, gpu);
+  s.fenced = true;
+  --schedulable_count_;
+}
+
+void ClusterStateIndex::unfence(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  GFAAS_CHECK(s.fenced) << "gpu " << gpu.value() << " is not fenced";
+  s.fenced = false;
+  ++schedulable_count_;
+  enter_sets(s, gpu);
+}
+
+void ClusterStateIndex::remove_gpu(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  GFAAS_CHECK(s.fenced) << "gpu " << gpu.value() << " must be fenced before removal";
+  GFAAS_CHECK(s.idle && s.local_pending == 0 && s.local_work == 0)
+      << "gpu " << gpu.value() << " removed before draining";
+  s.registered = false;
 }
 
 void ClusterStateIndex::mark_busy(GpuId gpu) {
   PerGpu& s = state(gpu);
   GFAAS_CHECK(s.idle) << "gpu " << gpu.value() << " already busy";
+  leave_sets(s, gpu);
   s.idle = false;
-  GFAAS_CHECK(idle_.erase({s.dispatches, gpu.value()}) == 1);
 }
 
 void ClusterStateIndex::mark_idle(GpuId gpu) {
   PerGpu& s = state(gpu);
   GFAAS_CHECK(!s.idle) << "gpu " << gpu.value() << " already idle";
   s.idle = true;
-  idle_.emplace(s.dispatches, gpu.value());
+  enter_sets(s, gpu);
 }
 
 void ClusterStateIndex::record_dispatch(GpuId gpu) {
   PerGpu& s = state(gpu);
-  if (s.idle) {
-    GFAAS_CHECK(idle_.erase({s.dispatches, gpu.value()}) == 1);
-  }
+  leave_sets(s, gpu);
   ++s.dispatches;
-  if (s.idle) idle_.emplace(s.dispatches, gpu.value());
+  enter_sets(s, gpu);
 }
 
 void ClusterStateIndex::set_committed_finish(GpuId gpu, SimTime finish) {
@@ -56,6 +97,27 @@ void ClusterStateIndex::add_local_work(GpuId gpu, SimTime delta) {
       << "negative local-queue work aggregate on gpu " << gpu.value();
 }
 
+void ClusterStateIndex::add_local_request(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  if (++s.local_pending == 1 && s.idle && !s.fenced) {
+    GFAAS_CHECK(serviceable_.emplace(s.dispatches, gpu.value()).second);
+  }
+}
+
+void ClusterStateIndex::pop_local_request(GpuId gpu) {
+  PerGpu& s = state(gpu);
+  GFAAS_CHECK(s.local_pending > 0)
+      << "local-queue count underflow on gpu " << gpu.value();
+  if (--s.local_pending == 0 && s.idle && !s.fenced) {
+    GFAAS_CHECK(serviceable_.erase({s.dispatches, gpu.value()}) == 1);
+  }
+}
+
+GpuId ClusterStateIndex::first_idle_with_local_work() const {
+  if (serviceable_.empty()) return GpuId();
+  return GpuId(serviceable_.begin()->second);
+}
+
 std::vector<GpuId> ClusterStateIndex::idle_gpus() const {
   std::vector<GpuId> out;
   out.reserve(idle_.size());
@@ -66,7 +128,9 @@ std::vector<GpuId> ClusterStateIndex::idle_gpus() const {
 std::vector<GpuId> ClusterStateIndex::busy_gpus() const {
   std::vector<GpuId> out;
   for (std::size_t id = 0; id < gpus_.size(); ++id) {
-    if (!gpus_[id].idle) out.push_back(GpuId(static_cast<std::int64_t>(id)));
+    if (gpus_[id].registered && !gpus_[id].idle) {
+      out.push_back(GpuId(static_cast<std::int64_t>(id)));
+    }
   }
   return out;
 }

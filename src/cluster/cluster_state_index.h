@@ -10,11 +10,20 @@
 //   * idle GPUs, ordered by dispatch frequency (most-dispatched first,
 //     ties by id): Algorithm 1's "sorted by frequency" input, O(#idle) to
 //     enumerate, O(log #gpus) to maintain;
+//   * idle GPUs with pending local-queue work, in the same order: the
+//     serve-local head of Algorithm 1 (lines 2-5) as an O(1) lookup
+//     instead of an idle-set scan per dispatch;
 //   * busy GPUs in id order: O(#busy) to enumerate;
 //   * per-GPU committed finish time + local-queue work aggregate: the two
 //     integer terms of estimated_finish_time(), O(1) to read. SimTime is
 //     integer microseconds, so the running local-work sum is exact (no
 //     float drift against a per-invocation re-sum).
+//
+// Membership is dynamic (elastic fleets, src/autoscale): GPUs join with
+// add_gpu, leave through fence -> remove_gpu. A fenced GPU keeps its
+// physical idle/busy state but is excluded from both ordered sets, so the
+// policies never see it as a dispatch target while it drains; remove_gpu
+// retires the id permanently (ids are never reused).
 #pragma once
 
 #include <cstdint>
@@ -29,46 +38,75 @@ namespace gfaas::cluster {
 
 class ClusterStateIndex {
  public:
-  // Registers a GPU (initially idle, zero dispatches). Ids must be dense
-  // from 0, matching the engine's GPU numbering.
+  // Registers a GPU (initially idle, unfenced, zero dispatches). Ids must
+  // be dense from 0, matching the engine's GPU numbering; retired ids
+  // stay reserved, so new GPUs always get fresh ids.
   void add_gpu(GpuId gpu);
 
+  // Total ids ever registered (including retired ones).
   std::size_t gpu_count() const { return gpus_.size(); }
+  // Registered and not fenced: the GPUs the policies may target.
+  std::size_t schedulable_count() const { return schedulable_count_; }
   std::size_t idle_count() const { return idle_.size(); }
+
+  // --- membership transitions (elastic fleet) ---
+  // Fences the GPU: it leaves the idle/serviceable sets and stops being a
+  // dispatch target; physical state keeps updating while it drains.
+  void fence(GpuId gpu);
+  // Reverses fence (an aborted scale-down): the GPU rejoins the sets.
+  void unfence(GpuId gpu);
+  // Retires a drained GPU (must be fenced, idle, with no local work).
+  void remove_gpu(GpuId gpu);
+  bool is_fenced(GpuId gpu) const { return state(gpu).fenced; }
+  bool is_registered(GpuId gpu) const {
+    const auto index = static_cast<std::size_t>(gpu.value());
+    return gpu.valid() && index < gpus_.size() && gpus_[index].registered;
+  }
 
   // --- transitions (engine mutation points) ---
   void mark_busy(GpuId gpu);
   void mark_idle(GpuId gpu);
-  // Counts a dispatch for the frequency ordering; reorders the idle set
-  // entry if the GPU is currently idle.
+  // Counts a dispatch for the frequency ordering; reorders the ordered-set
+  // entries if the GPU currently appears in them.
   void record_dispatch(GpuId gpu);
   void set_committed_finish(GpuId gpu, SimTime finish);
   // Adjusts the local-queue work aggregate (positive on push, negative on
   // pop of the corresponding request's inference time).
   void add_local_work(GpuId gpu, SimTime delta);
+  // Tracks the local-queue request count behind first_idle_with_local_work.
+  void add_local_request(GpuId gpu);
+  void pop_local_request(GpuId gpu);
 
   // --- O(1) lookups ---
   bool is_idle(GpuId gpu) const { return state(gpu).idle; }
   std::int64_t dispatch_count(GpuId gpu) const { return state(gpu).dispatches; }
   SimTime committed_finish(GpuId gpu) const { return state(gpu).committed_finish; }
   SimTime local_work(GpuId gpu) const { return state(gpu).local_work; }
+  std::int64_t local_pending(GpuId gpu) const { return state(gpu).local_pending; }
+
+  // First GPU in idle order that is unfenced and has local-queue work
+  // (invalid id if none): the serve-local target of Algorithm 1.
+  GpuId first_idle_with_local_work() const;
 
   // --- enumerations ---
-  // Idle GPUs, most-dispatched first, ties broken by ascending id;
-  // O(#idle) off the incrementally ordered set.
+  // Schedulable idle GPUs, most-dispatched first, ties broken by ascending
+  // id; O(#idle) off the incrementally ordered set.
   std::vector<GpuId> idle_gpus() const;
-  // Busy GPUs in ascending id order. Derived from the per-GPU flags in
-  // O(#gpus): since Algorithm 2 moved onto the cache location index this
-  // is a cold diagnostic path, not worth an ordered set maintained on
-  // every dispatch/completion transition.
+  // Registered busy GPUs in ascending id order. Derived from the per-GPU
+  // flags in O(#gpus): since Algorithm 2 moved onto the cache location
+  // index this is a cold diagnostic path, not worth an ordered set
+  // maintained on every dispatch/completion transition.
   std::vector<GpuId> busy_gpus() const;
 
  private:
   struct PerGpu {
+    bool registered = false;
     bool idle = true;
+    bool fenced = false;
     std::int64_t dispatches = 0;
     SimTime committed_finish = 0;
     SimTime local_work = 0;
+    std::int64_t local_pending = 0;
   };
   // (dispatches, id) ordered most-dispatched first, then id ascending.
   struct IdleOrder {
@@ -78,12 +116,20 @@ class ClusterStateIndex {
       return a.second < b.second;
     }
   };
+  using OrderedSet = std::set<std::pair<std::int64_t, std::int64_t>, IdleOrder>;
 
   const PerGpu& state(GpuId gpu) const;
   PerGpu& state(GpuId gpu);
+  // Inserts/erases the GPU in the ordered sets according to its flags.
+  void enter_sets(const PerGpu& s, GpuId gpu);
+  void leave_sets(const PerGpu& s, GpuId gpu);
 
   std::vector<PerGpu> gpus_;  // indexed by GpuId value
-  std::set<std::pair<std::int64_t, std::int64_t>, IdleOrder> idle_;
+  // Idle, unfenced GPUs in dispatch-frequency order.
+  OrderedSet idle_;
+  // Subset of idle_ with local_pending > 0, same order.
+  OrderedSet serviceable_;
+  std::size_t schedulable_count_ = 0;
 };
 
 }  // namespace gfaas::cluster

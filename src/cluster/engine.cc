@@ -37,6 +37,41 @@ void SchedulerEngine::submit(core::Request request) {
   run_policy();
 }
 
+void SchedulerEngine::add_gpu(gpu::VirtualGpu* gpu, GpuManager* manager) {
+  GFAAS_CHECK(gpu != nullptr && manager != nullptr && manager->manages(gpu->id()));
+  gpus_.push_back(gpu);
+  if (std::find(managers_.begin(), managers_.end(), manager) == managers_.end()) {
+    managers_.push_back(manager);
+  }
+  index_.add_gpu(gpu->id());
+  local_queues_.ensure_gpu_count(static_cast<std::size_t>(gpu->id().value()) + 1);
+  // A scale-up during a backed-up queue must take effect immediately.
+  run_policy();
+}
+
+void SchedulerEngine::fence_gpu(GpuId gpu) {
+  index_.fence(gpu);
+  cache_->fence_gpu(gpu);
+  // If the GPU is sitting idle over a non-empty local queue (fenced
+  // between policy invocations), start the drain now; completions chain
+  // the rest in on_completion().
+  if (index_.is_idle(gpu) && index_.local_pending(gpu) > 0) {
+    dispatch_from_local(gpu);
+  }
+}
+
+void SchedulerEngine::unfence_gpu(GpuId gpu) {
+  cache_->unfence_gpu(gpu);
+  index_.unfence(gpu);
+  run_policy();
+}
+
+void SchedulerEngine::remove_gpu(GpuId gpu) {
+  GFAAS_CHECK(drained(gpu)) << "gpu " << gpu.value() << " removed before draining";
+  index_.remove_gpu(gpu);
+  cache_->remove_gpu(gpu);
+}
+
 SimTime SchedulerEngine::now() const { return executor_->now(); }
 
 std::vector<GpuId> SchedulerEngine::idle_gpus() const {
@@ -82,6 +117,7 @@ void SchedulerEngine::dispatch_from_local(GpuId gpu) {
   auto req = local_queues_.pop_head(gpu);
   GFAAS_CHECK(req.has_value()) << "local queue of gpu " << gpu.value() << " empty";
   index_.add_local_work(gpu, -infer_time(req->model, req->batch));
+  index_.pop_local_request(gpu);
   // Drop the pin taken at move time; execution re-pins for its duration.
   GFAAS_CHECK(cache_->unpin(gpu, req->model).ok());
   start_execution(std::move(*req), gpu, /*false_miss=*/false, /*via_local_queue=*/true);
@@ -94,6 +130,7 @@ void SchedulerEngine::move_to_local(RequestId request, GpuId gpu) {
   // queue would otherwise lose its guaranteed hit.
   GFAAS_CHECK(cache_->pin(gpu, req->model).ok()) << "move to gpu without cached model";
   index_.add_local_work(gpu, infer_time(req->model, req->batch));
+  index_.add_local_request(gpu);
   local_queues_.push(gpu, std::move(req).value());
 }
 
@@ -126,6 +163,12 @@ void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
   if (!record.cache_hit) miss_series_.count(record.completed);
   if (completion_hook_) completion_hook_(record);
   update_duplicates_meter();
+  // A draining GPU is invisible to the policy, so the engine serves out
+  // its local queue directly — those requests pinned its cached models and
+  // must finish here.
+  if (index_.is_fenced(record.gpu) && index_.local_pending(record.gpu) > 0) {
+    dispatch_from_local(record.gpu);
+  }
   run_policy();
 }
 

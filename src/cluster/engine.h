@@ -36,6 +36,31 @@ class SchedulerEngine final : public core::SchedulingContext {
   // Submits an arriving request; invokes the policy.
   void submit(core::Request request);
 
+  // --- dynamic fleet membership (src/autoscale) ---
+  // Joins a provisioned GPU (fresh, densely numbered id): it enters the
+  // idle set and the cache index, and the policy runs immediately so a
+  // backed-up global queue can use it at once. `manager` must already
+  // manage the GPU; both pointers must outlive the engine.
+  void add_gpu(gpu::VirtualGpu* gpu, GpuManager* manager);
+  // Begins draining: the GPU leaves the idle/location indexes (no new
+  // dispatches, its cached models stop attracting requests), finishes its
+  // in-flight work, and serves out its local queue — those requests hold
+  // pins on its cached models and would strand anywhere else.
+  void fence_gpu(GpuId gpu);
+  // Aborts a drain: the GPU rejoins the indexes and the policy runs.
+  void unfence_gpu(GpuId gpu);
+  // Retires a drained GPU (fenced, idle, empty local queue) permanently.
+  void remove_gpu(GpuId gpu);
+  bool is_fenced(GpuId gpu) const { return index_.is_fenced(gpu); }
+  // Whether a fenced GPU has finished all committed work and can be removed.
+  bool drained(GpuId gpu) const {
+    return index_.is_fenced(gpu) && index_.is_idle(gpu) &&
+           index_.local_pending(gpu) == 0;
+  }
+  // GPUs the policy may currently target (registered and not fenced).
+  std::size_t schedulable_gpu_count() const { return index_.schedulable_count(); }
+  std::size_t idle_gpu_count() const { return index_.idle_count(); }
+
   // Optional per-completion hook (e.g. the Gateway resolving a future).
   void set_completion_hook(std::function<void(const core::CompletionRecord&)> hook) {
     completion_hook_ = std::move(hook);
@@ -49,6 +74,7 @@ class SchedulerEngine final : public core::SchedulingContext {
   std::size_t pending() const {
     return global_queue_.size() + local_queues_.total_pending() + in_flight_;
   }
+  std::size_t in_flight() const { return in_flight_; }
   std::int64_t false_misses() const { return false_misses_; }
   double average_top_duplicates(SimTime now) const {
     return duplicates_meter_.average(now);
@@ -73,9 +99,16 @@ class SchedulerEngine final : public core::SchedulingContext {
   SimTime now() const override;
   std::vector<GpuId> idle_gpus() const override;
   std::vector<GpuId> busy_gpus() const override;
-  bool is_idle(GpuId gpu) const override { return index_.is_idle(gpu); }
+  // Fenced GPUs report busy to the policies: they must not be targeted
+  // while draining even if physically idle between local-queue requests.
+  bool is_idle(GpuId gpu) const override {
+    return index_.is_idle(gpu) && !index_.is_fenced(gpu);
+  }
   std::int64_t dispatch_count(GpuId gpu) const override {
     return index_.dispatch_count(gpu);
+  }
+  GpuId first_idle_with_local_work() const override {
+    return index_.first_idle_with_local_work();
   }
   const core::GlobalQueue& global_queue() const override { return global_queue_; }
   core::GlobalQueue& mutable_global_queue() override { return global_queue_; }

@@ -59,6 +59,20 @@ SimCluster::SimCluster(const ClusterConfig& config,
 
 SimCluster::~SimCluster() = default;
 
+GpuId SimCluster::add_gpu(const gpu::GpuSpec& spec) {
+  const GpuId id(static_cast<std::int64_t>(gpus_.size()));
+  links_.push_back(std::make_unique<gpu::PcieLink>(spec.pcie_gbps, spec.pcie_latency));
+  gpus_.push_back(std::make_unique<gpu::VirtualGpu>(id, spec, links_.back().get()));
+  cache_->add_gpu(id, gpus_.back()->memory_capacity());
+  managers_.push_back(std::make_unique<GpuManager>(
+      NodeId(static_cast<std::int64_t>(managers_.size())), simulator_.get(),
+      store_.get(), cache_.get(), registry_.get(), oracle_.get(),
+      std::vector<gpu::VirtualGpu*>{gpus_.back().get()},
+      config_.execute_real_inference));
+  engine_->add_gpu(gpus_.back().get(), managers_.back().get());
+  return id;
+}
+
 SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
   for (const core::Request& req : requests) {
     simulator_->schedule_at(req.arrival,
@@ -75,7 +89,8 @@ SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
 }
 
 ExperimentResult run_experiment(const ClusterConfig& config,
-                                const trace::Workload& workload) {
+                                const trace::Workload& workload,
+                                std::vector<core::CompletionRecord>* completions_out) {
   SimCluster cluster(config, workload.registry);
   cluster.engine().track_duplicates_of(workload.top_model);
 
@@ -119,6 +134,7 @@ ExperimentResult run_experiment(const ClusterConfig& config,
   result.model_loads = loads;
   result.avg_top_duplicates = cluster.engine().average_top_duplicates(makespan);
   result.makespan_s = sim_to_seconds(makespan);
+  if (completions_out != nullptr) *completions_out = completions;
   return result;
 }
 

@@ -37,8 +37,11 @@ struct ExperimentResult {
 };
 
 // Runs one experiment (deterministic for a given config + workload).
+// `completions`, when non-null, receives the full completion-record
+// stream (bench_seed_digest hashes it without a second simulation).
 ExperimentResult run_experiment(const ClusterConfig& config,
-                                const trace::Workload& workload);
+                                const trace::Workload& workload,
+                                std::vector<core::CompletionRecord>* completions = nullptr);
 
 // A fully-assembled simulated cluster, for callers that need to drive the
 // simulation themselves (examples, integration tests, the Gateway
@@ -60,6 +63,17 @@ class SimCluster {
   // Schedules all requests at their arrival times and runs to completion.
   // Returns the makespan (time of last completion).
   SimTime replay(const std::vector<core::Request>& requests);
+
+  // --- elastic fleet membership (driven by autoscale::Autoscaler) ---
+  // Provisions one GPU as its own node (dedicated PCIe link and GPU
+  // Manager) and joins it to the cache/engine. Ids are dense and never
+  // reused; the VirtualGpu object stays owned (and addressable through
+  // gpu()) after removal so post-run accounting can still read it.
+  GpuId add_gpu(const gpu::GpuSpec& spec);
+  void fence_gpu(GpuId gpu) { engine_->fence_gpu(gpu); }
+  void unfence_gpu(GpuId gpu) { engine_->unfence_gpu(gpu); }
+  void remove_gpu(GpuId gpu) { engine_->remove_gpu(gpu); }
+  bool gpu_drained(GpuId gpu) const { return engine_->drained(gpu); }
 
  private:
   ClusterConfig config_;

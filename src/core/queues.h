@@ -82,6 +82,12 @@ class LocalQueues {
  public:
   explicit LocalQueues(std::size_t gpu_count) : queues_(gpu_count) {}
 
+  // Grows the per-GPU queue vector to cover ids < `gpu_count` (elastic
+  // scale-up; never shrinks — retired GPU ids keep an empty slot).
+  void ensure_gpu_count(std::size_t gpu_count) {
+    if (queues_.size() < gpu_count) queues_.resize(gpu_count);
+  }
+
   void push(GpuId gpu, Request request);
   std::optional<Request> pop_head(GpuId gpu);
   const Request* head(GpuId gpu) const;

@@ -141,15 +141,14 @@ void LalbScheduler::schedule_in_order(SchedulingContext& ctx) {
   // arrival order; each is placed with locality awareness.
   while (true) {
     // Local queues have absolute priority on idle GPUs (Algorithm 1 l.2-5).
-    bool served_local = false;
-    for (GpuId gpu : ctx.idle_gpus()) {
-      if (!ctx.local_queues().empty(gpu)) {
-        ctx.dispatch_from_local(gpu);
-        served_local = true;
-        break;  // idle set changed; re-enumerate
-      }
+    // The engine's index tracks idle GPUs with pending local work in the
+    // same frequency order the old idle-set scan used, so the serve-local
+    // head costs O(1) per dispatch instead of O(#idle).
+    const GpuId local_gpu = ctx.first_idle_with_local_work();
+    if (local_gpu.valid()) {
+      ctx.dispatch_from_local(local_gpu);
+      continue;
     }
-    if (served_local) continue;
 
     const Request* head = ctx.global_queue().head();
     if (head == nullptr) return;

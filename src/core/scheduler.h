@@ -51,6 +51,10 @@ class SchedulingContext {
   // candidates, the "first in idle order" is the one maximizing
   // (dispatch_count, lowest id).
   virtual std::int64_t dispatch_count(GpuId gpu) const = 0;
+  // First GPU in idle order with pending local-queue work (invalid id if
+  // none): the serve-local head of Algorithm 1 as an O(1) index lookup, so
+  // policies never enumerate the idle set just to find queued local work.
+  virtual GpuId first_idle_with_local_work() const = 0;
 
   virtual const GlobalQueue& global_queue() const = 0;
   virtual GlobalQueue& mutable_global_queue() = 0;

@@ -1,0 +1,67 @@
+#include "metrics/fleet.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace gfaas::metrics {
+
+void StepTimeline::set(SimTime t, double value) {
+  GFAAS_CHECK(steps_.empty() || t >= steps_.back().first)
+      << "timeline steps must be non-decreasing in time";
+  if (!steps_.empty() && steps_.back().first == t) {
+    steps_.back().second = value;
+    return;
+  }
+  if (!steps_.empty() && steps_.back().second == value) return;
+  steps_.emplace_back(t, value);
+}
+
+double StepTimeline::value_at(SimTime t) const {
+  double value = 0.0;
+  for (const auto& [start, v] : steps_) {
+    if (start > t) break;
+    value = v;
+  }
+  return value;
+}
+
+double StepTimeline::min_value() const {
+  double out = steps_.empty() ? 0.0 : steps_.front().second;
+  for (const auto& [start, v] : steps_) out = std::min(out, v);
+  return out;
+}
+
+double StepTimeline::max_value() const {
+  double out = 0.0;
+  for (const auto& [start, v] : steps_) out = std::max(out, v);
+  return out;
+}
+
+double StepTimeline::integral(SimTime until) const {
+  double area = 0.0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const SimTime start = steps_[i].first;
+    if (start >= until) break;
+    const SimTime end = (i + 1 < steps_.size()) ? std::min(steps_[i + 1].first, until)
+                                                : until;
+    area += steps_[i].second * static_cast<double>(end - start);
+  }
+  return area;
+}
+
+double StepTimeline::time_weighted_mean(SimTime until) const {
+  return until > 0 ? integral(until) / static_cast<double>(until) : 0.0;
+}
+
+std::string StepTimeline::to_csv() const {
+  std::ostringstream out;
+  out << "time_s,value\n";
+  for (const auto& [start, v] : steps_) {
+    out << sim_to_seconds(start) << "," << v << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gfaas::metrics

@@ -1,0 +1,63 @@
+// Fleet-size accounting for elastic clusters (src/autoscale).
+//
+// StepTimeline records a piecewise-constant integer-ish signal (the number
+// of powered / schedulable GPUs) as explicit steps over simulated time, so
+// the autoscaling benches can print the fleet-size evolution, integrate
+// GPU-seconds exactly, and compare policies. TimeWeightedAverage already
+// integrates such signals but keeps only the running mean; the benches
+// additionally need the step history (timeline printouts, CSV) and
+// min/max, hence a dedicated type.
+//
+// GpuCostModel converts integrated GPU-seconds into dollars at a flat
+// $/GPU-hour rate — the serverless provider's cost side of the
+// cost/latency trade-off bench_autoscale sweeps.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gfaas::metrics {
+
+class StepTimeline {
+ public:
+  // Records the signal value from time `t` on (t must be non-decreasing;
+  // a second set() at the same t overwrites the step). Before the first
+  // step the signal is 0.
+  void set(SimTime t, double value);
+
+  bool empty() const { return steps_.empty(); }
+  double current() const { return steps_.empty() ? 0.0 : steps_.back().second; }
+  // Value of the signal at time t (0 before the first step).
+  double value_at(SimTime t) const;
+  // Extremes over the recorded steps (0 if empty).
+  double min_value() const;
+  double max_value() const;
+
+  // Exact integral of the signal over [0, until] in value x simulated
+  // microseconds; value_seconds() converts to value x seconds (e.g.
+  // GPU-seconds when the signal counts powered GPUs).
+  double integral(SimTime until) const;
+  double value_seconds(SimTime until) const { return integral(until) / 1e6; }
+  double time_weighted_mean(SimTime until) const;
+
+  const std::vector<std::pair<SimTime, double>>& steps() const { return steps_; }
+
+  // CSV: "time_s,value" per step.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> steps_;  // (start time, value)
+};
+
+struct GpuCostModel {
+  double dollars_per_gpu_hour = 1.10;  // on-demand cloud GPU list price
+
+  double cost(double gpu_seconds) const {
+    return gpu_seconds / 3600.0 * dollars_per_gpu_hour;
+  }
+};
+
+}  // namespace gfaas::metrics

@@ -1,6 +1,7 @@
 #include "trace/workload.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/log.h"
@@ -83,18 +84,34 @@ std::string arrival_process_name(ArrivalProcess process) {
 }
 
 StatusOr<Workload> build_workload(const AzureTrace& trace, const WorkloadConfig& config) {
+  if (config.window_minutes <= 0) {
+    return Status::InvalidArgument("window must cover at least one minute");
+  }
+  return build_rate_workload(
+      trace, config,
+      std::vector<std::int64_t>(static_cast<std::size_t>(config.window_minutes),
+                                config.requests_per_minute));
+}
+
+StatusOr<Workload> build_rate_workload(const AzureTrace& trace,
+                                       const WorkloadConfig& config,
+                                       const std::vector<std::int64_t>& rates) {
+  const auto window_minutes = static_cast<std::int64_t>(rates.size());
   if (config.working_set_size == 0) {
     return Status::InvalidArgument("working set must be non-empty");
+  }
+  if (rates.empty()) {
+    return Status::InvalidArgument("rate envelope must cover at least one minute");
   }
   if (trace.rows.size() < config.working_set_size) {
     return Status::InvalidArgument("trace has fewer functions than working set");
   }
-  if (trace.minutes < config.window_minutes) {
+  if (trace.minutes < window_minutes) {
     return Status::InvalidArgument("trace shorter than requested window");
   }
 
   Rng rng(config.seed);
-  const auto ranking = trace.rank_by_popularity(config.window_minutes);
+  const auto ranking = trace.rank_by_popularity(window_minutes);
   const auto catalog_order = size_interleaved_catalog_order();
   const auto& catalog = models::table1_catalog();
 
@@ -120,15 +137,16 @@ StatusOr<Workload> build_workload(const AzureTrace& trace, const WorkloadConfig&
   std::int64_t next_request_id = 0;
   std::int64_t top_count = 0;
   std::vector<std::int64_t> per_model_total(config.working_set_size, 0);
-  for (std::int64_t minute = 0; minute < config.window_minutes; ++minute) {
+  for (std::int64_t minute = 0; minute < window_minutes; ++minute) {
+    const std::int64_t minute_requests = rates[static_cast<std::size_t>(minute)];
     std::int64_t minute_total = 0;
     for (std::size_t row : selected_rows) {
       minute_total += trace.rows[row].per_minute[static_cast<std::size_t>(minute)];
     }
-    if (minute_total == 0) continue;
+    if (minute_total == 0 || minute_requests <= 0) continue;
 
-    // Largest-remainder apportionment of requests_per_minute across the
-    // working set, proportional to the trace counts.
+    // Largest-remainder apportionment of the minute's request budget
+    // across the working set, proportional to the trace counts.
     std::vector<std::int64_t> quota(config.working_set_size, 0);
     std::vector<std::pair<double, std::size_t>> remainders;
     std::int64_t assigned = 0;
@@ -136,14 +154,13 @@ StatusOr<Workload> build_workload(const AzureTrace& trace, const WorkloadConfig&
       const double exact =
           static_cast<double>(
               trace.rows[selected_rows[k]].per_minute[static_cast<std::size_t>(minute)]) *
-          static_cast<double>(config.requests_per_minute) /
-          static_cast<double>(minute_total);
+          static_cast<double>(minute_requests) / static_cast<double>(minute_total);
       quota[k] = static_cast<std::int64_t>(exact);
       assigned += quota[k];
       remainders.emplace_back(exact - static_cast<double>(quota[k]), k);
     }
     std::sort(remainders.rbegin(), remainders.rend());
-    for (std::size_t i = 0; assigned < config.requests_per_minute; ++i, ++assigned) {
+    for (std::size_t i = 0; assigned < minute_requests; ++i, ++assigned) {
       ++quota[remainders[i % remainders.size()].second];
     }
 
@@ -200,6 +217,39 @@ StatusOr<Workload> build_standard_workload(const WorkloadConfig& config,
   synth.minutes = config.window_minutes;
   const AzureTrace trace = synthesize_azure_trace(synth);
   return build_workload(trace, config);
+}
+
+std::vector<std::int64_t> diurnal_rates(const DiurnalConfig& config) {
+  GFAAS_CHECK(config.window_minutes > 0 && config.period_minutes > 0);
+  GFAAS_CHECK(config.trough_rpm >= 0 && config.peak_rpm >= config.trough_rpm);
+  Rng rng(config.seed);
+  std::vector<std::int64_t> rates;
+  rates.reserve(static_cast<std::size_t>(config.window_minutes));
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::int64_t m = 0; m < config.window_minutes; ++m) {
+    const double phase =
+        kTwoPi * static_cast<double>(m) / static_cast<double>(config.period_minutes);
+    // Raised cosine: trough at minute 0, peak half a period later.
+    double rate = static_cast<double>(config.trough_rpm) +
+                  static_cast<double>(config.peak_rpm - config.trough_rpm) * 0.5 *
+                      (1.0 - std::cos(phase));
+    if (config.burst_probability > 0 &&
+        rng.uniform() < config.burst_probability) {
+      rate *= config.burst_multiplier;
+    }
+    rates.push_back(static_cast<std::int64_t>(rate + 0.5));
+  }
+  return rates;
+}
+
+StatusOr<Workload> build_diurnal_workload(const WorkloadConfig& config,
+                                          const DiurnalConfig& diurnal,
+                                          std::uint64_t trace_seed) {
+  SynthesizerConfig synth;
+  synth.seed = trace_seed;
+  synth.minutes = diurnal.window_minutes;
+  const AzureTrace trace = synthesize_azure_trace(synth);
+  return build_rate_workload(trace, config, diurnal_rates(diurnal));
 }
 
 }  // namespace gfaas::trace

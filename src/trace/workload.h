@@ -64,4 +64,40 @@ StatusOr<Workload> build_workload(const AzureTrace& trace, const WorkloadConfig&
 StatusOr<Workload> build_standard_workload(const WorkloadConfig& config,
                                            std::uint64_t trace_seed = 42);
 
+// --- elastic-fleet workloads (src/autoscale) ---
+//
+// Serverless traffic breathes: the per-minute request rate follows a
+// day/night cycle with optional bursts on top. The envelope below drives
+// the autoscaling experiments (bench_autoscale) the same way the constant
+// requests_per_minute drives the paper grid.
+
+// Per-minute request-rate envelope: a raised cosine between trough_rpm
+// (minute 0) and peak_rpm (minute period_minutes / 2), repeated across
+// the window, with each minute independently surged to
+// burst_multiplier x rate with probability burst_probability.
+struct DiurnalConfig {
+  std::int64_t window_minutes = 60;
+  std::int64_t period_minutes = 60;  // one full trough -> peak -> trough cycle
+  std::int64_t trough_rpm = 40;
+  std::int64_t peak_rpm = 400;
+  double burst_probability = 0.0;  // per-minute surge chance
+  double burst_multiplier = 2.0;
+  std::uint64_t seed = 11;  // burst placement only; the shape is exact
+};
+
+std::vector<std::int64_t> diurnal_rates(const DiurnalConfig& config);
+
+// Builds a workload whose minute m carries rates[m] requests instead of
+// the constant requests_per_minute; rates.size() overrides
+// config.window_minutes. Everything else (working set, apportionment,
+// arrival process, seeding) follows build_workload.
+StatusOr<Workload> build_rate_workload(const AzureTrace& trace,
+                                       const WorkloadConfig& config,
+                                       const std::vector<std::int64_t>& rates);
+
+// Convenience: synthesized calibrated trace + diurnal envelope.
+StatusOr<Workload> build_diurnal_workload(const WorkloadConfig& config,
+                                          const DiurnalConfig& diurnal,
+                                          std::uint64_t trace_seed = 42);
+
 }  // namespace gfaas::trace

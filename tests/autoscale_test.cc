@@ -1,0 +1,681 @@
+// Elastic-fleet tests: dynamic GPU membership invariants in
+// ClusterStateIndex and CacheManager (add/fence/remove mid-run), the
+// engine's drain/cold-start semantics, the scaling policies, the
+// Autoscaler end-to-end, and the determinism guard asserting the paper
+// grid is bit-identical with the autoscaler disabled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "cache/cache_manager.h"
+#include "cluster/cluster_state_index.h"
+#include "common/rng.h"
+#include "metrics/fleet.h"
+#include "testing/builders.h"
+#include "trace/workload.h"
+
+namespace gfaas::autoscale {
+namespace {
+
+using cluster::ClusterStateIndex;
+using testkit::head_registry;
+using testkit::make_request;
+
+// ---------------------------------------------------------------------------
+// ClusterStateIndex membership
+// ---------------------------------------------------------------------------
+
+TEST(ClusterStateIndexTest, FenceRemovesFromIdleEnumeration) {
+  ClusterStateIndex index;
+  for (int i = 0; i < 3; ++i) index.add_gpu(GpuId(i));
+  EXPECT_EQ(index.schedulable_count(), 3u);
+  index.fence(GpuId(1));
+  EXPECT_EQ(index.schedulable_count(), 2u);
+  EXPECT_TRUE(index.is_fenced(GpuId(1)));
+  EXPECT_TRUE(index.is_idle(GpuId(1)));  // physically idle, just fenced
+  const auto idle = index.idle_gpus();
+  EXPECT_EQ(idle.size(), 2u);
+  EXPECT_TRUE(std::find(idle.begin(), idle.end(), GpuId(1)) == idle.end());
+  index.unfence(GpuId(1));
+  EXPECT_EQ(index.idle_gpus().size(), 3u);
+}
+
+TEST(ClusterStateIndexTest, RemoveRetiresIdAndRejectsLookups) {
+  ClusterStateIndex index;
+  index.add_gpu(GpuId(0));
+  index.add_gpu(GpuId(1));
+  index.fence(GpuId(0));
+  index.remove_gpu(GpuId(0));
+  EXPECT_FALSE(index.is_registered(GpuId(0)));
+  EXPECT_TRUE(index.is_registered(GpuId(1)));
+  EXPECT_EQ(index.gpu_count(), 2u);  // ids stay reserved
+  EXPECT_EQ(index.schedulable_count(), 1u);
+  EXPECT_EQ(index.idle_gpus().size(), 1u);
+  // New GPUs keep dense numbering after a removal.
+  index.add_gpu(GpuId(2));
+  EXPECT_EQ(index.idle_gpus().size(), 2u);
+  EXPECT_DEATH(index.mark_busy(GpuId(0)), "removed");
+}
+
+TEST(ClusterStateIndexTest, RemoveBeforeDrainDies) {
+  ClusterStateIndex index;
+  index.add_gpu(GpuId(0));
+  EXPECT_DEATH(index.remove_gpu(GpuId(0)), "fenced");
+  index.fence(GpuId(0));
+  index.mark_busy(GpuId(0));
+  EXPECT_DEATH(index.remove_gpu(GpuId(0)), "drain");
+}
+
+TEST(ClusterStateIndexTest, ServiceableTracksIdleLocalWorkInFrequencyOrder) {
+  ClusterStateIndex index;
+  for (int i = 0; i < 3; ++i) index.add_gpu(GpuId(i));
+  EXPECT_FALSE(index.first_idle_with_local_work().valid());
+
+  // gpu2 is hottest (2 dispatches), gpu1 has 1, gpu0 none.
+  for (GpuId gpu : {GpuId(2), GpuId(2), GpuId(1)}) index.record_dispatch(gpu);
+  index.add_local_request(GpuId(1));
+  index.add_local_request(GpuId(2));
+  EXPECT_EQ(index.first_idle_with_local_work(), GpuId(2));  // most dispatched
+
+  index.mark_busy(GpuId(2));  // busy GPUs are not serviceable
+  EXPECT_EQ(index.first_idle_with_local_work(), GpuId(1));
+  index.fence(GpuId(1));  // fenced GPUs are not serviceable
+  EXPECT_FALSE(index.first_idle_with_local_work().valid());
+  index.unfence(GpuId(1));
+  EXPECT_EQ(index.first_idle_with_local_work(), GpuId(1));
+  index.pop_local_request(GpuId(1));
+  EXPECT_FALSE(index.first_idle_with_local_work().valid());
+  index.mark_idle(GpuId(2));
+  EXPECT_EQ(index.first_idle_with_local_work(), GpuId(2));
+}
+
+// Randomized add/fence/unfence/busy/idle/dispatch/local-queue churn,
+// cross-checked against a naive full-rescan model after every step.
+TEST(ClusterStateIndexTest, RandomizedMembershipMatchesFullRescan) {
+  struct Naive {
+    bool registered = false, idle = true, fenced = false;
+    std::int64_t dispatches = 0, local_pending = 0;
+  };
+  ClusterStateIndex index;
+  std::vector<Naive> naive;
+  Rng rng(1234);
+
+  auto naive_idle_order = [&] {
+    std::vector<std::pair<std::int64_t, std::int64_t>> keys;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      const Naive& n = naive[i];
+      if (n.registered && n.idle && !n.fenced) {
+        keys.emplace_back(-n.dispatches, static_cast<std::int64_t>(i));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    std::vector<GpuId> out;
+    for (const auto& [neg, id] : keys) out.push_back(GpuId(id));
+    return out;
+  };
+  auto naive_first_serviceable = [&] {
+    GpuId best;
+    std::int64_t best_dispatches = -1;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      const Naive& n = naive[i];
+      if (!n.registered || !n.idle || n.fenced || n.local_pending == 0) continue;
+      if (n.dispatches > best_dispatches) {  // strict >: lowest id wins ties
+        best_dispatches = n.dispatches;
+        best = GpuId(static_cast<std::int64_t>(i));
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto op = rng.next_below(8);
+    const auto pick = [&]() -> std::int64_t {
+      return naive.empty()
+                 ? -1
+                 : static_cast<std::int64_t>(rng.next_below(naive.size()));
+    };
+    if (op == 0 || naive.empty()) {
+      const GpuId id(static_cast<std::int64_t>(naive.size()));
+      index.add_gpu(id);
+      naive.emplace_back().registered = true;
+    } else if (op == 1) {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered && !n.fenced) {
+        index.fence(GpuId(g));
+        n.fenced = true;
+      }
+    } else if (op == 2) {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered && n.fenced) {
+        // Half the time retire a drained GPU, half the time abort the drain.
+        if (n.idle && n.local_pending == 0 && rng.next_below(2) == 0) {
+          index.remove_gpu(GpuId(g));
+          n.registered = false;
+        } else {
+          index.unfence(GpuId(g));
+          n.fenced = false;
+        }
+      }
+    } else if (op == 3) {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered && n.idle) {
+        index.mark_busy(GpuId(g));
+        n.idle = false;
+      }
+    } else if (op == 4) {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered && !n.idle) {
+        index.mark_idle(GpuId(g));
+        n.idle = true;
+      }
+    } else if (op == 5) {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered) {
+        index.record_dispatch(GpuId(g));
+        ++n.dispatches;
+      }
+    } else if (op == 6) {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered) {
+        index.add_local_request(GpuId(g));
+        ++n.local_pending;
+      }
+    } else {
+      const std::int64_t g = pick();
+      Naive& n = naive[static_cast<std::size_t>(g)];
+      if (n.registered && n.local_pending > 0) {
+        index.pop_local_request(GpuId(g));
+        --n.local_pending;
+      }
+    }
+    ASSERT_EQ(index.idle_gpus(), naive_idle_order()) << "step " << step;
+    ASSERT_EQ(index.first_idle_with_local_work(), naive_first_serviceable())
+        << "step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CacheManager membership
+// ---------------------------------------------------------------------------
+
+TEST(CacheMembershipTest, FenceHidesHolderFromLocationIndex) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  cache.add_gpu(GpuId(0), GiB(1));
+  cache.add_gpu(GpuId(1), GiB(1));
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(7), MiB(100)).ok());
+  ASSERT_TRUE(cache.record_insertion(GpuId(1), ModelId(7), MiB(100)).ok());
+  EXPECT_EQ(cache.duplicate_count(ModelId(7)), 2u);
+
+  cache.fence_gpu(GpuId(0));
+  // The scheduler-facing views stop reporting the draining holder...
+  EXPECT_EQ(cache.locations(ModelId(7)), std::vector<GpuId>{GpuId(1)});
+  EXPECT_EQ(cache.duplicate_count(ModelId(7)), 1u);
+  // ...while the per-GPU truth stays live for in-flight bookkeeping.
+  EXPECT_TRUE(cache.is_cached(GpuId(0), ModelId(7)));
+  EXPECT_TRUE(cache.record_access(GpuId(0), ModelId(7)).ok());
+
+  cache.unfence_gpu(GpuId(0));
+  EXPECT_EQ(cache.locations(ModelId(7)).size(), 2u);
+}
+
+TEST(CacheMembershipTest, FencedSoleHolderIsNotCachedAnywhere) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  cache.add_gpu(GpuId(0), GiB(1));
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(3), MiB(100)).ok());
+  EXPECT_TRUE(cache.cached_anywhere(ModelId(3)));
+  cache.fence_gpu(GpuId(0));
+  EXPECT_FALSE(cache.cached_anywhere(ModelId(3)));
+  EXPECT_TRUE(cache.locations(ModelId(3)).empty());
+}
+
+TEST(CacheMembershipTest, RemoveDropsResidentModelsAndRetiresSlot) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  cache.add_gpu(GpuId(0), GiB(1));
+  cache.add_gpu(GpuId(1), GiB(1));
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(1), MiB(100)).ok());
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(2), MiB(100)).ok());
+  const std::int64_t evictions_before = cache.stats().evictions;
+
+  cache.fence_gpu(GpuId(0));
+  cache.remove_gpu(GpuId(0));
+  EXPECT_EQ(cache.gpu_count(), 1u);
+  EXPECT_FALSE(cache.is_registered(GpuId(0)));
+  EXPECT_TRUE(cache.is_registered(GpuId(1)));
+  // Decommission drops are not cache-pressure evictions.
+  EXPECT_EQ(cache.stats().evictions, evictions_before);
+  EXPECT_DEATH(cache.is_cached(GpuId(0), ModelId(1)), "unknown gpu");
+}
+
+TEST(CacheMembershipTest, RemoveWithPinnedModelDies) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  cache.add_gpu(GpuId(0), GiB(1));
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(1), MiB(100)).ok());
+  ASSERT_TRUE(cache.pin(GpuId(0), ModelId(1)).ok());
+  cache.fence_gpu(GpuId(0));
+  EXPECT_DEATH(cache.remove_gpu(GpuId(0)), "pinned");
+  ASSERT_TRUE(cache.unpin(GpuId(0), ModelId(1)).ok());
+  cache.remove_gpu(GpuId(0));  // drained now
+}
+
+TEST(CacheMembershipTest, EvictionOnFencedGpuSkipsLocationIndex) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  cache.add_gpu(GpuId(0), GiB(1));
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(1), MiB(100)).ok());
+  cache.fence_gpu(GpuId(0));
+  ASSERT_TRUE(cache.record_eviction(GpuId(0), ModelId(1)).ok());
+  EXPECT_FALSE(cache.cached_anywhere(ModelId(1)));
+  cache.unfence_gpu(GpuId(0));  // nothing resident: no index entries return
+  EXPECT_TRUE(cache.locations(ModelId(1)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine drain / cold-start semantics
+// ---------------------------------------------------------------------------
+
+TEST(EngineMembershipTest, ScaleUpDuringFullGlobalQueueDrainsToNewGpu) {
+  auto built = testkit::ClusterBuilder().nodes(1).gpus_per_node(1).models(1).build();
+  cluster::SimCluster& cluster = *built;
+
+  // Backlog: one runs, four wait in the global queue.
+  for (int i = 0; i < 5; ++i) {
+    cluster.simulator().schedule_at(0, [&cluster, i] {
+      cluster.engine().submit(make_request(i, 0, 0));
+    });
+  }
+  // Provisioned GPU joins mid-backlog; the policy must use it immediately.
+  GpuId added;
+  cluster.simulator().schedule_at(sec(1), [&cluster, &added] {
+    EXPECT_GT(cluster.engine().global_queue().size(), 0u);
+    added = cluster.add_gpu(gpu::rtx2080());
+  });
+  cluster.simulator().run();
+
+  ASSERT_EQ(cluster.engine().completions().size(), 5u);
+  int on_added = 0;
+  for (const auto& record : cluster.engine().completions()) {
+    if (record.gpu == added) ++on_added;
+  }
+  EXPECT_GT(on_added, 0);
+  EXPECT_EQ(cluster.engine().schedulable_gpu_count(), 2u);
+}
+
+TEST(EngineMembershipTest, ScaleDownDrainsInFlightAndLocalQueueWork) {
+  // inception.v3 has the catalog's widest load/infer gap, so follow-up
+  // requests queue locally on the warm GPU (see cluster_test). Fencing
+  // that GPU mid-burst must finish the in-flight hit AND the local queue
+  // on it, then report drained.
+  models::ModelRegistry registry;
+  models::ModelProfile inception = *models::find_model("inception.v3");
+  inception.id = ModelId(0);
+  ASSERT_TRUE(registry.register_model(inception).ok());
+  cluster::ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  config.policy = core::PolicyName::kLalb;
+  cluster::SimCluster cluster(config, registry);
+  auto& engine = cluster.engine();
+
+  cluster.simulator().schedule_at(0, [&] { engine.submit(make_request(0, 0, 0)); });
+  cluster.simulator().run();
+  const GpuId hot = engine.completions().at(0).gpu;
+
+  cluster.simulator().schedule_at(sec(10), [&] {
+    engine.submit(make_request(1, 0, sec(10)));
+    engine.submit(make_request(2, 0, sec(10)));
+    engine.submit(make_request(3, 0, sec(10)));
+  });
+  cluster.simulator().schedule_at(sec(10) + usec(1), [&, hot] {
+    ASSERT_EQ(engine.local_queues().size(hot), 2u);
+    cluster.fence_gpu(hot);
+    EXPECT_TRUE(engine.is_fenced(hot));
+    EXPECT_FALSE(cluster.gpu_drained(hot));
+    // The draining holder no longer attracts requests.
+    EXPECT_TRUE(cluster.cache().locations(ModelId(0)).empty());
+  });
+  cluster.simulator().run();
+
+  ASSERT_EQ(engine.completions().size(), 4u);
+  for (const auto& record : engine.completions()) {
+    EXPECT_EQ(record.gpu, hot);  // committed work finished on the fenced GPU
+  }
+  EXPECT_TRUE(cluster.gpu_drained(hot));
+  cluster.remove_gpu(hot);
+  EXPECT_EQ(engine.schedulable_gpu_count(), 1u);
+
+  // Post-removal traffic lands on the surviving GPU as a plain cold miss.
+  cluster.simulator().schedule_at(sec(60),
+                                  [&] { engine.submit(make_request(4, 0, sec(60))); });
+  cluster.simulator().run();
+  const auto& last = engine.completions().back();
+  EXPECT_NE(last.gpu, hot);
+  EXPECT_FALSE(last.cache_hit);
+  EXPECT_FALSE(last.false_miss);  // fenced/removed holders don't count
+}
+
+TEST(EngineMembershipTest, FenceIdleGpuWithQueuedLocalWorkStartsDrainImmediately) {
+  models::ModelRegistry registry;
+  models::ModelProfile inception = *models::find_model("inception.v3");
+  inception.id = ModelId(0);
+  ASSERT_TRUE(registry.register_model(inception).ok());
+  cluster::ClusterConfig config;
+  config.nodes = 1;
+  config.gpus_per_node = 2;
+  config.policy = core::PolicyName::kLalb;
+  cluster::SimCluster cluster(config, registry);
+  auto& engine = cluster.engine();
+
+  cluster.simulator().schedule_at(0, [&] { engine.submit(make_request(0, 0, 0)); });
+  cluster.simulator().run();
+  const GpuId hot = engine.completions().at(0).gpu;
+
+  // Build a local queue, then fence at the exact completion instant: the
+  // engine serves the fenced GPU's local queue without policy help.
+  cluster.simulator().schedule_at(sec(10), [&] {
+    engine.submit(make_request(1, 0, sec(10)));
+    engine.submit(make_request(2, 0, sec(10)));
+  });
+  cluster.simulator().schedule_at(sec(10) + usec(1), [&, hot] {
+    ASSERT_EQ(engine.local_queues().size(hot), 1u);
+    cluster.fence_gpu(hot);
+  });
+  cluster.simulator().run();
+  EXPECT_EQ(engine.completions().size(), 3u);
+  EXPECT_TRUE(cluster.gpu_drained(hot));
+}
+
+TEST(EngineMembershipTest, UnfenceAbortsDrainAndRestoresLocality) {
+  auto built = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).models(1).build();
+  cluster::SimCluster& cluster = *built;
+  auto& engine = cluster.engine();
+
+  cluster.simulator().schedule_at(0, [&] { engine.submit(make_request(0, 0, 0)); });
+  cluster.simulator().run();
+  const GpuId hot = engine.completions().at(0).gpu;
+
+  cluster.fence_gpu(hot);
+  EXPECT_TRUE(cluster.cache().locations(ModelId(0)).empty());
+  cluster.unfence_gpu(hot);
+  EXPECT_EQ(cluster.cache().locations(ModelId(0)), std::vector<GpuId>{hot});
+
+  cluster.simulator().schedule_at(sec(10),
+                                  [&] { engine.submit(make_request(1, 0, sec(10))); });
+  cluster.simulator().run();
+  EXPECT_TRUE(engine.completions().back().cache_hit);
+  EXPECT_EQ(engine.completions().back().gpu, hot);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling policies
+// ---------------------------------------------------------------------------
+
+FleetView view_at(SimTime now, std::size_t gpus, std::size_t idle,
+                  std::size_t queue_len) {
+  FleetView view;
+  view.now = now;
+  view.schedulable_gpus = gpus;
+  view.idle_gpus = idle;
+  view.queue_len = queue_len;
+  view.in_flight = gpus - idle;
+  view.min_gpus = 2;
+  view.max_gpus = 16;
+  return view;
+}
+
+TEST(ReactivePolicyTest, ScalesUpOnQueuePressureWithCooldown) {
+  ReactivePolicy policy;
+  // 4 GPUs, 12 queued: wants queue/gpu back to 1.0 -> add 8.
+  ScalingDecision d = policy.evaluate(view_at(sec(100), 4, 0, 12));
+  EXPECT_EQ(d.add, 8u);
+  EXPECT_EQ(d.remove, 0u);
+  // Cooldown gates an immediate repeat...
+  d = policy.evaluate(view_at(sec(101), 4, 0, 12));
+  EXPECT_EQ(d.add, 0u);
+  // ...and the ceiling clamps once it expires.
+  d = policy.evaluate(view_at(sec(130), 12, 0, 40));
+  EXPECT_EQ(d.add, 4u);
+}
+
+TEST(ReactivePolicyTest, ScalesDownOnlyAfterSustainedIdle) {
+  ReactivePolicyConfig config;
+  config.down_stability = sec(30);
+  config.down_cooldown = sec(10);
+  ReactivePolicy policy(config);
+  // Idle but not yet sustained.
+  EXPECT_EQ(policy.evaluate(view_at(sec(0), 8, 8, 0)).remove, 0u);
+  EXPECT_EQ(policy.evaluate(view_at(sec(20), 8, 8, 0)).remove, 0u);
+  // A pressure blip resets the stretch.
+  EXPECT_EQ(policy.evaluate(view_at(sec(25), 8, 0, 20)).remove, 0u);
+  EXPECT_EQ(policy.evaluate(view_at(sec(40), 8, 8, 0)).remove, 0u);
+  EXPECT_EQ(policy.evaluate(view_at(sec(60), 8, 8, 0)).remove, 0u);
+  // Sustained now (40 -> 70) and cooled down: reclaim, bounded.
+  const ScalingDecision d = policy.evaluate(view_at(sec(70), 8, 8, 0));
+  EXPECT_EQ(d.remove, 2u);  // max_step_down
+  EXPECT_EQ(d.add, 0u);
+}
+
+TEST(ReactivePolicyTest, RespectsFloor) {
+  ReactivePolicyConfig config;
+  config.down_stability = 0;
+  config.down_cooldown = 0;
+  ReactivePolicy policy(config);
+  FleetView view = view_at(sec(100), 2, 2, 0);  // at min_gpus already
+  EXPECT_EQ(policy.evaluate(view).remove, 0u);
+}
+
+TEST(KeepAlivePolicyTest, CapacityPersistsForTheWindowThenDecays) {
+  KeepAlivePolicyConfig config;
+  config.keep_alive = sec(60);
+  config.headroom = 1.0;
+  KeepAlivePolicy policy(config);
+
+  // Demand spike to 10 concurrent requests.
+  FleetView spike = view_at(sec(0), 4, 0, 6);  // 4 running + 6 queued
+  ScalingDecision d = policy.evaluate(spike);
+  EXPECT_EQ(d.add, 6u);  // target 10, committed 4
+
+  // Demand gone, but the spike is inside the keep-alive window: no reclaim
+  // below the remembered peak.
+  FleetView quiet = view_at(sec(30), 10, 10, 0);
+  quiet.in_flight = 0;
+  d = policy.evaluate(quiet);
+  EXPECT_EQ(d.add, 0u);
+  EXPECT_EQ(d.remove, 0u);
+
+  // Window expired: reclaim down to the floor.
+  FleetView later = view_at(sec(120), 10, 10, 0);
+  later.in_flight = 0;
+  d = policy.evaluate(later);
+  EXPECT_EQ(d.remove, 8u);  // target max(peak 0, min 2)
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler end-to-end + accounting
+// ---------------------------------------------------------------------------
+
+TEST(StepTimelineTest, IntegralAndSamplingMatchSteps) {
+  metrics::StepTimeline timeline;
+  EXPECT_DOUBLE_EQ(timeline.value_at(sec(5)), 0.0);
+  timeline.set(0, 4);
+  timeline.set(sec(10), 8);
+  timeline.set(sec(20), 2);
+  EXPECT_DOUBLE_EQ(timeline.value_at(sec(5)), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.value_at(sec(10)), 8.0);
+  EXPECT_DOUBLE_EQ(timeline.value_at(sec(30)), 2.0);
+  EXPECT_DOUBLE_EQ(timeline.max_value(), 8.0);
+  EXPECT_DOUBLE_EQ(timeline.min_value(), 2.0);
+  // 10s*4 + 10s*8 + 10s*2 = 140 value-seconds.
+  EXPECT_DOUBLE_EQ(timeline.value_seconds(sec(30)), 140.0);
+  EXPECT_NEAR(timeline.time_weighted_mean(sec(30)), 140.0 / 30.0, 1e-12);
+  // Overwrite at the same instant replaces the step.
+  timeline.set(sec(20), 6);
+  EXPECT_DOUBLE_EQ(timeline.value_at(sec(25)), 6.0);
+}
+
+// A policy that always demands maximal reclaim: the Autoscaler's central
+// clamps, not the policy, must hold the min_gpus floor (a KeepAlive-style
+// policy computes remove from committed = schedulable + provisioning, so
+// without the central clamp a cold-start overlap could breach the floor).
+class DrainEverythingPolicy final : public ScalingPolicy {
+ public:
+  std::string name() const override { return "drain-everything"; }
+  ScalingDecision evaluate(const FleetView& view) override {
+    ScalingDecision d;
+    d.remove = view.schedulable_gpus + view.provisioning_gpus;
+    return d;
+  }
+};
+
+TEST(AutoscalerTest, CentralClampHoldsTheMinGpusFloor) {
+  const trace::Workload workload = testkit::make_workload(5, 7, 2);
+  AutoscalerConfig config;
+  config.min_gpus = 2;
+  config.max_gpus = 8;
+  config.evaluation_interval = sec(2);
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = 4;  // start above the floor: drains must stop at it
+  cluster_config.gpus_per_node = 1;
+  cluster_config.shared_pcie_per_node = false;
+  cluster::SimCluster cluster(cluster_config, workload.registry);
+  Autoscaler scaler(&cluster, std::make_unique<DrainEverythingPolicy>(), config);
+
+  for (const core::Request& req : workload.requests) {
+    cluster.simulator().schedule_at(
+        req.arrival, [&cluster, req] { cluster.engine().submit(req); });
+  }
+  scaler.start(workload.requests.back().arrival);
+  cluster.simulator().run();
+  scaler.finalize();
+
+  EXPECT_EQ(cluster.engine().pending(), 0u);
+  EXPECT_EQ(cluster.engine().completions().size(), workload.requests.size());
+  EXPECT_EQ(cluster.engine().schedulable_gpu_count(), 2u);  // floor, not zero
+  EXPECT_EQ(scaler.counters().gpus_retired, 2);
+  EXPECT_GE(scaler.schedulable_timeline().min_value(), 2.0);
+}
+
+TEST(AutoscalerTest, ElasticFleetServesDiurnalTraceCheaperThanPeakFleet) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 10;
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = 12;
+  diurnal.period_minutes = 12;
+  diurnal.trough_rpm = 20;
+  diurnal.peak_rpm = 150;
+  auto workload = trace::build_diurnal_workload(wconfig, diurnal);
+  ASSERT_TRUE(workload.ok());
+
+  AutoscalerConfig config;
+  config.min_gpus = 2;
+  config.max_gpus = 10;
+  config.cold_start = sec(15);
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = 2;
+  cluster_config.gpus_per_node = 1;
+  cluster_config.shared_pcie_per_node = false;
+  cluster::SimCluster cluster(cluster_config, workload->registry);
+  Autoscaler scaler(&cluster, std::make_unique<ReactivePolicy>(), config);
+
+  for (const core::Request& req : workload->requests) {
+    cluster.simulator().schedule_at(
+        req.arrival, [&cluster, req] { cluster.engine().submit(req); });
+  }
+  scaler.start(workload->requests.back().arrival);
+  cluster.simulator().run();
+  scaler.finalize();
+
+  EXPECT_EQ(cluster.engine().pending(), 0u);
+  EXPECT_EQ(cluster.engine().completions().size(), workload->requests.size());
+  EXPECT_GT(scaler.counters().gpus_added, 0);
+  EXPECT_GT(scaler.counters().gpus_retired, 0);
+  EXPECT_GT(scaler.powered_timeline().max_value(), 2.0);
+
+  const SimTime end = cluster.simulator().now();
+  const double peak_fleet_gpu_seconds = 10.0 * sim_to_seconds(end);
+  EXPECT_LT(scaler.gpu_seconds(end), peak_fleet_gpu_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism guard: with the autoscaler disabled (or pinned min == max),
+// the paper grid's completion stream is bit-identical to a plain run.
+// ---------------------------------------------------------------------------
+
+std::uint64_t completion_digest(const cluster::SchedulerEngine& engine) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& r : engine.completions()) {
+    mix(static_cast<std::uint64_t>(r.id.value()));
+    mix(static_cast<std::uint64_t>(r.gpu.value()));
+    mix(static_cast<std::uint64_t>(r.arrival));
+    mix(static_cast<std::uint64_t>(r.dispatched));
+    mix(static_cast<std::uint64_t>(r.completed));
+    mix((r.cache_hit ? 1u : 0u) | (r.false_miss ? 2u : 0u) |
+        (r.via_local_queue ? 4u : 0u));
+  }
+  return hash;
+}
+
+enum class ScalerMode { kNone, kDisabled, kPinned };
+
+std::uint64_t grid_cell_digest(core::PolicyName policy,
+                               const trace::Workload& workload, ScalerMode mode) {
+  cluster::ClusterConfig config;  // the paper's 3x4 testbed
+  config.policy = policy;
+  cluster::SimCluster cluster(config, workload.registry);
+
+  std::unique_ptr<Autoscaler> scaler;
+  if (mode != ScalerMode::kNone) {
+    AutoscalerConfig scaler_config;
+    scaler_config.enabled = mode != ScalerMode::kDisabled;
+    // Pinned: evaluation ticks run, but min == max == fleet size means no
+    // decision can ever change membership.
+    scaler_config.min_gpus = 12;
+    scaler_config.max_gpus = 12;
+    scaler = std::make_unique<Autoscaler>(
+        &cluster, std::make_unique<ReactivePolicy>(), scaler_config);
+  }
+  for (const core::Request& req : workload.requests) {
+    cluster.simulator().schedule_at(
+        req.arrival, [&cluster, req] { cluster.engine().submit(req); });
+  }
+  if (scaler) scaler->start(workload.requests.back().arrival);
+  cluster.simulator().run();
+  if (scaler) scaler->finalize();
+  GFAAS_CHECK(cluster.engine().pending() == 0);
+  return completion_digest(cluster.engine());
+}
+
+TEST(AutoscalerDeterminismTest, PaperGridBitIdenticalWithAutoscalerDisabled) {
+  // Full paper window (6 min x 325 rpm), working set 15, all three
+  // schedulers: a disabled autoscaler must leave no trace in the
+  // completion stream, and even a ticking one pinned to min == max must
+  // only read state, never perturb it.
+  const trace::Workload workload = testkit::make_workload(15, 7, 6);
+  for (core::PolicyName policy :
+       {core::PolicyName::kLb, core::PolicyName::kLalb, core::PolicyName::kLalbO3}) {
+    const std::uint64_t plain =
+        grid_cell_digest(policy, workload, ScalerMode::kNone);
+    EXPECT_EQ(plain, grid_cell_digest(policy, workload, ScalerMode::kDisabled))
+        << core::policy_display_name(policy);
+    EXPECT_EQ(plain, grid_cell_digest(policy, workload, ScalerMode::kPinned))
+        << core::policy_display_name(policy);
+  }
+}
+
+}  // namespace
+}  // namespace gfaas::autoscale
