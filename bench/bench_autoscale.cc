@@ -1,11 +1,13 @@
 // Cost/latency bench for the elastic fleet controller (src/autoscale).
 //
-// Replays a diurnal (day/night) trace against three fleets:
-//   * fixed    — a peak-sized fixed fleet (the paper's setting, scaled up);
-//   * reactive — Autoscaler + ReactivePolicy (queue-pressure up, sustained
-//                idle down);
-//   * keepalive— Autoscaler + KeepAlivePolicy (Azure-style windowed
-//                keep-alive capacity).
+// Replays a diurnal (day/night) trace against four fleets:
+//   * fixed     — a peak-sized fixed fleet (the paper's setting, scaled up);
+//   * reactive  — Autoscaler + ReactivePolicy (queue-pressure up, sustained
+//                 idle down);
+//   * keepalive — Autoscaler + KeepAlivePolicy (Azure-style windowed
+//                 keep-alive capacity);
+//   * predictive— Autoscaler + PredictivePolicy (demand-percentile
+//                 histogram + trend forecast one cold start ahead).
 // and reports, per fleet: GPU-seconds and dollar cost (powered-capacity
 // integral), latency percentiles, fleet-size extremes, and cold-start /
 // retirement counts, plus a sampled fleet-size timeline for every fleet.
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "autoscale/autoscaler.h"
+#include "bench_common.h"
 #include "cluster/experiment.h"
 #include "common/log.h"
 #include "metrics/fleet.h"
@@ -113,25 +116,14 @@ struct RunResult {
   metrics::StepTimeline powered;
 };
 
-double percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
-  return sorted[rank];
-}
-
 void fill_latencies(const cluster::SchedulerEngine& engine, RunResult* run) {
-  std::vector<double> latencies;
+  const std::vector<double> latencies = bench::sorted_latencies_s(engine);
   double sum = 0;
-  latencies.reserve(engine.completions().size());
-  for (const auto& record : engine.completions()) {
-    latencies.push_back(sim_to_seconds(record.latency()));
-    sum += latencies.back();
-  }
-  std::sort(latencies.begin(), latencies.end());
+  for (double latency : latencies) sum += latency;
   run->completed = latencies.size();
-  run->p50_s = percentile(latencies, 0.50);
-  run->p95_s = percentile(latencies, 0.95);
-  run->p99_s = percentile(latencies, 0.99);
+  run->p50_s = bench::percentile(latencies, 0.50);
+  run->p95_s = bench::percentile(latencies, 0.95);
+  run->p99_s = bench::percentile(latencies, 0.99);
   run->avg_s = latencies.empty() ? 0 : sum / static_cast<double>(latencies.size());
 }
 
@@ -256,6 +248,11 @@ int main(int argc, char** argv) {
   runs.push_back(
       run_autoscaled(options, *workload, cost_model,
                      std::make_unique<autoscale::KeepAlivePolicy>(keep_alive)));
+  autoscale::PredictivePolicyConfig predictive;
+  predictive.lead_time = options.cold_start;
+  runs.push_back(
+      run_autoscaled(options, *workload, cost_model,
+                     std::make_unique<autoscale::PredictivePolicy>(predictive)));
 
   metrics::Table table({"Fleet", "Done", "GPUs(min/mean/max)", "GPU-s", "Cost($)",
                         "Avg(s)", "p50(s)", "p95(s)", "p99(s)", "Cold", "Retired"});

@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace gfaas::bench {
@@ -57,6 +59,23 @@ double metric_duplicates(const cluster::ExperimentResult& r) {
 
 std::string policy_label(core::PolicyName policy) {
   return core::policy_display_name(policy);
+}
+
+std::vector<double> sorted_latencies_s(const cluster::SchedulerEngine& engine) {
+  std::vector<double> latencies;
+  latencies.reserve(engine.completions().size());
+  for (const auto& record : engine.completions()) {
+    latencies.push_back(sim_to_seconds(record.latency()));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return latencies;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
 }
 
 }  // namespace gfaas::bench

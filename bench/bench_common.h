@@ -49,4 +49,13 @@ const cluster::ExperimentResult& cell(const std::vector<GridCell>& grid,
 
 std::string policy_label(core::PolicyName policy);
 
+// Completion latencies of an engine run in seconds, ascending (feed to
+// percentile()).
+std::vector<double> sorted_latencies_s(const cluster::SchedulerEngine& engine);
+
+// Nearest-index percentile of an ascending sample vector (q in [0, 1];
+// 0 on empty input). The elastic-fleet benches share this so their
+// latency columns cannot drift apart.
+double percentile(const std::vector<double>& sorted, double q);
+
 }  // namespace gfaas::bench

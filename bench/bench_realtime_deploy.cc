@@ -1,0 +1,244 @@
+// Deployment-mode bench: the full SchedulerEngine + Autoscaler +
+// PredictivePolicy stack, end-to-end on the wall-clock RealTimeExecutor,
+// cross-checked against the identical run on the discrete-event simulator.
+//
+// Both runs replay the same diurnal trace through the same
+// autoscale::replay_with_autoscaler driver against the same ElasticCluster
+// seam; the only difference is the executor behind it (SimCluster vs
+// RealTimeCluster with `--time-scale` compression). The simulator is
+// bit-deterministic; the wall-clock run is subject to OS scheduling
+// jitter, which perturbs arrival/completion interleavings and therefore
+// the autoscaler's tick-by-tick view, so the comparison uses tolerances:
+//
+//   * completion count       — exact (every request must complete in both);
+//   * mean powered fleet     — within MEAN_FLEET_TOLERANCE (35%) of sim;
+//   * peak powered fleet     — within max(2 GPUs, 50%) of sim.
+//
+// The tolerances are deliberately loose: they catch wiring bugs (a policy
+// that never scales, a drain that strands requests, an executor that
+// misorders time) rather than asserting jitter-free equality. ACCEPTANCE
+// lines print PASS/FAIL and the exit code reflects them (CI smoke-runs a
+// small config).
+//
+// Usage:
+//   bench_realtime_deploy [--minutes 12] [--period 12] [--trough-rpm 30]
+//                         [--peak-rpm 180] [--working-set 10]
+//                         [--min-gpus 2] [--max-gpus 10] [--cold-start-s 15]
+//                         [--interval-s 5] [--time-scale 120]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoscale/deployment.h"
+#include "bench_common.h"
+#include "cluster/experiment.h"
+#include "cluster/realtime_cluster.h"
+#include "common/log.h"
+#include "metrics/reporter.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+namespace {
+
+constexpr double kMeanFleetTolerance = 0.35;  // relative, vs the sim run
+constexpr double kPeakFleetTolerance = 0.50;  // relative; floor of 2 GPUs
+
+struct Options {
+  std::int64_t minutes = 12;
+  std::int64_t period = 12;
+  std::int64_t trough_rpm = 30;
+  std::int64_t peak_rpm = 180;
+  std::size_t working_set = 10;
+  std::size_t min_gpus = 2;
+  std::size_t max_gpus = 10;
+  SimTime cold_start = sec(15);
+  SimTime interval = sec(5);
+  double time_scale = 120.0;
+};
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      GFAAS_CHECK(i + 1 < argc) << "missing value for " << flag;
+      return argv[++i];
+    };
+    if (flag == "--minutes") {
+      options->minutes = std::atoll(next());
+    } else if (flag == "--period") {
+      options->period = std::atoll(next());
+    } else if (flag == "--trough-rpm") {
+      options->trough_rpm = std::atoll(next());
+    } else if (flag == "--peak-rpm") {
+      options->peak_rpm = std::atoll(next());
+    } else if (flag == "--working-set") {
+      options->working_set = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--min-gpus") {
+      options->min_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--max-gpus") {
+      options->max_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--cold-start-s") {
+      options->cold_start = sec(std::atoll(next()));
+    } else if (flag == "--interval-s") {
+      options->interval = sec(std::atoll(next()));
+    } else if (flag == "--time-scale") {
+      options->time_scale = std::atof(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return options->minutes > 0 && options->peak_rpm >= options->trough_rpm &&
+         options->min_gpus >= 1 && options->max_gpus >= options->min_gpus &&
+         options->time_scale > 0;
+}
+
+struct ModeResult {
+  std::string mode;
+  autoscale::ReplayResult replay;
+  double p50_s = 0, p95_s = 0, p99_s = 0;
+  double fleet_mean = 0, fleet_max = 0;
+  std::int64_t cold_starts = 0, retired = 0;
+  double gpu_seconds = 0;
+};
+
+std::unique_ptr<autoscale::ScalingPolicy> make_policy(const Options& options) {
+  autoscale::PredictivePolicyConfig config;
+  config.lead_time = options.cold_start;
+  return std::make_unique<autoscale::PredictivePolicy>(config);
+}
+
+autoscale::AutoscalerConfig scaler_config(const Options& options) {
+  autoscale::AutoscalerConfig config;
+  config.evaluation_interval = options.interval;
+  config.cold_start = options.cold_start;
+  config.min_gpus = options.min_gpus;
+  config.max_gpus = options.max_gpus;
+  return config;
+}
+
+cluster::ClusterConfig initial_fleet(const Options& options) {
+  // Single-GPU nodes with dedicated links, matching what the autoscaler
+  // provisions, so the starting fleet and scale-ups are homogeneous.
+  cluster::ClusterConfig config;
+  config.nodes = static_cast<int>(options.min_gpus);
+  config.gpus_per_node = 1;
+  config.shared_pcie_per_node = false;
+  return config;
+}
+
+ModeResult finish(std::string mode, const autoscale::ReplayResult& replay,
+                  const cluster::SchedulerEngine& engine,
+                  const autoscale::Autoscaler& scaler, SimTime end) {
+  ModeResult result;
+  result.mode = std::move(mode);
+  result.replay = replay;
+  const std::vector<double> latencies = bench::sorted_latencies_s(engine);
+  result.p50_s = bench::percentile(latencies, 0.50);
+  result.p95_s = bench::percentile(latencies, 0.95);
+  result.p99_s = bench::percentile(latencies, 0.99);
+  result.fleet_mean = scaler.powered_timeline().time_weighted_mean(end);
+  result.fleet_max = scaler.powered_timeline().max_value();
+  result.cold_starts = scaler.counters().gpus_added;
+  result.retired = scaler.counters().gpus_retired;
+  result.gpu_seconds = scaler.gpu_seconds(end);
+  return result;
+}
+
+ModeResult run_sim(const Options& options, const trace::Workload& workload) {
+  cluster::SimCluster cluster(initial_fleet(options), workload.registry);
+  autoscale::Autoscaler scaler(&cluster, make_policy(options),
+                               scaler_config(options));
+  const auto replay =
+      autoscale::replay_with_autoscaler(cluster, workload.requests, scaler);
+  return finish("sim", replay, cluster.engine(), scaler,
+                cluster.executor().now());
+}
+
+ModeResult run_realtime(const Options& options, const trace::Workload& workload) {
+  cluster::RealTimeCluster cluster(initial_fleet(options), workload.registry,
+                                   options.time_scale);
+  autoscale::Autoscaler scaler(&cluster, make_policy(options),
+                               scaler_config(options));
+  const auto replay =
+      autoscale::replay_with_autoscaler(cluster, workload.requests, scaler);
+  return finish("realtime", replay, cluster.engine(), scaler,
+                cluster.executor().now());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, &options)) return 1;
+
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = options.working_set;
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = options.minutes;
+  diurnal.period_minutes = options.period;
+  diurnal.trough_rpm = options.trough_rpm;
+  diurnal.peak_rpm = options.peak_rpm;
+  auto workload = trace::build_diurnal_workload(wconfig, diurnal);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "=== Deployment mode: %zu requests over %lld min (trough %lld rpm, peak "
+      "%lld rpm), predictive policy, time_scale %.0fx ===\n",
+      workload->requests.size(), static_cast<long long>(options.minutes),
+      static_cast<long long>(options.trough_rpm),
+      static_cast<long long>(options.peak_rpm), options.time_scale);
+
+  std::vector<ModeResult> runs;
+  runs.push_back(run_sim(options, *workload));
+  runs.push_back(run_realtime(options, *workload));
+
+  metrics::Table table({"Mode", "Done", "Makespan(s)", "Wall(s)", "Fleet(mean/max)",
+                        "GPU-s", "p50(s)", "p95(s)", "p99(s)", "Cold", "Retired"});
+  for (const ModeResult& run : runs) {
+    table.add_row({run.mode, std::to_string(run.replay.completed),
+                   metrics::Table::fmt(sim_to_seconds(run.replay.makespan), 1),
+                   metrics::Table::fmt(run.replay.wall_seconds),
+                   metrics::Table::fmt(run.fleet_mean, 1) + "/" +
+                       metrics::Table::fmt(run.fleet_max, 0),
+                   metrics::Table::fmt(run.gpu_seconds, 0),
+                   metrics::Table::fmt(run.p50_s), metrics::Table::fmt(run.p95_s),
+                   metrics::Table::fmt(run.p99_s), std::to_string(run.cold_starts),
+                   std::to_string(run.retired)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const ModeResult& sim = runs[0];
+  const ModeResult& rt = runs[1];
+
+  const bool count_ok = sim.replay.completed == rt.replay.completed &&
+                        rt.replay.completed == workload->requests.size();
+  const double mean_delta = sim.fleet_mean > 0
+                                ? std::abs(rt.fleet_mean - sim.fleet_mean) / sim.fleet_mean
+                                : 0.0;
+  const bool mean_ok = mean_delta <= kMeanFleetTolerance;
+  const double peak_allowance =
+      std::max(2.0, kPeakFleetTolerance * sim.fleet_max);
+  const bool peak_ok = std::abs(rt.fleet_max - sim.fleet_max) <= peak_allowance;
+
+  std::printf("\nACCEPTANCE sim-vs-realtime: completions %zu vs %zu (exact): %s\n",
+              sim.replay.completed, rt.replay.completed, count_ok ? "PASS" : "FAIL");
+  std::printf(
+      "ACCEPTANCE sim-vs-realtime: mean powered fleet %.1f vs %.1f, delta %.0f%% "
+      "(tolerance %.0f%%): %s\n",
+      sim.fleet_mean, rt.fleet_mean, mean_delta * 100.0, kMeanFleetTolerance * 100.0,
+      mean_ok ? "PASS" : "FAIL");
+  std::printf(
+      "ACCEPTANCE sim-vs-realtime: peak powered fleet %.0f vs %.0f (tolerance "
+      "+/-%.1f): %s\n",
+      sim.fleet_max, rt.fleet_max, peak_allowance, peak_ok ? "PASS" : "FAIL");
+  return (count_ok && mean_ok && peak_ok) ? 0 : 1;
+}

@@ -1,17 +1,76 @@
 #include "autoscale/autoscaler.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "common/log.h"
 
 namespace gfaas::autoscale {
 
-Autoscaler::Autoscaler(cluster::SimCluster* cluster,
+std::vector<GpuId> select_drain_victims(const std::vector<GpuId>& idle_hot_first,
+                                        const cache::CacheManager& cache,
+                                        std::size_t count) {
+  // Rank each idle candidate by the number of resident models it is the
+  // sole unfenced holder of (fencing such a GPU evicts the fleet's only
+  // warm copy and forces a cold reload on the next request). Among
+  // equals, prefer the coldest — the least-frequently-dispatched GPU,
+  // i.e. the furthest back in the engine's hot-first idle ordering.
+  //
+  // Selection is greedy one victim at a time against *remaining* holder
+  // counts: once a victim is chosen its copies no longer count, so two
+  // GPUs that are each other's only duplicate for a model cannot both be
+  // drained in one batch while an equally cheap victim exists.
+  struct Candidate {
+    std::size_t coldness;  // 0 = coldest
+    GpuId gpu;
+    std::vector<ModelId> models;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(idle_hot_first.size());
+  std::unordered_map<std::int64_t, std::size_t> holders;  // model -> unfenced copies
+  for (std::size_t pos = 0; pos < idle_hot_first.size(); ++pos) {
+    const GpuId gpu = idle_hot_first[pos];
+    candidates.push_back(
+        {idle_hot_first.size() - 1 - pos, gpu, cache.state(gpu).models()});
+    for (ModelId model : candidates.back().models) {
+      holders.emplace(model.value(), cache.duplicate_count(model));
+    }
+  }
+
+  std::vector<GpuId> victims;
+  count = std::min(count, candidates.size());
+  victims.reserve(count);
+  while (victims.size() < count) {
+    std::size_t best = candidates.size();
+    std::size_t best_sole = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!candidates[i].gpu.valid()) continue;  // already picked
+      std::size_t sole = 0;
+      for (ModelId model : candidates[i].models) {
+        if (holders[model.value()] <= 1) ++sole;
+      }
+      if (best == candidates.size() || sole < best_sole ||
+          (sole == best_sole && candidates[i].coldness < candidates[best].coldness)) {
+        best = i;
+        best_sole = sole;
+      }
+    }
+    Candidate& victim = candidates[best];
+    victims.push_back(victim.gpu);
+    victim.gpu = GpuId();
+    for (ModelId model : victim.models) --holders[model.value()];
+  }
+  return victims;
+}
+
+Autoscaler::Autoscaler(cluster::ElasticCluster* cluster,
                        std::unique_ptr<ScalingPolicy> policy, AutoscalerConfig config)
     : cluster_(cluster), policy_(std::move(policy)), config_(config) {
   GFAAS_CHECK(cluster_ != nullptr && policy_ != nullptr);
   GFAAS_CHECK(config_.min_gpus >= 1 && config_.max_gpus >= config_.min_gpus);
   GFAAS_CHECK(config_.evaluation_interval > 0 && config_.cold_start >= 0);
+  policy_->bind(config_.evaluation_interval);
 }
 
 void Autoscaler::start(SimTime horizon) {
@@ -31,8 +90,7 @@ void Autoscaler::finalize() {
 }
 
 void Autoscaler::schedule_tick() {
-  cluster_->simulator().schedule_after(config_.evaluation_interval,
-                                       [this] { tick(); });
+  cluster_->executor().schedule_after(config_.evaluation_interval, [this] { tick(); });
 }
 
 void Autoscaler::tick() {
@@ -44,9 +102,9 @@ void Autoscaler::tick() {
   apply(decision);
 
   // Re-arm while the trace is still arriving or the fleet has committed
-  // work / membership changes outstanding; otherwise let the simulator's
+  // work / membership changes outstanding; otherwise let the executor's
   // event queue drain so the run terminates.
-  const bool keep_ticking = cluster_->simulator().now() < horizon_ ||
+  const bool keep_ticking = cluster_->executor().now() < horizon_ ||
                             cluster_->engine().pending() > 0 || provisioning_ > 0 ||
                             !draining_.empty();
   if (keep_ticking) schedule_tick();
@@ -55,7 +113,7 @@ void Autoscaler::tick() {
 FleetView Autoscaler::snapshot() const {
   const cluster::SchedulerEngine& engine = cluster_->engine();
   FleetView view;
-  view.now = cluster_->simulator().now();
+  view.now = cluster_->executor().now();
   view.schedulable_gpus = engine.schedulable_gpu_count();
   view.provisioning_gpus = provisioning_;
   view.draining_gpus = draining_.size();
@@ -91,7 +149,7 @@ void Autoscaler::apply(const ScalingDecision& decision) {
 
 void Autoscaler::begin_cold_start() {
   ++provisioning_;
-  cluster_->simulator().schedule_after(config_.cold_start, [this] {
+  cluster_->executor().schedule_after(config_.cold_start, [this] {
     GFAAS_CHECK(provisioning_ > 0);
     --provisioning_;
     cluster_->add_gpu(config_.spec);
@@ -107,13 +165,9 @@ void Autoscaler::begin_drain(std::size_t count) {
   count = std::min(count, schedulable > config_.min_gpus
                               ? schedulable - config_.min_gpus
                               : 0);
-  // Reclaim from the back of the frequency-ordered idle set: the
-  // least-frequently-dispatched idle GPUs hold the coldest models, so
-  // draining them forfeits the least locality.
-  const std::vector<GpuId> idle = cluster_->engine().idle_gpus();
-  count = std::min(count, idle.size());
-  for (std::size_t i = 0; i < count; ++i) {
-    const GpuId victim = idle[idle.size() - 1 - i];
+  const std::vector<GpuId> victims =
+      select_drain_victims(cluster_->engine().idle_gpus(), cluster_->cache(), count);
+  for (const GpuId victim : victims) {
     cluster_->fence_gpu(victim);
     draining_.push_back(victim);
   }
@@ -136,7 +190,7 @@ void Autoscaler::reap_drained() {
 }
 
 void Autoscaler::record_fleet() {
-  const SimTime now = cluster_->simulator().now();
+  const SimTime now = cluster_->executor().now();
   const double schedulable =
       static_cast<double>(cluster_->engine().schedulable_gpu_count());
   powered_.set(now, schedulable + static_cast<double>(provisioning_) +

@@ -1,26 +1,37 @@
 // Elastic fleet controller: periodic policy evaluation, cold-start
-// provisioning, and drain-based decommissioning over a SimCluster.
+// provisioning, and drain-based decommissioning over an ElasticCluster.
 //
 // The paper's scheduler assumes a fixed fleet; in the serverless setting
 // it targets, the provider adds and reclaims GPUs as traffic breathes.
-// The Autoscaler closes that loop on the simulator:
+// The Autoscaler closes that loop against the engine seam
+// (cluster::ElasticCluster), so the identical controller + policy code
+// drives the discrete-event simulator (SimCluster, evaluation mode) and
+// the wall-clock RealTimeExecutor (RealTimeCluster, deployment mode):
 //
 //   * every evaluation_interval it snapshots the cluster (queue depth,
 //     idle fraction, in-flight work) into a FleetView and asks the
 //     ScalingPolicy for a decision;
 //   * scale-up models cold start: the GPU is "provisioning" (billed, not
 //     schedulable) for cold_start, then joins the engine's idle set, the
-//     cache, and the cluster-state index via SimCluster::add_gpu — an
+//     cache, and the cluster-state index via ElasticCluster::add_gpu — an
 //     immediately backed-up queue starts using it that instant;
-//   * scale-down drains: the least-frequently-dispatched idle GPUs are
-//     fenced (no new dispatches, cached models leave the location index),
-//     finish any committed work, and are removed once drained — their
-//     cached models are dropped and their ClusterStateIndex entries
-//     retired. Ids are never reused.
+//   * scale-down drains: victims are picked from the idle set warm-pool
+//     aware — prefer GPUs whose resident models are all duplicated on
+//     other unfenced GPUs (CacheManager::duplicate_count), so reclaiming
+//     them forfeits no sole warm copy; ties go to the
+//     least-frequently-dispatched (coldest) GPU. Victims are fenced (no
+//     new dispatches, cached models leave the location index), finish any
+//     committed work, and are removed once drained. Ids are never reused.
 //
 // Accounting: a powered-GPU StepTimeline (schedulable + provisioning +
 // draining — what the provider pays for) and a schedulable timeline, from
 // which bench_autoscale integrates GPU-seconds and cost.
+//
+// Threading: the Autoscaler is not internally synchronized. On a
+// RealTimeCluster, call start() from an executor callback (see
+// autoscale::replay_with_autoscaler) so every tick — and all controller
+// state — stays on the executor's worker thread; call finalize() only
+// after run_to_completion() returned.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +39,7 @@
 #include <vector>
 
 #include "autoscale/policy.h"
-#include "cluster/experiment.h"
+#include "cluster/elastic_cluster.h"
 #include "gpu/gpu_spec.h"
 #include "metrics/fleet.h"
 
@@ -56,20 +67,30 @@ struct AutoscalerCounters {
   std::int64_t gpus_retired = 0;  // drains completed
 };
 
+// Warm-pool-aware drain-victim selection: greedily picks `count` victims,
+// each round taking the candidate that loses the fewest sole warm copies
+// (ties to the coldest), with holder counts updated after every pick so a
+// batch cannot drain both copies of a model while a cheaper victim
+// exists. `idle_hot_first` is the engine's frequency-ordered idle
+// enumeration (most-dispatched first). Exposed for unit tests.
+std::vector<GpuId> select_drain_victims(const std::vector<GpuId>& idle_hot_first,
+                                        const cache::CacheManager& cache,
+                                        std::size_t count);
+
 class Autoscaler {
  public:
   // `cluster` must outlive the autoscaler and already hold the initial
   // fleet (its size should match config.min_gpus for a clean ramp).
-  Autoscaler(cluster::SimCluster* cluster, std::unique_ptr<ScalingPolicy> policy,
+  Autoscaler(cluster::ElasticCluster* cluster, std::unique_ptr<ScalingPolicy> policy,
              AutoscalerConfig config);
 
-  // Schedules evaluation ticks. Ticks re-arm while simulated time is
-  // before `horizon` (the last trace arrival) or work/cold-starts/drains
-  // are still pending, so the simulator's event queue drains naturally
-  // once the run is over.
+  // Schedules evaluation ticks. Ticks re-arm while time is before
+  // `horizon` (the last trace arrival) or work/cold-starts/drains are
+  // still pending, so the executor's event queue drains naturally once
+  // the run is over.
   void start(SimTime horizon);
 
-  // After the simulator drains: retires any still-fenced GPUs whose work
+  // After the executor drains: retires any still-fenced GPUs whose work
   // completed after the final tick, closing the accounting.
   void finalize();
 
@@ -96,7 +117,7 @@ class Autoscaler {
   void reap_drained();
   void record_fleet();
 
-  cluster::SimCluster* cluster_;
+  cluster::ElasticCluster* cluster_;
   std::unique_ptr<ScalingPolicy> policy_;
   AutoscalerConfig config_;
 

@@ -1,0 +1,48 @@
+#include "autoscale/deployment.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.h"
+
+namespace gfaas::autoscale {
+
+ReplayResult replay_with_autoscaler(cluster::ElasticCluster& cluster,
+                                    const std::vector<core::Request>& requests,
+                                    Autoscaler& scaler) {
+  GFAAS_CHECK(!requests.empty()) << "nothing to replay";
+  sim::Executor& executor = cluster.executor();
+  const SimTime horizon = requests.back().arrival;
+
+  // Start the scaler from the executor, not this thread: on a wall-clock
+  // cluster the worker may already be firing arrivals while we are still
+  // posting later ones, and routing start() through an event keeps all
+  // controller state on the worker thread. Posted first so the initial
+  // fleet is recorded at (almost) time zero in both modes.
+  executor.schedule_after(0, [&scaler, horizon] { scaler.start(horizon); });
+  for (const core::Request& req : requests) {
+    // On a live wall-clock executor now() advances while we post, so early
+    // arrivals may already be due (or firing); clamp instead of asserting.
+    const SimTime delay = std::max<SimTime>(0, req.arrival - executor.now());
+    executor.schedule_after(delay, [&cluster, req] { cluster.engine().submit(req); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.run_to_completion();
+  const auto wall_elapsed = std::chrono::steady_clock::now() - wall_start;
+
+  scaler.finalize();
+  GFAAS_CHECK(cluster.engine().pending() == 0)
+      << cluster.engine().pending() << " requests stranded after replay";
+
+  ReplayResult result;
+  result.completed = cluster.engine().completions().size();
+  for (const auto& record : cluster.engine().completions()) {
+    result.makespan = std::max(result.makespan, record.completed);
+  }
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_elapsed).count();
+  return result;
+}
+
+}  // namespace gfaas::autoscale

@@ -1,0 +1,42 @@
+// Trace-replay deployment driver: runs SchedulerEngine + Autoscaler
+// end-to-end on whatever executor the cluster carries.
+//
+// The driver is mode-agnostic — it only talks to cluster::ElasticCluster —
+// so the identical call drives:
+//   * evaluation mode  — SimCluster: arrivals become simulator events and
+//     run_to_completion() executes the deterministic event loop;
+//   * deployment mode  — RealTimeCluster: arrivals are posted onto the
+//     live wall-clock executor (compressed by its time_scale) and
+//     run_to_completion() blocks until the fleet has served everything.
+//
+// The autoscaler is started from an executor callback, not from the
+// calling thread: on a RealTimeCluster the worker thread may already be
+// firing arrivals while this function is still posting later ones, and
+// routing start() through the executor keeps every touch of controller
+// and engine state on the single worker thread (see realtime_cluster.h).
+#pragma once
+
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "cluster/elastic_cluster.h"
+#include "core/request.h"
+
+namespace gfaas::autoscale {
+
+struct ReplayResult {
+  std::size_t completed = 0;
+  SimTime makespan = 0;      // last completion, in simulated units
+  double wall_seconds = 0;   // real time run_to_completion() took
+};
+
+// Schedules every request at its arrival time, starts `scaler` with the
+// last arrival as horizon, runs the cluster to completion and finalizes
+// the scaler. `requests` must be sorted by arrival and non-empty. CHECKs
+// that nothing is left pending. Detailed results stay readable on the
+// cluster (engine().completions()) and scaler (timelines, counters).
+ReplayResult replay_with_autoscaler(cluster::ElasticCluster& cluster,
+                                    const std::vector<core::Request>& requests,
+                                    Autoscaler& scaler);
+
+}  // namespace gfaas::autoscale

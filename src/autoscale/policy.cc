@@ -2,8 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/log.h"
 
 namespace gfaas::autoscale {
+
+namespace {
+
+// Shared trailing-window maintenance: append the tick's sample, expire
+// samples the moment they are exactly `span` old (a sample at t covers
+// [t, t + span), so the boundary sample must NOT survive — retaining it
+// would stretch every window by one evaluation interval).
+void push_and_expire(std::deque<std::pair<SimTime, std::size_t>>* window,
+                     SimTime now, std::size_t sample, SimTime span) {
+  window->emplace_back(now, sample);
+  while (!window->empty() && window->front().first + span <= now) {
+    window->pop_front();
+  }
+}
+
+// Shared tail of the windowed (target-tracking) policies: clamp the
+// capacity target into the fleet's band and diff it against committed
+// capacity.
+ScalingDecision decide(std::size_t target, const FleetView& view) {
+  target = std::max(target, view.min_gpus);
+  target = std::min(target, view.max_gpus);
+  ScalingDecision decision;
+  const std::size_t committed = view.schedulable_gpus + view.provisioning_gpus;
+  if (target > committed) {
+    decision.add = target - committed;
+  } else if (committed > target) {
+    // Only idle GPUs are reclaimable; busy surplus waits for a later tick.
+    decision.remove = std::min(committed - target, view.idle_gpus);
+  }
+  return decision;
+}
+
+}  // namespace
 
 ScalingDecision ReactivePolicy::evaluate(const FleetView& view) {
   ScalingDecision decision;
@@ -53,32 +89,103 @@ ScalingDecision ReactivePolicy::evaluate(const FleetView& view) {
   if (remove > 0) {
     decision.remove = remove;
     last_down_ = view.now;
+    // Restart the stability window: the next shrink must re-establish
+    // down_stability of sustained idleness against the smaller fleet,
+    // not ride the same stretch down every down_cooldown.
+    high_idle_since_ = view.now;
   }
   return decision;
 }
 
+void KeepAlivePolicy::bind(SimTime evaluation_interval) {
+  // Strict: with the half-open expiry a window of exactly one interval
+  // still drops the previous sample on every tick.
+  GFAAS_CHECK(config_.keep_alive > evaluation_interval)
+      << "keep_alive (" << config_.keep_alive
+      << ") must exceed the evaluation interval (" << evaluation_interval
+      << "), or the trailing window degenerates to a single sample";
+}
+
 ScalingDecision KeepAlivePolicy::evaluate(const FleetView& view) {
-  window_.emplace_back(view.now, view.demand());
-  while (!window_.empty() && window_.front().first + config_.keep_alive < view.now) {
-    window_.pop_front();
-  }
+  push_and_expire(&window_, view.now, view.demand(), config_.keep_alive);
   std::size_t peak = 0;
   for (const auto& [when, demand] : window_) peak = std::max(peak, demand);
 
-  auto target = static_cast<std::size_t>(
-      std::ceil(static_cast<double>(peak) * config_.headroom));
-  target = std::max(target, view.min_gpus);
-  target = std::min(target, view.max_gpus);
+  return decide(static_cast<std::size_t>(
+                    std::ceil(static_cast<double>(peak) * config_.headroom)),
+                view);
+}
 
-  ScalingDecision decision;
-  const std::size_t committed = view.schedulable_gpus + view.provisioning_gpus;
-  if (target > committed) {
-    decision.add = target - committed;
-  } else if (committed > target) {
-    // Only idle GPUs are reclaimable; busy surplus waits for a later tick.
-    decision.remove = std::min(committed - target, view.idle_gpus);
+PredictivePolicy::PredictivePolicy(PredictivePolicyConfig config) : config_(config) {
+  GFAAS_CHECK(config_.history > 0);
+  GFAAS_CHECK(config_.target_percentile >= 0.0 && config_.target_percentile <= 1.0);
+  GFAAS_CHECK(config_.lead_time >= 0);
+  GFAAS_CHECK(config_.trend_samples >= 2);
+  GFAAS_CHECK(config_.headroom > 0.0);
+  GFAAS_CHECK(config_.target_hold >= 0);
+}
+
+void PredictivePolicy::bind(SimTime evaluation_interval) {
+  // Strict, as in KeepAlivePolicy::bind: an exactly-one-interval window
+  // holds only the current sample under the half-open expiry.
+  GFAAS_CHECK(config_.history > evaluation_interval)
+      << "history (" << config_.history
+      << ") must exceed the evaluation interval (" << evaluation_interval
+      << "), or the demand histogram degenerates to a single sample";
+}
+
+ScalingDecision PredictivePolicy::evaluate(const FleetView& view) {
+  push_and_expire(&window_, view.now, view.demand(), config_.history);
+
+  // Histogram side: the target percentile of the windowed demand
+  // distribution. A short burst contributes a few high samples that the
+  // percentile ignores; a recurring plateau dominates it.
+  std::vector<std::size_t> demands;
+  demands.reserve(window_.size());
+  for (const auto& [when, demand] : window_) demands.push_back(demand);
+  std::sort(demands.begin(), demands.end());
+  // Nearest-rank percentile: the smallest sample with at least
+  // target_percentile of the distribution at or below it.
+  std::size_t rank = 0;
+  if (config_.target_percentile > 0.0) {
+    rank = static_cast<std::size_t>(std::ceil(
+               config_.target_percentile * static_cast<double>(demands.size()))) -
+           1;
   }
-  return decision;
+  rank = std::min(rank, demands.size() - 1);
+  const double percentile_demand = static_cast<double>(demands[rank]);
+
+  // Forecast side: average slope over the most recent trend_samples,
+  // projected lead_time ahead. On a rising ramp this orders capacity one
+  // cold start before the demand materializes; on a falling edge it never
+  // drags the target below zero.
+  double projected = static_cast<double>(window_.back().second);
+  if (window_.size() >= 2) {
+    const std::size_t tail = std::min(config_.trend_samples, window_.size());
+    const auto& oldest = window_[window_.size() - tail];
+    const auto& newest = window_.back();
+    if (newest.first > oldest.first) {
+      const double slope =
+          (static_cast<double>(newest.second) - static_cast<double>(oldest.second)) /
+          static_cast<double>(newest.first - oldest.first);
+      projected = std::max(
+          0.0, static_cast<double>(newest.second) +
+                   slope * static_cast<double>(config_.lead_time));
+    }
+  }
+
+  auto target = static_cast<std::size_t>(std::ceil(
+      std::max(percentile_demand, projected) * config_.headroom));
+
+  // Hold: past predictions keep acting as a capacity floor for
+  // target_hold, so one quiet tick between bursts cannot flap GPUs out
+  // only to cold-start them straight back.
+  if (config_.target_hold > 0) {
+    push_and_expire(&held_targets_, view.now, target, config_.target_hold);
+    for (const auto& [when, held] : held_targets_) target = std::max(target, held);
+  }
+
+  return decide(target, view);
 }
 
 }  // namespace gfaas::autoscale

@@ -7,15 +7,22 @@
 // trivially unit-testable.
 //
 // Policies:
-//   * ReactivePolicy  — scales up on global-queue pressure (queued
-//                       requests per powered GPU) and down on sustained
-//                       idle fraction, with independent cooldowns. The
-//                       classic threshold autoscaler.
-//   * KeepAlivePolicy — Azure-Functions-style windowed keep-alive: the
-//                       fleet tracks the peak concurrency demand observed
-//                       over a trailing window, so capacity persists for
-//                       `keep_alive` after a burst instead of collapsing
-//                       the moment traffic dips.
+//   * ReactivePolicy   — scales up on global-queue pressure (queued
+//                        requests per powered GPU) and down on sustained
+//                        idle fraction, with independent cooldowns. The
+//                        classic threshold autoscaler.
+//   * KeepAlivePolicy  — Azure-Functions-style windowed keep-alive: the
+//                        fleet tracks the peak concurrency demand observed
+//                        over a trailing window, so capacity persists for
+//                        `keep_alive` after a burst instead of collapsing
+//                        the moment traffic dips.
+//   * PredictivePolicy — histogram/forecast autoscaler in the Azure
+//                        keep-alive lineage ("Serverless in the Wild"):
+//                        provisions for a high percentile of the demand
+//                        distribution over a trailing history window, and
+//                        projects the recent demand trend one cold-start
+//                        lead time ahead so ramps are met by GPUs that
+//                        finish provisioning as the demand arrives.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +65,10 @@ class ScalingPolicy {
  public:
   virtual ~ScalingPolicy() = default;
   virtual std::string name() const = 0;
+  // Called once by the Autoscaler before the first tick with its
+  // evaluation interval, so window-based policies can validate that their
+  // configured windows actually span multiple samples.
+  virtual void bind(SimTime evaluation_interval) { (void)evaluation_interval; }
   virtual ScalingDecision evaluate(const FleetView& view) = 0;
 };
 
@@ -67,7 +78,9 @@ struct ReactivePolicyConfig {
   double queue_per_gpu_up = 1.0;
   // Scale down when idle_gpus / schedulable_gpus stays at or above this...
   double idle_fraction_down = 0.5;
-  // ...continuously for this long (resets whenever pressure returns).
+  // ...continuously for this long (resets whenever pressure returns, and
+  // after every scale-down so each further shrink re-establishes
+  // stability against the new, smaller fleet).
   SimTime down_stability = sec(45);
   SimTime up_cooldown = sec(15);
   SimTime down_cooldown = sec(60);
@@ -92,7 +105,11 @@ class ReactivePolicy final : public ScalingPolicy {
 };
 
 struct KeepAlivePolicyConfig {
-  // How long observed peak demand keeps capacity alive.
+  // How long observed peak demand keeps capacity alive. A sample expires
+  // the instant it is exactly keep_alive old. Must exceed the
+  // autoscaler's evaluation interval, or the "window" holds a single
+  // sample and the policy degenerates to instantaneous tracking (bind()
+  // enforces this strictly).
   SimTime keep_alive = minutes(2);
   // Provision slightly above the windowed peak to absorb ramps.
   double headroom = 1.15;
@@ -103,12 +120,54 @@ class KeepAlivePolicy final : public ScalingPolicy {
   explicit KeepAlivePolicy(KeepAlivePolicyConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "keepalive"; }
+  void bind(SimTime evaluation_interval) override;
   ScalingDecision evaluate(const FleetView& view) override;
 
  private:
   KeepAlivePolicyConfig config_;
   // (time, demand) samples inside the trailing keep-alive window.
   std::deque<std::pair<SimTime, std::size_t>> window_;
+};
+
+struct PredictivePolicyConfig {
+  // Trailing window feeding the demand histogram. Must exceed the
+  // autoscaler's evaluation interval (bind() enforces this strictly).
+  SimTime history = minutes(10);
+  // Provision for this percentile of the windowed demand distribution —
+  // the histogram side: robust to one-off spikes, remembers recurring load.
+  double target_percentile = 0.90;
+  // Project the average demand slope over the most recent samples this
+  // far ahead — the forecast side: a rising ramp is met by capacity
+  // ordered one cold start early. Set to the autoscaler's cold_start.
+  SimTime lead_time = sec(20);
+  // How many trailing samples the slope is fitted over (>= 2).
+  std::size_t trend_samples = 6;
+  // Provision slightly above the predicted demand.
+  double headroom = 1.10;
+  // Each tick's predicted target persists as a capacity floor for this
+  // long (keep-alive applied to the prediction rather than the raw
+  // demand). The forecast term is noisy tick-to-tick; without the hold
+  // the policy flaps capacity out and cold-starts it right back (>5x the
+  // cold starts of keep-alive on the diurnal bench). 0 disables.
+  SimTime target_hold = minutes(2);
+};
+
+class PredictivePolicy final : public ScalingPolicy {
+ public:
+  explicit PredictivePolicy(PredictivePolicyConfig config = {});
+
+  std::string name() const override { return "predictive"; }
+  void bind(SimTime evaluation_interval) override;
+  ScalingDecision evaluate(const FleetView& view) override;
+
+ private:
+  PredictivePolicyConfig config_;
+  // (time, demand) samples inside the trailing history window.
+  std::deque<std::pair<SimTime, std::size_t>> window_;
+  // (time, raw target) predictions inside the trailing hold window
+  // (min/max clamping happens after the hold; the bounds are constant, so
+  // clamp-of-max equals max-of-clamps).
+  std::deque<std::pair<SimTime, std::size_t>> held_targets_;
 };
 
 }  // namespace gfaas::autoscale

@@ -1,0 +1,48 @@
+// The engine-level seam between the elastic fleet controller and a
+// running cluster.
+//
+// The Autoscaler (src/autoscale) programs exclusively against this
+// interface: it observes the SchedulerEngine and CacheManager, schedules
+// its evaluation ticks on the cluster's Executor, and mutates GPU
+// membership through the add/fence/remove verbs. Nothing in it names an
+// executor implementation, so the same controller + ScalingPolicy code
+// drives both execution modes:
+//
+//   * evaluation mode  — SimCluster on the discrete-event sim::Simulator
+//     (bit-reproducible; what every paper figure runs on);
+//   * deployment mode  — RealTimeCluster on cluster::RealTimeExecutor
+//     (wall clock, optionally compressed via time_scale).
+#pragma once
+
+#include "cache/cache_manager.h"
+#include "cluster/engine.h"
+#include "gpu/gpu_spec.h"
+#include "sim/simulator.h"
+
+namespace gfaas::cluster {
+
+class ElasticCluster {
+ public:
+  virtual ~ElasticCluster() = default;
+
+  // Time source and deferred-execution engine everything runs on.
+  virtual sim::Executor& executor() = 0;
+  virtual SchedulerEngine& engine() = 0;
+  virtual const SchedulerEngine& engine() const = 0;
+  virtual const cache::CacheManager& cache() const = 0;
+
+  // --- dynamic GPU membership ---
+  // Provisions one GPU as its own node (dedicated link and GPU Manager)
+  // and joins it to the cache/engine. Ids are dense and never reused.
+  virtual GpuId add_gpu(const gpu::GpuSpec& spec) = 0;
+  virtual void fence_gpu(GpuId gpu) = 0;
+  virtual void unfence_gpu(GpuId gpu) = 0;
+  virtual void remove_gpu(GpuId gpu) = 0;
+  virtual bool gpu_drained(GpuId gpu) const = 0;
+
+  // Runs (simulated) or waits (wall clock) until every scheduled event has
+  // fired and no further work is outstanding.
+  virtual void run_to_completion() = 0;
+};
+
+}  // namespace gfaas::cluster

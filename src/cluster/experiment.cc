@@ -9,80 +9,20 @@ namespace gfaas::cluster {
 
 SimCluster::SimCluster(const ClusterConfig& config,
                        const models::ModelRegistry& registry)
-    : config_(config) {
-  GFAAS_CHECK(config.nodes >= 1 && config.gpus_per_node >= 1);
-  GFAAS_CHECK(config.node_specs.size() == 1 ||
-              config.node_specs.size() == static_cast<std::size_t>(config.nodes))
-      << "node_specs must have 1 entry or one per node";
-
-  simulator_ = std::make_unique<sim::Simulator>();
-  store_ = std::make_unique<datastore::KvStore>(simulator_.get());
-  cache_ = std::make_unique<cache::CacheManager>(config.cache_policy, store_.get());
-  registry_ = std::make_unique<models::ModelRegistry>(registry);
-  oracle_ = std::make_unique<models::LatencyOracle>(*registry_, config.latency_alpha);
-
-  std::vector<gpu::VirtualGpu*> gpu_ptrs;
-  std::vector<GpuManager*> manager_ptrs;
-  std::int64_t next_gpu = 0;
-  for (int node = 0; node < config.nodes; ++node) {
-    const gpu::GpuSpec& spec = config.spec_for_node(node);
-    gpu::PcieLink* shared_link = nullptr;
-    if (config.shared_pcie_per_node) {
-      links_.push_back(
-          std::make_unique<gpu::PcieLink>(spec.pcie_gbps, spec.pcie_latency));
-      shared_link = links_.back().get();
-    }
-    std::vector<gpu::VirtualGpu*> node_gpus;
-    for (int g = 0; g < config.gpus_per_node; ++g) {
-      gpu::PcieLink* link = shared_link;
-      if (link == nullptr) {
-        links_.push_back(
-            std::make_unique<gpu::PcieLink>(spec.pcie_gbps, spec.pcie_latency));
-        link = links_.back().get();
-      }
-      const GpuId id(next_gpu++);
-      gpus_.push_back(std::make_unique<gpu::VirtualGpu>(id, spec, link));
-      cache_->add_gpu(id, gpus_.back()->memory_capacity());
-      node_gpus.push_back(gpus_.back().get());
-      gpu_ptrs.push_back(gpus_.back().get());
-    }
-    managers_.push_back(std::make_unique<GpuManager>(
-        NodeId(node), simulator_.get(), store_.get(), cache_.get(), registry_.get(),
-        oracle_.get(), node_gpus, config.execute_real_inference));
-    manager_ptrs.push_back(managers_.back().get());
-  }
-
-  engine_ = std::make_unique<SchedulerEngine>(
-      simulator_.get(), cache_.get(), oracle_.get(), gpu_ptrs, manager_ptrs,
-      core::make_scheduler(config.policy, config.o3_limit));
-}
+    : simulator_(std::make_unique<sim::Simulator>()),
+      assembly_(std::make_unique<ClusterAssembly>(simulator_.get(), config, registry)) {}
 
 SimCluster::~SimCluster() = default;
 
-GpuId SimCluster::add_gpu(const gpu::GpuSpec& spec) {
-  const GpuId id(static_cast<std::int64_t>(gpus_.size()));
-  links_.push_back(std::make_unique<gpu::PcieLink>(spec.pcie_gbps, spec.pcie_latency));
-  gpus_.push_back(std::make_unique<gpu::VirtualGpu>(id, spec, links_.back().get()));
-  cache_->add_gpu(id, gpus_.back()->memory_capacity());
-  managers_.push_back(std::make_unique<GpuManager>(
-      NodeId(static_cast<std::int64_t>(managers_.size())), simulator_.get(),
-      store_.get(), cache_.get(), registry_.get(), oracle_.get(),
-      std::vector<gpu::VirtualGpu*>{gpus_.back().get()},
-      config_.execute_real_inference));
-  engine_->add_gpu(gpus_.back().get(), managers_.back().get());
-  return id;
-}
-
 SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
   for (const core::Request& req : requests) {
-    simulator_->schedule_at(req.arrival,
-                            [this, req]() { engine_->submit(req); });
+    simulator_->schedule_at(req.arrival, [this, req]() { engine().submit(req); });
   }
   simulator_->run();
-  GFAAS_CHECK(engine_->pending() == 0)
-      << engine_->pending() << " requests stranded after replay";
+  GFAAS_CHECK(engine().pending() == 0)
+      << engine().pending() << " requests stranded after replay";
   SimTime makespan = 0;
-  for (const auto& record : engine_->completions()) {
+  for (const auto& record : engine().completions()) {
     makespan = std::max(makespan, record.completed);
   }
   return makespan;

@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/assembly.h"
 #include "cluster/config.h"
+#include "cluster/elastic_cluster.h"
 #include "cluster/engine.h"
 #include "trace/workload.h"
 
@@ -45,47 +47,40 @@ ExperimentResult run_experiment(const ClusterConfig& config,
 
 // A fully-assembled simulated cluster, for callers that need to drive the
 // simulation themselves (examples, integration tests, the Gateway
-// backend). Owns every component.
-class SimCluster {
+// backend). Owns every component. This is the evaluation-mode
+// ElasticCluster; cluster::RealTimeCluster is the deployment-mode twin.
+class SimCluster final : public ElasticCluster {
  public:
   SimCluster(const ClusterConfig& config, const models::ModelRegistry& registry);
-  ~SimCluster();
+  ~SimCluster() override;
 
   sim::Simulator& simulator() { return *simulator_; }
-  datastore::KvStore& datastore() { return *store_; }
-  cache::CacheManager& cache() { return *cache_; }
-  SchedulerEngine& engine() { return *engine_; }
-  const models::LatencyOracle& oracle() const { return *oracle_; }
-  gpu::VirtualGpu& gpu(std::size_t index) { return *gpus_[index]; }
-  std::size_t gpu_count() const { return gpus_.size(); }
-  const ClusterConfig& config() const { return config_; }
+  datastore::KvStore& datastore() { return assembly_->datastore(); }
+  cache::CacheManager& cache() { return assembly_->cache(); }
+  const models::LatencyOracle& oracle() const { return assembly_->oracle(); }
+  gpu::VirtualGpu& gpu(std::size_t index) { return assembly_->gpu(index); }
+  std::size_t gpu_count() const { return assembly_->gpu_count(); }
+  const ClusterConfig& config() const { return assembly_->config(); }
 
   // Schedules all requests at their arrival times and runs to completion.
   // Returns the makespan (time of last completion).
   SimTime replay(const std::vector<core::Request>& requests);
 
-  // --- elastic fleet membership (driven by autoscale::Autoscaler) ---
-  // Provisions one GPU as its own node (dedicated PCIe link and GPU
-  // Manager) and joins it to the cache/engine. Ids are dense and never
-  // reused; the VirtualGpu object stays owned (and addressable through
-  // gpu()) after removal so post-run accounting can still read it.
-  GpuId add_gpu(const gpu::GpuSpec& spec);
-  void fence_gpu(GpuId gpu) { engine_->fence_gpu(gpu); }
-  void unfence_gpu(GpuId gpu) { engine_->unfence_gpu(gpu); }
-  void remove_gpu(GpuId gpu) { engine_->remove_gpu(gpu); }
-  bool gpu_drained(GpuId gpu) const { return engine_->drained(gpu); }
+  // --- ElasticCluster (elastic membership driven by autoscale::Autoscaler) ---
+  sim::Executor& executor() override { return *simulator_; }
+  SchedulerEngine& engine() override { return assembly_->engine(); }
+  const SchedulerEngine& engine() const override { return assembly_->engine(); }
+  const cache::CacheManager& cache() const override { return assembly_->cache(); }
+  GpuId add_gpu(const gpu::GpuSpec& spec) override { return assembly_->add_gpu(spec); }
+  void fence_gpu(GpuId gpu) override { assembly_->engine().fence_gpu(gpu); }
+  void unfence_gpu(GpuId gpu) override { assembly_->engine().unfence_gpu(gpu); }
+  void remove_gpu(GpuId gpu) override { assembly_->engine().remove_gpu(gpu); }
+  bool gpu_drained(GpuId gpu) const override { return assembly_->engine().drained(gpu); }
+  void run_to_completion() override { simulator_->run(); }
 
  private:
-  ClusterConfig config_;
   std::unique_ptr<sim::Simulator> simulator_;
-  std::unique_ptr<datastore::KvStore> store_;
-  std::unique_ptr<cache::CacheManager> cache_;
-  std::unique_ptr<models::ModelRegistry> registry_;
-  std::unique_ptr<models::LatencyOracle> oracle_;
-  std::vector<std::unique_ptr<gpu::PcieLink>> links_;
-  std::vector<std::unique_ptr<gpu::VirtualGpu>> gpus_;
-  std::vector<std::unique_ptr<GpuManager>> managers_;
-  std::unique_ptr<SchedulerEngine> engine_;
+  std::unique_ptr<ClusterAssembly> assembly_;
 };
 
 }  // namespace gfaas::cluster

@@ -40,7 +40,7 @@ std::uint64_t RealTimeExecutor::schedule_after(SimTime delay, std::function<void
   const SimTime when = now() + delay;
   const std::uint64_t id = next_id_++;
   const auto key = std::make_pair(when, next_seq_++);
-  events_.emplace(key, std::move(fn));
+  events_.emplace(key, Scheduled{id, std::move(fn)});
   by_id_.emplace(id, key);
   cv_.notify_all();
   return id;
@@ -52,12 +52,27 @@ bool RealTimeExecutor::cancel(std::uint64_t event_id) {
   if (it == by_id_.end()) return false;
   events_.erase(it->second);
   by_id_.erase(it);
+  ++cancelled_;
+  // Wake the worker: it may be sleeping until this event's deadline (or
+  // holding drain() callers hostage to it). It re-evaluates the head and
+  // notifies drained_cv_ itself if the queue is now empty.
+  cv_.notify_all();
   return true;
 }
 
 std::size_t RealTimeExecutor::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size() + (running_ ? 1 : 0);
+}
+
+std::uint64_t RealTimeExecutor::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::uint64_t RealTimeExecutor::cancelled_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
 }
 
 void RealTimeExecutor::drain() {
@@ -79,15 +94,12 @@ void RealTimeExecutor::worker_loop() {
       cv_.wait_until(lock, deadline_for(fire_at));
       continue;  // re-evaluate: an earlier event may have been added
     }
-    std::function<void()> fn = std::move(next->second);
-    // Remove the id mapping for this event.
-    for (auto it = by_id_.begin(); it != by_id_.end(); ++it) {
-      if (it->second == next->first) {
-        by_id_.erase(it);
-        break;
-      }
-    }
+    std::function<void()> fn = std::move(next->second.fn);
+    // Keyed erase of the id index: O(log n), matching cancel(). (A
+    // value scan here made every fire O(n) and a run quadratic.)
+    by_id_.erase(next->second.id);
     events_.erase(next);
+    ++fired_;
     running_ = true;
     lock.unlock();
     fn();

@@ -46,7 +46,22 @@ class RealTimeExecutor final : public sim::Executor {
 
   std::size_t pending() const;
 
+  // Lifetime counters (regression guards: fired + cancelled must account
+  // for every schedule_after, and firing is O(log n) — the worker erases
+  // the id index by key, never by scanning it).
+  std::uint64_t fired_count() const;
+  std::uint64_t cancelled_count() const;
+
  private:
+  // Callback plus the schedule_after id it was registered under, so the
+  // worker can erase the by_id_ entry with an O(log n) keyed lookup when
+  // the event fires (erasing by value would be an O(n) scan per fire —
+  // quadratic over a run).
+  struct Scheduled {
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+
   void worker_loop();
   std::chrono::steady_clock::time_point deadline_for(SimTime when) const;
 
@@ -55,11 +70,13 @@ class RealTimeExecutor final : public sim::Executor {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable drained_cv_;
-  // (fire time in scaled µs, sequence) -> callback.
-  std::map<std::pair<SimTime, std::uint64_t>, std::function<void()>> events_;
+  // (fire time in scaled µs, sequence) -> scheduled callback.
+  std::map<std::pair<SimTime, std::uint64_t>, Scheduled> events_;
   std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> by_id_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
   bool running_ = false;  // a callback is executing
   bool stop_ = false;
   std::thread worker_;

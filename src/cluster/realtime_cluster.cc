@@ -1,0 +1,17 @@
+#include "cluster/realtime_cluster.h"
+
+namespace gfaas::cluster {
+
+RealTimeCluster::RealTimeCluster(const ClusterConfig& config,
+                                 const models::ModelRegistry& registry,
+                                 double time_scale)
+    : executor_(std::make_unique<RealTimeExecutor>(time_scale)),
+      assembly_(std::make_unique<ClusterAssembly>(executor_.get(), config, registry)) {}
+
+RealTimeCluster::~RealTimeCluster() {
+  // Stop the worker thread (drops still-pending events, joins) before the
+  // assembly its callbacks point into is destroyed.
+  executor_.reset();
+}
+
+}  // namespace gfaas::cluster

@@ -1,0 +1,62 @@
+// Deployment-mode cluster: the exact component stack SimCluster assembles
+// (Datastore, Cache Manager, GPU Managers, Scheduler engine), wired to the
+// wall-clock RealTimeExecutor instead of the discrete-event simulator.
+//
+// Threading contract (inherited from RealTimeExecutor): every component is
+// single-threaded and runs exclusively on the executor's worker thread.
+// External threads interact only through executor() — schedule_after() /
+// post() are thread-safe — and synchronize with run_to_completion().
+// Mutating the engine / cache / membership directly from an external
+// thread while events are in flight is a data race; route such work
+// through executor().post(). Construction happens before any event exists,
+// so the constructor may run on any thread.
+//
+// `time_scale` compresses time: a delay of d simulated microseconds fires
+// after d / time_scale wall microseconds, while now() (and therefore every
+// latency/metric) stays in simulated units. time_scale = 1 is real-time
+// deployment; large values replay hours of trace in seconds for
+// integration testing (see autoscale::replay_with_autoscaler).
+#pragma once
+
+#include <memory>
+
+#include "cluster/assembly.h"
+#include "cluster/config.h"
+#include "cluster/elastic_cluster.h"
+#include "cluster/realtime.h"
+
+namespace gfaas::cluster {
+
+class RealTimeCluster final : public ElasticCluster {
+ public:
+  RealTimeCluster(const ClusterConfig& config, const models::ModelRegistry& registry,
+                  double time_scale = 1.0);
+  ~RealTimeCluster() override;
+
+  RealTimeExecutor& realtime() { return *executor_; }
+  datastore::KvStore& datastore() { return assembly_->datastore(); }
+  cache::CacheManager& cache() { return assembly_->cache(); }
+  const models::LatencyOracle& oracle() const { return assembly_->oracle(); }
+  gpu::VirtualGpu& gpu(std::size_t index) { return assembly_->gpu(index); }
+  std::size_t gpu_count() const { return assembly_->gpu_count(); }
+  const ClusterConfig& config() const { return assembly_->config(); }
+
+  // --- ElasticCluster ---
+  sim::Executor& executor() override { return *executor_; }
+  SchedulerEngine& engine() override { return assembly_->engine(); }
+  const SchedulerEngine& engine() const override { return assembly_->engine(); }
+  const cache::CacheManager& cache() const override { return assembly_->cache(); }
+  GpuId add_gpu(const gpu::GpuSpec& spec) override { return assembly_->add_gpu(spec); }
+  void fence_gpu(GpuId gpu) override { assembly_->engine().fence_gpu(gpu); }
+  void unfence_gpu(GpuId gpu) override { assembly_->engine().unfence_gpu(gpu); }
+  void remove_gpu(GpuId gpu) override { assembly_->engine().remove_gpu(gpu); }
+  bool gpu_drained(GpuId gpu) const override { return assembly_->engine().drained(gpu); }
+  // Blocks the calling thread until no events remain pending.
+  void run_to_completion() override { executor_->drain(); }
+
+ private:
+  std::unique_ptr<RealTimeExecutor> executor_;
+  std::unique_ptr<ClusterAssembly> assembly_;
+};
+
+}  // namespace gfaas::cluster

@@ -1,8 +1,10 @@
 // Elastic-fleet tests: dynamic GPU membership invariants in
 // ClusterStateIndex and CacheManager (add/fence/remove mid-run), the
-// engine's drain/cold-start semantics, the scaling policies, the
-// Autoscaler end-to-end, and the determinism guard asserting the paper
-// grid is bit-identical with the autoscaler disabled.
+// engine's drain/cold-start semantics, the scaling policies (reactive,
+// keep-alive, predictive), warm-pool-aware drain-victim selection, the
+// Autoscaler end-to-end, sim-vs-realtime deployment-mode consistency, and
+// the determinism guard asserting the paper grid is bit-identical with
+// the autoscaler disabled.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,8 +12,10 @@
 #include <vector>
 
 #include "autoscale/autoscaler.h"
+#include "autoscale/deployment.h"
 #include "cache/cache_manager.h"
 #include "cluster/cluster_state_index.h"
+#include "cluster/realtime_cluster.h"
 #include "common/rng.h"
 #include "metrics/fleet.h"
 #include "testing/builders.h"
@@ -462,6 +466,24 @@ TEST(ReactivePolicyTest, ScalesDownOnlyAfterSustainedIdle) {
   EXPECT_EQ(d.add, 0u);
 }
 
+TEST(ReactivePolicyTest, ConsecutiveShrinksReestablishStability) {
+  ReactivePolicyConfig config;
+  config.down_stability = sec(30);
+  config.down_cooldown = sec(10);  // shorter than stability: the old bug
+                                   // shrank again every cooldown
+  ReactivePolicy policy(config);
+  // Idle stretch established at t=0; first shrink once sustained.
+  EXPECT_EQ(policy.evaluate(view_at(sec(0), 8, 8, 0)).remove, 0u);
+  EXPECT_EQ(policy.evaluate(view_at(sec(40), 8, 8, 0)).remove, 2u);
+  // Still idle, cooldown already expired — but the shrink must have reset
+  // the stability window, so the smaller fleet gets its full
+  // down_stability of observation before shrinking again.
+  EXPECT_EQ(policy.evaluate(view_at(sec(50), 6, 6, 0)).remove, 0u);
+  EXPECT_EQ(policy.evaluate(view_at(sec(60), 6, 6, 0)).remove, 0u);
+  // 30s of sustained idleness after the shrink: reclaim again.
+  EXPECT_EQ(policy.evaluate(view_at(sec(70), 6, 6, 0)).remove, 2u);
+}
+
 TEST(ReactivePolicyTest, RespectsFloor) {
   ReactivePolicyConfig config;
   config.down_stability = 0;
@@ -495,6 +517,175 @@ TEST(KeepAlivePolicyTest, CapacityPersistsForTheWindowThenDecays) {
   later.in_flight = 0;
   d = policy.evaluate(later);
   EXPECT_EQ(d.remove, 8u);  // target max(peak 0, min 2)
+}
+
+TEST(KeepAlivePolicyTest, SampleExpiresAtExactlyKeepAlive) {
+  KeepAlivePolicyConfig config;
+  config.keep_alive = sec(60);
+  config.headroom = 1.0;
+  KeepAlivePolicy policy(config);
+
+  FleetView spike = view_at(sec(0), 4, 0, 6);  // demand 10
+  EXPECT_EQ(policy.evaluate(spike).add, 6u);
+
+  // A sample at t covers [t, t + keep_alive): at exactly t = keep_alive
+  // the spike has aged out and the fleet collapses to the floor. (The old
+  // strict-< eviction kept it one extra tick, stretching every window by
+  // an evaluation interval.)
+  FleetView later = view_at(sec(60), 10, 10, 0);
+  later.in_flight = 0;
+  const ScalingDecision d = policy.evaluate(later);
+  EXPECT_EQ(d.remove, 8u);  // target max(peak 0, min 2)
+}
+
+TEST(KeepAlivePolicyDeathTest, BindRejectsWindowShorterThanInterval) {
+  // keep_alive < evaluation_interval means the trailing window can never
+  // hold more than the current sample — the policy silently degenerates
+  // to instantaneous tracking, so the config is rejected outright.
+  KeepAlivePolicyConfig config;
+  config.keep_alive = sec(2);
+  KeepAlivePolicy policy(config);
+  EXPECT_DEATH(policy.bind(sec(5)), "evaluation interval");
+  // == interval is just as degenerate under the half-open expiry (the
+  // previous sample is dropped the instant the next tick arrives).
+  KeepAlivePolicy boundary(config);
+  EXPECT_DEATH(boundary.bind(sec(2)), "evaluation interval");
+  KeepAlivePolicy ok(config);
+  ok.bind(sec(1));  // window spans two ticks: fine
+}
+
+// ---------------------------------------------------------------------------
+// PredictivePolicy: histogram percentile + trend forecast
+// ---------------------------------------------------------------------------
+
+PredictivePolicyConfig predictive_config() {
+  PredictivePolicyConfig config;
+  config.history = sec(100);
+  config.target_percentile = 0.90;
+  config.headroom = 1.0;
+  config.lead_time = sec(20);
+  config.trend_samples = 3;
+  config.target_hold = 0;  // most tests probe single-tick decisions
+  return config;
+}
+
+TEST(PredictivePolicyTest, ForecastsRampOneLeadTimeAhead) {
+  PredictivePolicy policy(predictive_config());
+  // Demand climbing 0.2/s at a floor-sized fleet. The forecast projects
+  // the slope lead_time ahead: capacity for the demand of t+20s is
+  // ordered now, so it finishes cold-starting when that demand arrives.
+  EXPECT_EQ(policy.evaluate(view_at(sec(0), 2, 2, 2)).add, 0u);  // demand 2
+  const ScalingDecision d = policy.evaluate(view_at(sec(10), 2, 2, 4));
+  // projected = 4 + 0.2/s * 20s = 8, above the windowed p90 of 4.
+  EXPECT_EQ(d.add, 6u);
+  EXPECT_EQ(d.remove, 0u);
+}
+
+TEST(PredictivePolicyTest, HistogramHoldsCapacityThroughDips) {
+  PredictivePolicy policy(predictive_config());
+  // A sustained plateau of demand 10 dominates the histogram...
+  for (int i = 0; i < 9; ++i) {
+    policy.evaluate(view_at(sec(10 * i), 10, 0, 0));  // demand 10
+  }
+  // ...so one quiet tick does not release it: p90 of {10 x 9, 0} is 10.
+  FleetView dip = view_at(sec(90), 10, 10, 0);
+  dip.in_flight = 0;
+  const ScalingDecision d = policy.evaluate(dip);
+  EXPECT_EQ(d.add, 0u);
+  EXPECT_EQ(d.remove, 0u);
+}
+
+TEST(PredictivePolicyTest, HistoryExpiryReleasesCapacity) {
+  PredictivePolicyConfig config = predictive_config();
+  config.history = sec(30);
+  PredictivePolicy policy(config);
+  policy.evaluate(view_at(sec(0), 10, 0, 0));  // demand 10
+  // At exactly t = history the plateau sample is out of the window.
+  FleetView quiet = view_at(sec(30), 10, 10, 0);
+  quiet.in_flight = 0;
+  const ScalingDecision d = policy.evaluate(quiet);
+  EXPECT_EQ(d.remove, 8u);  // down to the min_gpus floor
+}
+
+TEST(PredictivePolicyTest, HeldTargetDelaysReclaim) {
+  PredictivePolicyConfig config = predictive_config();
+  config.history = sec(30);       // demand samples age out quickly...
+  config.target_hold = sec(60);   // ...but predictions floor capacity longer
+  PredictivePolicy policy(config);
+  policy.evaluate(view_at(sec(0), 10, 0, 0));  // demand 10: target 10 held
+  // t=40: the demand sample is out of the history window, so the raw
+  // target collapses — but the held prediction from t=0 still floors the
+  // fleet, so nothing is released between bursts.
+  FleetView quiet = view_at(sec(40), 10, 10, 0);
+  quiet.in_flight = 0;
+  EXPECT_EQ(policy.evaluate(quiet).remove, 0u);
+  // t=70: the held target expired too; capacity finally comes back.
+  FleetView later = view_at(sec(70), 10, 10, 0);
+  later.in_flight = 0;
+  EXPECT_EQ(policy.evaluate(later).remove, 8u);
+}
+
+TEST(PredictivePolicyDeathTest, BindRejectsHistoryShorterThanInterval) {
+  PredictivePolicyConfig config = predictive_config();
+  config.history = sec(2);
+  PredictivePolicy policy(config);
+  EXPECT_DEATH(policy.bind(sec(5)), "evaluation interval");
+}
+
+// ---------------------------------------------------------------------------
+// Warm-pool-aware drain-victim selection
+// ---------------------------------------------------------------------------
+
+TEST(DrainVictimSelectionTest, PrefersVictimsWhoseModelsAreDuplicated) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  for (int g = 0; g < 3; ++g) cache.add_gpu(GpuId(g), GiB(1));
+  // gpu0 holds the fleet's only copy of model 1; gpus 1 and 2 both hold
+  // model 2.
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(1), MiB(100)).ok());
+  ASSERT_TRUE(cache.record_insertion(GpuId(1), ModelId(2), MiB(100)).ok());
+  ASSERT_TRUE(cache.record_insertion(GpuId(2), ModelId(2), MiB(100)).ok());
+
+  // Hot-first idle order puts gpu0 coldest (back of the list): pure
+  // coldest-first reclaim would evict the sole warm copy of model 1.
+  const std::vector<GpuId> idle = {GpuId(1), GpuId(2), GpuId(0)};
+  EXPECT_EQ(select_drain_victims(idle, cache, 1), (std::vector<GpuId>{GpuId(2)}));
+  // Full drain: gpu2 (duplicated, colder than gpu1) goes first. That pick
+  // makes gpu1 a sole holder of model 2, so rounds two and three see two
+  // equally expensive victims and fall back to coldness: gpu0, then gpu1.
+  EXPECT_EQ(select_drain_victims(idle, cache, 3),
+            (std::vector<GpuId>{GpuId(2), GpuId(0), GpuId(1)}));
+  // Never returns more victims than idle candidates.
+  EXPECT_EQ(select_drain_victims(idle, cache, 5).size(), 3u);
+}
+
+TEST(DrainVictimSelectionTest, BatchNeverDrainsEveryCopyWhileCheaperVictimExists) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  for (int g = 0; g < 3; ++g) cache.add_gpu(GpuId(g), GiB(1));
+  // gpus 0 and 1 are each other's only duplicate for model 7; gpu2 holds
+  // a (differently) duplicated... nothing at all: an empty, free victim.
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(7), MiB(100)).ok());
+  ASSERT_TRUE(cache.record_insertion(GpuId(1), ModelId(7), MiB(100)).ok());
+
+  // Scored against static pre-fence state, gpus 0 and 1 both look free
+  // (duplicate_count == 2) and a 2-victim batch would evict every warm
+  // copy of model 7. The greedy per-pick recount must route the second
+  // pick to the empty gpu2 instead.
+  const std::vector<GpuId> idle = {GpuId(2), GpuId(1), GpuId(0)};
+  const std::vector<GpuId> victims = select_drain_victims(idle, cache, 2);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], GpuId(0));  // coldest of the duplicated holders
+  EXPECT_EQ(victims[1], GpuId(2));  // NOT gpu1: it now holds the sole copy
+}
+
+TEST(DrainVictimSelectionTest, EmptyGpuIsAFreeVictim) {
+  cache::CacheManager cache(cache::PolicyKind::kLru);
+  cache.add_gpu(GpuId(0), GiB(1));
+  cache.add_gpu(GpuId(1), GiB(1));
+  ASSERT_TRUE(cache.record_insertion(GpuId(0), ModelId(5), MiB(100)).ok());
+  // gpu1 holds nothing: reclaiming it forfeits no locality even though
+  // gpu0 is colder in the idle ordering.
+  const std::vector<GpuId> idle = {GpuId(1), GpuId(0)};
+  EXPECT_EQ(select_drain_victims(idle, cache, 1), (std::vector<GpuId>{GpuId(1)}));
 }
 
 // ---------------------------------------------------------------------------
@@ -603,6 +794,69 @@ TEST(AutoscalerTest, ElasticFleetServesDiurnalTraceCheaperThanPeakFleet) {
   const SimTime end = cluster.simulator().now();
   const double peak_fleet_gpu_seconds = 10.0 * sim_to_seconds(end);
   EXPECT_LT(scaler.gpu_seconds(end), peak_fleet_gpu_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Deployment mode: the same driver + autoscaler + policy, on the
+// wall-clock executor with compressed time, agrees with the simulator.
+// ---------------------------------------------------------------------------
+
+TEST(DeploymentModeTest, RealtimeReplayMatchesSimulatorWithinTolerance) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 5;
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = 3;
+  diurnal.period_minutes = 3;
+  diurnal.trough_rpm = 20;
+  diurnal.peak_rpm = 80;
+  auto workload = trace::build_diurnal_workload(wconfig, diurnal);
+  ASSERT_TRUE(workload.ok());
+
+  AutoscalerConfig config;
+  config.min_gpus = 2;
+  config.max_gpus = 8;
+  config.cold_start = sec(10);
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = 2;
+  cluster_config.gpus_per_node = 1;
+  cluster_config.shared_pcie_per_node = false;
+
+  PredictivePolicyConfig policy;
+  policy.lead_time = config.cold_start;
+
+  cluster::SimCluster sim(cluster_config, workload->registry);
+  Autoscaler sim_scaler(&sim, std::make_unique<PredictivePolicy>(policy), config);
+  const ReplayResult sim_run =
+      replay_with_autoscaler(sim, workload->requests, sim_scaler);
+
+  // 3 simulated minutes compressed into ~90ms of wall time. Under heavy
+  // slowdown (sanitizers, loaded CI) wall-clock jitter perturbs the
+  // interleavings, so the cross-checks below are deliberately loose: they
+  // catch wiring bugs, not jitter.
+  cluster::RealTimeCluster realtime(cluster_config, workload->registry,
+                                    /*time_scale=*/2000.0);
+  Autoscaler rt_scaler(&realtime, std::make_unique<PredictivePolicy>(policy), config);
+  const ReplayResult rt_run =
+      replay_with_autoscaler(realtime, workload->requests, rt_scaler);
+
+  // Every request completes in both modes — nothing strands on a drained
+  // GPU or races past the executor shutdown.
+  EXPECT_EQ(sim_run.completed, workload->requests.size());
+  EXPECT_EQ(rt_run.completed, workload->requests.size());
+  // Both fleets actually breathed, inside the configured band.
+  EXPECT_GT(sim_scaler.counters().gpus_added, 0);
+  EXPECT_GT(rt_scaler.counters().gpus_added, 0);
+  EXPECT_LE(rt_scaler.powered_timeline().max_value(),
+            static_cast<double>(config.max_gpus));
+  EXPECT_GE(rt_scaler.schedulable_timeline().min_value(), 0.0);
+  // Fleet trajectories agree within a generous factor.
+  const SimTime sim_end = sim.executor().now();
+  const SimTime rt_end = realtime.executor().now();
+  const double sim_mean = sim_scaler.powered_timeline().time_weighted_mean(sim_end);
+  const double rt_mean = rt_scaler.powered_timeline().time_weighted_mean(rt_end);
+  EXPECT_GT(rt_mean, 0.4 * sim_mean);
+  EXPECT_LT(rt_mean, 2.5 * sim_mean);
 }
 
 // ---------------------------------------------------------------------------

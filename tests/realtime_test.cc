@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "cluster/engine.h"
@@ -52,6 +54,126 @@ TEST(RealTimeExecutorTest, CancelPreventsExecution) {
   EXPECT_FALSE(executor.cancel(id));
   executor.drain();
   EXPECT_FALSE(ran.load());
+  EXPECT_EQ(executor.cancelled_count(), 1u);
+  EXPECT_EQ(executor.fired_count(), 0u);
+}
+
+TEST(RealTimeExecutorTest, CancelOfAlreadyFiredEventReturnsFalse) {
+  RealTimeExecutor executor;
+  std::atomic<bool> ran{false};
+  const auto id = executor.schedule_after(msec(1), [&] { ran = true; });
+  executor.drain();
+  ASSERT_TRUE(ran.load());
+  // The id is retired with the firing: a late cancel is a clean no-op,
+  // not a hit on some unrelated future event.
+  EXPECT_FALSE(executor.cancel(id));
+  EXPECT_EQ(executor.fired_count(), 1u);
+  EXPECT_EQ(executor.cancelled_count(), 0u);
+}
+
+TEST(RealTimeExecutorTest, CancelFromWithinCallback) {
+  // The engine cancels timers from inside completion callbacks (e.g. a
+  // speculative timeout raced by the real completion); the worker must
+  // allow cancel() re-entry while it is mid-fire.
+  RealTimeExecutor executor;
+  std::atomic<bool> victim_ran{false};
+  std::atomic<bool> cancelled_ok{false};
+  const auto victim = executor.schedule_after(msec(60), [&] { victim_ran = true; });
+  executor.schedule_after(msec(1), [&] { cancelled_ok = executor.cancel(victim); });
+  executor.drain();
+  EXPECT_TRUE(cancelled_ok.load());
+  EXPECT_FALSE(victim_ran.load());
+  EXPECT_EQ(executor.pending(), 0u);
+}
+
+TEST(RealTimeExecutorTest, CancelOfFarFutureEventWakesDrain) {
+  // The worker sleeps until the head event's deadline; cancelling that
+  // event must wake it so drain() observes the empty queue immediately
+  // instead of blocking out the cancelled event's full original delay.
+  RealTimeExecutor executor;  // time_scale 1: sec(60) really is a minute
+  std::atomic<bool> ran{false};
+  const auto id = executor.schedule_after(sec(60), [&] { ran = true; });
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(executor.cancel(id));
+  });
+  const auto wall_start = std::chrono::steady_clock::now();
+  executor.drain();
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  canceller.join();
+  EXPECT_FALSE(ran.load());
+  EXPECT_LT(wall_ms, 30000);  // generous; without the wake-up it is 60s
+}
+
+TEST(RealTimeExecutorTest, ConcurrentExternalPostVsDrain) {
+  // External threads hand work in via post() while another thread sits in
+  // drain(): the executor must neither lose events nor deadlock. (drain()
+  // legitimately returns at any momentary empty point, so the test joins
+  // the posters and drains once more before asserting totals.)
+  RealTimeExecutor executor(/*time_scale=*/100.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> posters;
+  posters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&executor, &executed] {
+      for (int i = 0; i < kPerThread; ++i) {
+        executor.schedule_after(msec(i % 7), [&executed] { ++executed; });
+      }
+    });
+  }
+  executor.drain();  // races the posters on purpose
+  for (std::thread& poster : posters) poster.join();
+  executor.drain();
+  EXPECT_EQ(executed.load(), kThreads * kPerThread);
+  EXPECT_EQ(executor.fired_count(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(executor.pending(), 0u);
+}
+
+TEST(RealTimeExecutorTest, ReverseFireOrderStaysFast) {
+  // Regression for the O(n)-per-fire id-index scan: events firing in
+  // reverse id order are the worst case for a scan that starts at the
+  // smallest id (the old code walked the whole index on every fire —
+  // quadratic, well over the bound at this size). To actually produce
+  // that order the deadlines must descend with the index *despite* now()
+  // advancing while we post: a 2s-wall base keeps every event pending
+  // until posting finishes, and the 20ms-sim spacing dwarfs the per-post
+  // now() drift (~1ms sim, ~10ms under sanitizers). The keyed erase makes
+  // the run O(n log n); the wall bound is loose on purpose — it separates
+  // "a few seconds" from "minutes", not jitter from no jitter.
+  RealTimeExecutor executor(/*time_scale=*/1000.0);
+  constexpr int kEvents = 60000;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  std::mutex order_mu;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    const SimTime deadline = sec(2000) + msec(20) * (kEvents - i);
+    executor.schedule_after(deadline, [&order, &order_mu, i] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);
+    });
+  }
+  executor.drain();
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(executor.fired_count(), static_cast<std::uint64_t>(kEvents));
+  // Premise check: the run really was dominantly reverse-order (sanitizer
+  // slowdown makes each post cost several sim-milliseconds of now() drift,
+  // inverting a few percent of neighbors — 90% still leaves the old scan
+  // hunting near the back of the id index on nearly every fire).
+  int descending = 0;
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    if (order[k] < order[k - 1]) ++descending;
+  }
+  EXPECT_GT(descending, static_cast<int>(0.90 * kEvents));
+  EXPECT_LT(wall_ms, 20000);
 }
 
 TEST(RealTimeExecutorTest, NestedSchedulingFromCallback) {
@@ -66,17 +188,20 @@ TEST(RealTimeExecutorTest, NestedSchedulingFromCallback) {
 }
 
 TEST(RealTimeExecutorTest, TimeScaleCompressesDelays) {
-  // scale 1000: 1 simulated second fires after ~1 wall millisecond.
+  // scale 1000: 30 simulated seconds fire after ~30 wall milliseconds.
+  // The bound is 100x the compressed delay — generous enough for
+  // sanitizer/CI slowdown — while still 10x under the uncompressed 30s,
+  // so it proves compression without asserting tight timing.
   RealTimeExecutor executor(/*time_scale=*/1000.0);
   const auto wall_start = std::chrono::steady_clock::now();
   std::atomic<bool> ran{false};
-  executor.schedule_after(sec(1), [&] { ran = true; });
+  executor.schedule_after(sec(30), [&] { ran = true; });
   executor.drain();
   const auto wall_elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                                 std::chrono::steady_clock::now() - wall_start)
                                 .count();
   EXPECT_TRUE(ran.load());
-  EXPECT_LT(wall_elapsed, 500);  // far less than a real second
+  EXPECT_LT(wall_elapsed, 3000);
 }
 
 TEST(RealTimeExecutorTest, DrainOnEmptyReturnsImmediately) {
@@ -129,11 +254,11 @@ TEST(RealTimeExecutorTest, FullSchedulingStackRunsOnWallClock) {
   // First touch of each model is a miss, so at most 4 of the 6 requests
   // can hit; locality normally converts all 4. This is a wall-clock run:
   // under heavy slowdown (sanitizers, loaded CI) scheduling latency can
-  // reorder an arrival past a completion and turn an expected hit into a
-  // duplicate load, so tolerate one converted hit instead of asserting
-  // the exact count.
+  // reorder arrivals past completions and turn expected hits into
+  // duplicate loads, so tolerate up to two converted hits instead of
+  // asserting the exact count.
   EXPECT_LE(hits, 4);
-  EXPECT_GE(hits, 3);
+  EXPECT_GE(hits, 2);
   EXPECT_TRUE(cache.cached_anywhere(ModelId(0)));
   EXPECT_TRUE(cache.cached_anywhere(ModelId(1)));
 }
