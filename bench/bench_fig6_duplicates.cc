@@ -19,7 +19,8 @@ int main() {
   for (std::size_t ws : {15u, 25u, 35u}) {
     table.add_row(
         {std::to_string(ws),
-         metrics::Table::fmt(bench::cell(grid, ws, core::PolicyName::kLb).avg_top_duplicates),
+         metrics::Table::fmt(
+             bench::cell(grid, ws, core::PolicyName::kLb).avg_top_duplicates),
          metrics::Table::fmt(
              bench::cell(grid, ws, core::PolicyName::kLalb).avg_top_duplicates),
          metrics::Table::fmt(

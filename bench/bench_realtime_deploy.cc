@@ -221,9 +221,10 @@ int main(int argc, char** argv) {
 
   const bool count_ok = sim.replay.completed == rt.replay.completed &&
                         rt.replay.completed == workload->requests.size();
-  const double mean_delta = sim.fleet_mean > 0
-                                ? std::abs(rt.fleet_mean - sim.fleet_mean) / sim.fleet_mean
-                                : 0.0;
+  const double mean_delta =
+      sim.fleet_mean > 0
+          ? std::abs(rt.fleet_mean - sim.fleet_mean) / sim.fleet_mean
+          : 0.0;
   const bool mean_ok = mean_delta <= kMeanFleetTolerance;
   const double peak_allowance =
       std::max(2.0, kPeakFleetTolerance * sim.fleet_max);

@@ -8,12 +8,25 @@
 //   ./build/bench_seed_digest > before.txt
 //   <refactor, rebuild>
 //   ./build/bench_seed_digest | diff before.txt -
+//
+// --via-gateway routes every grid request through the serving layer
+// (gateway::Gateway with an unbounded admission window and no SLO
+// stamping) instead of submitting straight into the engine. The output
+// must STILL be byte-identical to the direct run — the proof that the
+// Gateway refactor of the ingestion path is behavior-preserving:
+//
+//   ./build/bench_seed_digest > direct.txt
+//   ./build/bench_seed_digest --via-gateway | diff direct.txt -
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/log.h"
+#include "gateway/gateway.h"
 
 namespace gfaas::bench {
 namespace {
@@ -46,7 +59,25 @@ std::uint64_t completion_digest(const std::vector<core::CompletionRecord>& recor
   return fnv.value();
 }
 
-int run() {
+// Ingestion seam for --via-gateway: every request enters through a
+// Gateway whose admission can never interfere (unbounded window, no SLO
+// stamping), so any digest drift would be a real behavior change in the
+// serving path.
+cluster::IngestFactory gateway_ingest() {
+  return [](cluster::ElasticCluster& cluster) {
+    gateway::GatewayConfig config;
+    config.max_in_flight = std::numeric_limits<std::size_t>::max();
+    config.default_slo = 0;  // no deadline stamping
+    auto gw = std::make_shared<gateway::Gateway>(&cluster, config);
+    return [gw](core::Request request) {
+      gw->submit(std::move(request), [](const gateway::GatewayResult& result) {
+        GFAAS_CHECK(result.disposition == gateway::Disposition::kCompleted);
+      });
+    };
+  };
+}
+
+int run(bool via_gateway) {
   GridOptions options;
   for (std::size_t ws : options.working_sets) {
     trace::WorkloadConfig wconfig;
@@ -60,7 +91,9 @@ int run() {
       config.o3_limit = options.o3_limit;
       config.cache_policy = options.cache_policy;
       std::vector<core::CompletionRecord> records;
-      const auto r = cluster::run_experiment(config, *workload, &records);
+      const auto r = cluster::run_experiment(
+          config, *workload, &records,
+          via_gateway ? gateway_ingest() : cluster::IngestFactory());
       std::printf("ws=%zu policy=%s requests=%zu\n", ws, r.policy.c_str(), r.requests);
       std::printf("  avg_latency_s=%a variance=%a p50=%a p95=%a p99=%a\n",
                   r.avg_latency_s, r.latency_variance_s2, r.p50_latency_s,
@@ -80,4 +113,15 @@ int run() {
 }  // namespace
 }  // namespace gfaas::bench
 
-int main() { return gfaas::bench::run(); }
+int main(int argc, char** argv) {
+  bool via_gateway = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--via-gateway") == 0) {
+      via_gateway = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  return gfaas::bench::run(via_gateway);
+}

@@ -1,0 +1,121 @@
+// Serving-layer demo: live traffic through the Gateway on the wall-clock
+// cluster. A bursty 6-minute diurnal envelope drives an open-loop client
+// (nothing is pre-materialized — arrivals are generated minute by minute)
+// against a RealTimeCluster at 360x compression, with the Autoscaler +
+// SloAwarePolicy steering the fleet by the Gateway's own windowed
+// serving outcomes while requests execute on the worker thread.
+//
+//   ./example_gateway_demo
+#include <cstdio>
+#include <memory>
+
+#include "autoscale/autoscaler.h"
+#include "autoscale/slo_policy.h"
+#include "cluster/realtime_cluster.h"
+#include "gateway/gateway.h"
+#include "trace/clients.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+int main() {
+  // The workload builder only supplies the model registry; the request
+  // stream comes from the live client below.
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 8;
+  auto registry_source = trace::build_standard_workload(wconfig);
+  if (!registry_source.ok()) {
+    std::fprintf(stderr, "registry build failed: %s\n",
+                 registry_source.status().to_string().c_str());
+    return 1;
+  }
+
+  autoscale::AutoscalerConfig config;
+  config.min_gpus = 2;
+  config.max_gpus = 8;
+  config.cold_start = sec(10);
+
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = static_cast<int>(config.min_gpus);
+  cluster_config.gpus_per_node = 1;
+  cluster_config.shared_pcie_per_node = false;
+
+  // 6 simulated minutes compressed into ~1 wall second; now(), latencies
+  // and the serving stats all stay in simulated units.
+  cluster::RealTimeCluster cluster(cluster_config, registry_source->registry,
+                                   /*time_scale=*/360.0);
+
+  const SimTime slo = sec(10);
+  gateway::GatewayConfig gw_config;
+  gw_config.max_in_flight = 64;
+  gw_config.default_slo = slo;
+  gw_config.stats_window = sec(20);
+  gateway::Gateway gateway(&cluster, gw_config);
+
+  autoscale::SloAwarePolicyConfig policy;
+  policy.slo = slo;
+  policy.forecast.lead_time = config.cold_start;
+  policy.forecast.history = minutes(2);
+  policy.forecast.target_hold = sec(45);
+  autoscale::SloProbe probe = [&gateway] {
+    const gateway::WindowedOutcomes window = gateway.windowed_outcomes();
+    autoscale::SloSignal signal;
+    signal.samples = window.completions;
+    signal.p99_latency = window.p99_latency;
+    signal.deep_wait_fraction = window.deep_wait_fraction();
+    signal.shed_fraction = window.shed_fraction();
+    return signal;
+  };
+  autoscale::Autoscaler scaler(
+      &cluster, std::make_unique<autoscale::SloAwarePolicy>(probe, policy), config);
+
+  // Bursty diurnal offered load, generated lazily minute by minute.
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = 6;
+  diurnal.period_minutes = 6;
+  diurnal.trough_rpm = 20;
+  diurnal.peak_rpm = 150;
+  diurnal.burst_probability = 0.3;
+  diurnal.burst_multiplier = 2.0;
+  trace::ClientConfig client_config;
+  client_config.model_count = wconfig.working_set_size;
+  trace::ClientSink sink = [&gateway](core::Request request,
+                                      std::function<void()> done) {
+    gateway.submit(std::move(request),
+                   [done = std::move(done)](const gateway::GatewayResult&) { done(); });
+  };
+  trace::OpenLoopClient client(&cluster.executor(), sink, client_config,
+                               trace::diurnal_rates(diurnal));
+
+  // Both the controller and the client live on the executor's worker
+  // thread; this thread only posts the kickoff events and waits. The
+  // client starts first so its horizon is anchored to the live clock.
+  client.start();
+  const SimTime horizon = client.horizon();
+  cluster.realtime().post([&scaler, horizon] { scaler.start(horizon); });
+  cluster.run_to_completion();
+  scaler.finalize();
+
+  const SimTime end = cluster.executor().now();
+  const gateway::GatewayCounters& counters = gateway.counters();
+  std::printf("offered %zu requests in %.0f simulated seconds\n",
+              client.submitted(), sim_to_seconds(end));
+  std::printf("  completed %lld (SLO attainment %.1f%%), shed %lld, expired %lld\n",
+              static_cast<long long>(counters.completed),
+              gateway.slo_attainment() * 100.0,
+              static_cast<long long>(counters.shed),
+              static_cast<long long>(counters.expired));
+  std::printf("  fleet %.0f..%.0f powered GPUs, %lld cold starts, %lld retired\n",
+              scaler.powered_timeline().min_value(),
+              scaler.powered_timeline().max_value(),
+              static_cast<long long>(scaler.counters().gpus_added),
+              static_cast<long long>(scaler.counters().gpus_retired));
+  std::printf("per-model serving stats:\n");
+  for (const auto& [model, stats] : gateway.model_stats()) {
+    std::printf("  model %lld: %lld done, %.0f%% in SLO, mean %.2fs\n",
+                static_cast<long long>(model),
+                static_cast<long long>(stats.completed),
+                stats.slo_attainment() * 100.0, stats.latency_s.mean());
+  }
+  return counters.completed > 0 ? 0 : 1;
+}

@@ -149,7 +149,14 @@ void Autoscaler::apply(const ScalingDecision& decision) {
 
 void Autoscaler::begin_cold_start() {
   ++provisioning_;
-  cluster_->executor().schedule_after(config_.cold_start, [this] {
+  SimTime delay = config_.cold_start;
+  if (config_.cold_start_delay_hook) {
+    const SimTime extra = config_.cold_start_delay_hook(cold_starts_begun_);
+    GFAAS_CHECK(extra >= 0) << "negative cold-start delay injection";
+    delay += extra;
+  }
+  ++cold_starts_begun_;
+  cluster_->executor().schedule_after(delay, [this] {
     GFAAS_CHECK(provisioning_ > 0);
     --provisioning_;
     cluster_->add_gpu(config_.spec);
@@ -177,7 +184,14 @@ void Autoscaler::begin_drain(std::size_t count) {
 void Autoscaler::reap_drained() {
   bool changed = false;
   for (auto it = draining_.begin(); it != draining_.end();) {
-    if (cluster_->gpu_drained(*it)) {
+    if (!cluster_->engine().is_registered(*it)) {
+      // The GPU died (chaos kill) while draining: the engine already
+      // retired it from every index, so just drop it from the drain
+      // list — it was never cleanly drained, so it does not count as a
+      // retirement.
+      it = draining_.erase(it);
+      changed = true;
+    } else if (cluster_->gpu_drained(*it)) {
       cluster_->remove_gpu(*it);
       ++counters_.gpus_retired;
       it = draining_.erase(it);

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -57,6 +58,11 @@ struct AutoscalerConfig {
   std::size_t max_gpus = 64;
   // Spec of dynamically provisioned GPUs (one per node, dedicated link).
   gpu::GpuSpec spec = gpu::rtx2080();
+  // Chaos hook (fault-injection tests): extra provisioning delay for the
+  // i-th cold start of the run (0-based), on top of `cold_start`. Lets a
+  // test model a container pull stalling or an instance arriving late,
+  // and assert the controller's accounting survives it. Null = none.
+  std::function<SimTime(std::int64_t cold_start_index)> cold_start_delay_hook;
 };
 
 struct AutoscalerCounters {
@@ -124,6 +130,7 @@ class Autoscaler {
   bool started_ = false;
   SimTime horizon_ = 0;
   std::size_t provisioning_ = 0;
+  std::int64_t cold_starts_begun_ = 0;  // feeds cold_start_delay_hook
   std::vector<GpuId> draining_;
 
   metrics::StepTimeline powered_;

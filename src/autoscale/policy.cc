@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "metrics/stats.h"
 
 namespace gfaas::autoscale {
 
@@ -146,14 +147,8 @@ ScalingDecision PredictivePolicy::evaluate(const FleetView& view) {
   std::sort(demands.begin(), demands.end());
   // Nearest-rank percentile: the smallest sample with at least
   // target_percentile of the distribution at or below it.
-  std::size_t rank = 0;
-  if (config_.target_percentile > 0.0) {
-    rank = static_cast<std::size_t>(std::ceil(
-               config_.target_percentile * static_cast<double>(demands.size()))) -
-           1;
-  }
-  rank = std::min(rank, demands.size() - 1);
-  const double percentile_demand = static_cast<double>(demands[rank]);
+  const double percentile_demand = static_cast<double>(
+      demands[metrics::nearest_rank(demands.size(), config_.target_percentile)]);
 
   // Forecast side: average slope over the most recent trend_samples,
   // projected lead_time ahead. On a rising ramp this orders capacity one

@@ -1,0 +1,127 @@
+#include "autoscale/slo_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+#include "metrics/stats.h"
+
+namespace gfaas::autoscale {
+
+SloAwarePolicy::SloAwarePolicy(SloProbe probe, SloAwarePolicyConfig config)
+    : probe_(std::move(probe)), config_(config), forecast_(config.forecast) {
+  GFAAS_CHECK(probe_ != nullptr);
+  GFAAS_CHECK(config_.slo > 0);
+  GFAAS_CHECK(config_.deep_wait_safe > 0.0 &&
+              config_.deep_wait_safe <= config_.deep_wait_danger &&
+              config_.deep_wait_danger <= 1.0);
+  GFAAS_CHECK(config_.danger_fraction > 0.0);
+  GFAAS_CHECK(config_.max_step_up >= 1);
+  GFAAS_CHECK(config_.burst_headroom >= 1.0);
+  GFAAS_CHECK(config_.envelope_history > 0);
+}
+
+std::size_t SloAwarePolicy::envelope_floor(const FleetView& view) {
+  inflight_window_.emplace_back(view.now, view.in_flight);
+  while (!inflight_window_.empty() &&
+         inflight_window_.front().first + config_.envelope_history <= view.now) {
+    inflight_window_.pop_front();
+  }
+  std::vector<std::size_t> samples;
+  samples.reserve(inflight_window_.size());
+  for (const auto& [when, in_flight] : inflight_window_) {
+    samples.push_back(in_flight);
+  }
+  const std::size_t rank =
+      metrics::nearest_rank(samples.size(), config_.envelope_percentile);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank), samples.end());
+  const std::size_t envelope = samples[rank];
+  return static_cast<std::size_t>(
+      std::ceil(static_cast<double>(envelope) * config_.burst_headroom));
+}
+
+void SloAwarePolicy::bind(SimTime evaluation_interval) {
+  forecast_.bind(evaluation_interval);
+}
+
+ScalingDecision SloAwarePolicy::evaluate(const FleetView& view) {
+  // Forecast side first: PredictivePolicy keeps its demand window warm
+  // every tick regardless of what the latency signal says. The forecast
+  // sees served concurrency only (in_flight), not the queued backlog: a
+  // queue/local-queue explosion during an SLO breach would otherwise
+  // poison the demand histogram for a whole history window and peg the
+  // fleet at max long after the breach cleared (backlog is also what the
+  // fleet's own inadequacy produces — feeding it back is a positive
+  // feedback loop). Division of labor: the forecast tracks the clean
+  // concurrency envelope, the latency guard below owns backlog response.
+  FleetView damped = view;
+  damped.queue_len = 0;
+  damped.local_pending = 0;
+  ScalingDecision decision = forecast_.evaluate(damped);
+
+  // Standing burst headroom: never let the plan fall below the envelope
+  // floor. The floor trims removes first, then orders what is missing.
+  const std::size_t floor =
+      std::min(std::max(envelope_floor(view), view.min_gpus), view.max_gpus);
+  const std::size_t committed = view.schedulable_gpus + view.provisioning_gpus;
+  const std::size_t planned = committed + decision.add -
+                              std::min(decision.remove, committed);
+  if (planned < floor) {
+    const std::size_t deficit = floor - planned;
+    const std::size_t spare_removes = std::min(decision.remove, deficit);
+    decision.remove -= spare_removes;
+    decision.add += deficit - spare_removes;
+  }
+  decision.remove = std::min(decision.remove, config_.max_step_down);
+  if (decision.remove > 0 && view.now - last_down_ < config_.down_cooldown) {
+    decision.remove = 0;
+  }
+
+  const SloSignal signal = probe_();
+  if (signal.samples < config_.min_samples) {
+    if (decision.remove > 0) last_down_ = view.now;
+    return decision;
+  }
+
+  const auto latency_danger = static_cast<SimTime>(
+      static_cast<double>(config_.slo) * config_.danger_fraction);
+
+  const bool danger = signal.deep_wait_fraction > config_.deep_wait_danger ||
+                      signal.p99_latency > latency_danger ||
+                      signal.shed_fraction > 0.0;
+  if (danger) {
+    // SLO in danger: never shrink, and order extra capacity sized by how
+    // far past the danger band the deep-wait fraction runs (every
+    // danger-band-width of excess asks for one more GPU).
+    decision.remove = 0;
+    if (committed < view.max_gpus && view.now - last_up_ >= config_.up_cooldown) {
+      // Clamped at zero: danger can also be entered via sheds or the
+      // end-to-end backstop with no deep-wait excess, and a negative
+      // value must not reach the unsigned cast.
+      const double overload =
+          std::max(0.0, (signal.deep_wait_fraction - config_.deep_wait_danger) /
+                            config_.deep_wait_danger);
+      auto boost = static_cast<std::size_t>(std::ceil(overload));
+      if (signal.shed_fraction > 0.0 || signal.p99_latency > latency_danger) {
+        boost = std::max<std::size_t>(boost, 2);
+      }
+      boost = std::max<std::size_t>(boost, 1);
+      boost = std::min(boost, config_.max_step_up);
+      boost = std::min(boost, view.max_gpus - committed);
+      if (boost > decision.add) {
+        decision.add = boost;
+        last_up_ = view.now;
+      }
+    }
+  } else if (signal.deep_wait_fraction > config_.deep_wait_safe) {
+    // Deep waits are showing but not alarming: hold what we have; only a
+    // cleanly-dispatching window lets the forecast reclaim capacity.
+    decision.remove = 0;
+  }
+  if (decision.remove > 0) last_down_ = view.now;
+  return decision;
+}
+
+}  // namespace gfaas::autoscale

@@ -1,0 +1,133 @@
+// SLO-aware scaling: close the loop on what the provider actually
+// promises — a latency SLO — instead of proxies like queue depth.
+//
+// The queue/demand policies (policy.h) watch the engine's backlog; by
+// the time a queue builds, the p99 is often already blown, and an empty
+// queue says nothing about how close to the SLO the fleet is running.
+// SloAwarePolicy reads the Gateway's trailing-window serving outcomes
+// through a probe callback and composes three terms:
+//
+//   * forecast side — an owned PredictivePolicy produces the baseline
+//     decision every tick, fed the SERVED concurrency (in_flight) rather
+//     than raw demand: backlog is what the fleet's own inadequacy
+//     produces, and feeding it back pegs the histogram at max for a
+//     whole history window after every transient (a positive feedback
+//     loop the latency guard exists to replace);
+//   * envelope floor — committed capacity never drops below
+//     burst_headroom x the median served concurrency: with cold starts
+//     longer than a burst's onset, absorbing bursts takes capacity that
+//     already stands, and the standing floor is what lets the policy
+//     reclaim aggressively everywhere else;
+//   * deep-wait bands — the share of recent completions that burned a
+//     deep slice of their SLO budget queueing (plus any shedding, plus
+//     an end-to-end p99 backstop) triggers proportional scale-up boosts
+//     and vetoes scale-downs; only a cleanly-dispatching window lets the
+//     forecast reclaim capacity.
+//
+// The probe is a callback (autoscale never links against gateway/): the
+// bench/demo adapt gateway::Gateway::windowed_outcomes() into SloSignal.
+// bench_gateway_slo shows the composition holding a p99 SLO the reactive
+// policy misses, at lower GPU-seconds than reactive and ~24% below
+// standalone predictive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "autoscale/policy.h"
+
+namespace gfaas::autoscale {
+
+// Windowed serving outcomes the policy steers by (the Gateway side is
+// gateway::WindowedOutcomes; the bench adapts one into the other).
+struct SloSignal {
+  std::size_t samples = 0;   // completions inside the trailing window
+  SimTime p99_latency = 0;   // windowed p99 completion latency
+  // Fraction of windowed completions that burned a deep share of their
+  // SLO budget waiting for dispatch (gateway::WindowedOutcomes).
+  double deep_wait_fraction = 0;
+  double shed_fraction = 0;  // sheds / (sheds + completions), windowed
+};
+
+using SloProbe = std::function<SloSignal()>;
+
+struct SloAwarePolicyConfig {
+  // The end-to-end p99 latency target the fleet must hold.
+  SimTime slo = sec(5);
+  // The policy's bands are on the DEEP-WAIT FRACTION — the share of
+  // recent completions that burned a deep slice of their SLO budget
+  // queueing. Waits are the part of latency capacity can actually fix
+  // (the end-to-end tail also carries intrinsic model-load time no fleet
+  // size removes), and a fraction is robust where a wait percentile is
+  // not: the LALB scheduler queues a tail of requests on busy GPUs by
+  // design, so p99 wait never reads zero even on a healthy fleet.
+  //
+  // Deep waits above this fraction trigger the proactive scale-up and
+  // veto any scale-down.
+  double deep_wait_danger = 0.20;
+  // Deep waits above this fraction veto scale-downs without adding
+  // capacity; below it (nearly everything dispatches well inside its
+  // budget) the forecast decision passes through untouched.
+  double deep_wait_safe = 0.10;
+  // End-to-end backstop: p99 latency beyond the SLO itself is always
+  // danger, whatever the waits say (e.g. cache thrashing on a too-small
+  // fleet inflates service time, not waits).
+  double danger_fraction = 1.0;
+  // Ignore the latency signal until the window holds this many samples
+  // (startup, deep troughs): the forecast side governs alone.
+  std::size_t min_samples = 8;
+  std::size_t max_step_up = 6;
+  SimTime up_cooldown = sec(20);
+  // Standing burst headroom: committed capacity never drops below
+  // burst_headroom x the median served concurrency (in_flight) over the
+  // trailing envelope_history. This is the SLO insurance the latency
+  // guard cannot provide retroactively — with a cold start longer than a
+  // burst's onset, capacity ordered at detection arrives after the tail
+  // damage, so absorbing bursts takes capacity that already stands. The
+  // median (not a high percentile) keeps burst minutes themselves from
+  // inflating the floor, and in_flight (not demand) keeps backlog out of
+  // it; the floor is what lets the policy reclaim aggressively
+  // everywhere else without gambling the SLO.
+  double burst_headroom = 2.0;
+  // Short enough that the floor tracks the diurnal ramp instead of
+  // lagging it by half a window; a percentile above 0.5 would lean the
+  // floor into burst minutes and double-count them against headroom.
+  SimTime envelope_history = minutes(4);
+  double envelope_percentile = 0.50;
+  // Scale-down rate limit: reclaiming capacity is cheap to undo slowly
+  // and expensive to undo quickly (a cold start, plus the warm cache the
+  // drain forfeits), so removes trickle.
+  std::size_t max_step_down = 2;
+  SimTime down_cooldown = sec(30);
+  // The composed demand forecast (see PredictivePolicyConfig). Leaner
+  // defaults than standalone PredictivePolicy: the latency guard above
+  // catches what a thrifty forecast under-provisions.
+  PredictivePolicyConfig forecast;
+};
+
+class SloAwarePolicy final : public ScalingPolicy {
+ public:
+  explicit SloAwarePolicy(SloProbe probe, SloAwarePolicyConfig config = {});
+
+  std::string name() const override { return "slo-aware"; }
+  void bind(SimTime evaluation_interval) override;
+  ScalingDecision evaluate(const FleetView& view) override;
+
+ private:
+  // Committed-capacity floor from the standing burst headroom (see
+  // SloAwarePolicyConfig::burst_headroom).
+  std::size_t envelope_floor(const FleetView& view);
+
+  SloProbe probe_;
+  SloAwarePolicyConfig config_;
+  PredictivePolicy forecast_;
+  SimTime last_up_ = -(kSimTimeMax / 2);
+  SimTime last_down_ = -(kSimTimeMax / 2);
+  // (time, in_flight) samples inside the trailing envelope window.
+  std::deque<std::pair<SimTime, std::size_t>> inflight_window_;
+};
+
+}  // namespace gfaas::autoscale

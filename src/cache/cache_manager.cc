@@ -19,7 +19,8 @@ bool GpuCacheState::contains(ModelId model) const {
 Status GpuCacheState::insert(ModelId model, Bytes size) {
   if (contains(model)) {
     return Status::AlreadyExists("model " + std::to_string(model.value()) +
-                                 " already cached on gpu " + std::to_string(gpu_.value()));
+                                 " already cached on gpu " +
+                                 std::to_string(gpu_.value()));
   }
   if (size <= 0) return Status::InvalidArgument("model size must be positive");
   if (size > free()) {

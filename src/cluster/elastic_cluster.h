@@ -39,6 +39,10 @@ class ElasticCluster {
   virtual void unfence_gpu(GpuId gpu) = 0;
   virtual void remove_gpu(GpuId gpu) = 0;
   virtual bool gpu_drained(GpuId gpu) const = 0;
+  // Chaos verb (fault-injection harness): the GPU dies mid-run — the
+  // in-flight request fails through its completion hooks, local-queue
+  // requests rejoin the global queue, and the GPU is retired.
+  virtual void kill_gpu(GpuId gpu) = 0;
 
   // Runs (simulated) or waits (wall clock) until every scheduled event has
   // fired and no further work is outstanding.

@@ -33,6 +33,16 @@ GpuManager& SchedulerEngine::manager_for(GpuId gpu) {
 }
 
 void SchedulerEngine::submit(core::Request request) {
+  // Detach the per-request hook before the request is copied through the
+  // queues and GPU Manager lambdas; it is re-attached to the completion
+  // (or failure) by id in notify_request_hook().
+  if (request.on_complete) {
+    const bool inserted =
+        request_hooks_.emplace(request.id.value(), std::move(request.on_complete))
+            .second;
+    GFAAS_CHECK(inserted) << "duplicate in-flight request id " << request.id.value();
+    request.on_complete = nullptr;
+  }
   global_queue_.push(std::move(request));
   run_policy();
 }
@@ -162,6 +172,7 @@ void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
   latency_series_.add(record.completed, sim_to_seconds(record.latency()));
   if (!record.cache_hit) miss_series_.count(record.completed);
   if (completion_hook_) completion_hook_(record);
+  notify_request_hook(record);
   update_duplicates_meter();
   // A draining GPU is invisible to the policy, so the engine serves out
   // its local queue directly — those requests pinned its cached models and
@@ -169,6 +180,53 @@ void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
   if (index_.is_fenced(record.gpu) && index_.local_pending(record.gpu) > 0) {
     dispatch_from_local(record.gpu);
   }
+  run_policy();
+}
+
+void SchedulerEngine::notify_request_hook(const core::CompletionRecord& record) {
+  auto it = request_hooks_.find(record.id.value());
+  if (it == request_hooks_.end()) return;
+  // Detach before invoking: the hook may submit a follow-up request (the
+  // Gateway admitting from its pending queue) and must never re-fire.
+  core::CompletionHook hook = std::move(it->second);
+  request_hooks_.erase(it);
+  hook(record);
+}
+
+void SchedulerEngine::kill_gpu(GpuId gpu) {
+  GFAAS_CHECK(index_.is_registered(gpu)) << "kill of unknown gpu " << gpu.value();
+  // Fence first: the dead GPU leaves the idle/location indexes, so the
+  // policy re-runs below cannot target it. Unlike fence_gpu() this never
+  // starts a local-queue drain — there is no GPU left to drain into.
+  if (!index_.is_fenced(gpu)) {
+    index_.fence(gpu);
+    cache_->fence_gpu(gpu);
+  }
+  // Fail the in-flight request, if any: the GPU Manager unwinds the
+  // execution and the hooks receive a failed record instead of silence.
+  if (!index_.is_idle(gpu)) {
+    auto aborted = manager_for(gpu).abort(gpu);
+    GFAAS_CHECK(aborted.ok()) << aborted.status().to_string();
+    GFAAS_CHECK(in_flight_ > 0);
+    --in_flight_;
+    index_.mark_idle(gpu);
+    failures_.push_back(*aborted);
+    if (completion_hook_) completion_hook_(*aborted);
+    notify_request_hook(*aborted);
+  }
+  // Local-queue requests pinned this GPU's cached models; give the pins
+  // back and let them rejoin the global queue (ids, deadlines and hooks
+  // intact) so the policy re-places them on surviving GPUs.
+  while (auto req = local_queues_.pop_head(gpu)) {
+    index_.add_local_work(gpu, -infer_time(req->model, req->batch));
+    index_.pop_local_request(gpu);
+    GFAAS_CHECK(cache_->unpin(gpu, req->model).ok());
+    global_queue_.push(std::move(*req));
+  }
+  GFAAS_CHECK(drained(gpu));
+  index_.remove_gpu(gpu);
+  cache_->remove_gpu(gpu);
+  update_duplicates_meter();
   run_policy();
 }
 

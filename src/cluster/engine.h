@@ -1,18 +1,20 @@
 // Scheduling engine: owns the global/local queues and the policy, and
 // implements the paper's Scheduler component (Fig. 3).
 //
-// Event flow: the Gateway (or the experiment runner) submits requests ->
-// global queue -> the policy is invoked ("at least one request waiting
-// and at least one GPU idle", §IV-A) -> policy actions are applied
-// synchronously (dispatch via the owning GPU Manager, or move to a local
-// queue) -> on every GPU completion the engine re-invokes the policy. The
-// engine is also the core::SchedulingContext the policies program
-// against, providing finish-time estimates built from the GPU Managers'
-// committed finish times plus local-queue work (§IV-A).
+// Event flow: the Gateway (src/gateway) submits requests -> global queue
+// -> the policy is invoked ("at least one request waiting and at least
+// one GPU idle", §IV-A) -> policy actions are applied synchronously
+// (dispatch via the owning GPU Manager, or move to a local queue) -> on
+// every GPU completion the engine re-invokes the policy and routes the
+// per-request completion hook back out to the submitter. The engine is
+// also the core::SchedulingContext the policies program against,
+// providing finish-time estimates built from the GPU Managers' committed
+// finish times plus local-queue work (§IV-A).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_manager.h"
@@ -51,7 +53,17 @@ class SchedulerEngine final : public core::SchedulingContext {
   void unfence_gpu(GpuId gpu);
   // Retires a drained GPU (fenced, idle, empty local queue) permanently.
   void remove_gpu(GpuId gpu);
+  // Chaos verb: the GPU dies mid-run. The in-flight request (if any)
+  // fails — its completion hooks fire with `failed = true` rather than
+  // silence — local-queue requests give back their model pins and rejoin
+  // the global queue (keeping their ids, deadlines and hooks), and the
+  // GPU is fenced and removed in one step. Must run strictly before the
+  // in-flight request's completion instant.
+  void kill_gpu(GpuId gpu);
   bool is_fenced(GpuId gpu) const { return index_.is_fenced(gpu); }
+  // Whether the GPU is currently part of the cluster (false once removed
+  // or killed; ids are never reused).
+  bool is_registered(GpuId gpu) const { return index_.is_registered(gpu); }
   // Whether a fenced GPU has finished all committed work and can be removed.
   bool drained(GpuId gpu) const {
     return index_.is_fenced(gpu) && index_.is_idle(gpu) &&
@@ -71,6 +83,9 @@ class SchedulerEngine final : public core::SchedulingContext {
 
   // --- results ---
   const std::vector<core::CompletionRecord>& completions() const { return completions_; }
+  // Requests that died with their GPU (kill_gpu); disjoint from
+  // completions() and excluded from every latency/miss metric.
+  const std::vector<core::CompletionRecord>& failures() const { return failures_; }
   std::size_t pending() const {
     return global_queue_.size() + local_queues_.total_pending() + in_flight_;
   }
@@ -127,6 +142,8 @@ class SchedulerEngine final : public core::SchedulingContext {
   void start_execution(core::Request request, GpuId gpu, bool false_miss,
                        bool via_local_queue);
   void on_completion(const core::CompletionRecord& record);
+  // Fires and discards the request's detached completion hook, if any.
+  void notify_request_hook(const core::CompletionRecord& record);
   void update_duplicates_meter();
 
   sim::Executor* executor_;
@@ -151,7 +168,11 @@ class SchedulerEngine final : public core::SchedulingContext {
   std::size_t policy_queue_len_max_ = 0;
 
   std::vector<core::CompletionRecord> completions_;
+  std::vector<core::CompletionRecord> failures_;
   std::function<void(const core::CompletionRecord&)> completion_hook_;
+  // Per-request hooks, detached from the Request at submit() so they ride
+  // by id instead of being copied through the queues and GPU Managers.
+  std::unordered_map<std::int64_t, core::CompletionHook> request_hooks_;
   ModelId tracked_model_;
   metrics::TimeWeightedAverage duplicates_meter_;
   metrics::TimeSeries latency_series_{minutes(1)};

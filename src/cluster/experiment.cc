@@ -15,8 +15,14 @@ SimCluster::SimCluster(const ClusterConfig& config,
 SimCluster::~SimCluster() = default;
 
 SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
+  return replay(requests,
+                [this](core::Request req) { engine().submit(std::move(req)); });
+}
+
+SimTime SimCluster::replay(const std::vector<core::Request>& requests,
+                           const std::function<void(core::Request)>& submit) {
   for (const core::Request& req : requests) {
-    simulator_->schedule_at(req.arrival, [this, req]() { engine().submit(req); });
+    simulator_->schedule_at(req.arrival, [&submit, req]() { submit(req); });
   }
   simulator_->run();
   GFAAS_CHECK(engine().pending() == 0)
@@ -30,11 +36,14 @@ SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
 
 ExperimentResult run_experiment(const ClusterConfig& config,
                                 const trace::Workload& workload,
-                                std::vector<core::CompletionRecord>* completions_out) {
+                                std::vector<core::CompletionRecord>* completions_out,
+                                const IngestFactory& ingest) {
   SimCluster cluster(config, workload.registry);
   cluster.engine().track_duplicates_of(workload.top_model);
 
-  const SimTime makespan = cluster.replay(workload.requests);
+  const SimTime makespan =
+      ingest ? cluster.replay(workload.requests, ingest(cluster))
+             : cluster.replay(workload.requests);
 
   const auto& completions = cluster.engine().completions();
   GFAAS_CHECK(completions.size() == workload.requests.size());

@@ -5,6 +5,7 @@
 // of the most popular model.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,12 +39,22 @@ struct ExperimentResult {
   double makespan_s = 0;
 };
 
+// Ingestion seam: how requests enter the engine during a replayed run.
+// The factory receives the assembled cluster and returns the per-request
+// submission function. The default (null) submits straight into the
+// engine; bench_seed_digest --via-gateway interposes gateway::Gateway
+// here to prove the serving layer is behavior-preserving, and callers
+// may interpose any other front end the same way.
+using IngestFactory =
+    std::function<std::function<void(core::Request)>(ElasticCluster&)>;
+
 // Runs one experiment (deterministic for a given config + workload).
 // `completions`, when non-null, receives the full completion-record
 // stream (bench_seed_digest hashes it without a second simulation).
-ExperimentResult run_experiment(const ClusterConfig& config,
-                                const trace::Workload& workload,
-                                std::vector<core::CompletionRecord>* completions = nullptr);
+ExperimentResult run_experiment(
+    const ClusterConfig& config, const trace::Workload& workload,
+    std::vector<core::CompletionRecord>* completions = nullptr,
+    const IngestFactory& ingest = nullptr);
 
 // A fully-assembled simulated cluster, for callers that need to drive the
 // simulation themselves (examples, integration tests, the Gateway
@@ -63,8 +74,11 @@ class SimCluster final : public ElasticCluster {
   const ClusterConfig& config() const { return assembly_->config(); }
 
   // Schedules all requests at their arrival times and runs to completion.
-  // Returns the makespan (time of last completion).
+  // Returns the makespan (time of last completion). `submit`, when given,
+  // replaces direct engine submission (the ingestion seam above).
   SimTime replay(const std::vector<core::Request>& requests);
+  SimTime replay(const std::vector<core::Request>& requests,
+                 const std::function<void(core::Request)>& submit);
 
   // --- ElasticCluster (elastic membership driven by autoscale::Autoscaler) ---
   sim::Executor& executor() override { return *simulator_; }
@@ -76,6 +90,7 @@ class SimCluster final : public ElasticCluster {
   void unfence_gpu(GpuId gpu) override { assembly_->engine().unfence_gpu(gpu); }
   void remove_gpu(GpuId gpu) override { assembly_->engine().remove_gpu(gpu); }
   bool gpu_drained(GpuId gpu) const override { return assembly_->engine().drained(gpu); }
+  void kill_gpu(GpuId gpu) override { assembly_->engine().kill_gpu(gpu); }
   void run_to_completion() override { simulator_->run(); }
 
  private:

@@ -15,6 +15,15 @@ FaasCluster::FaasCluster(const ClusterConfig& config,
     if (it == pending_.end()) return;
     auto done = std::move(it->second);
     pending_.erase(it);
+    // The hook also fires for requests whose GPU died mid-run
+    // (SchedulerEngine::kill_gpu): report the failure instead of
+    // fabricating a successful invocation.
+    if (record.failed) {
+      done(Status::Unavailable("gpu-" + std::to_string(record.gpu.value()) +
+                               " died while executing request " +
+                               std::to_string(record.id.value())));
+      return;
+    }
     faas::InvocationResult result;
     result.latency = record.latency();
     result.executed_on = "gpu-" + std::to_string(record.gpu.value());

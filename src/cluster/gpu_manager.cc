@@ -70,7 +70,8 @@ void GpuManager::maybe_execute_real(const core::Request& request) {
   tensor::SyntheticImageDataset dataset(
       tensor::DatasetKind::kCifar10Like,
       static_cast<std::uint64_t>(request.id.value()) + 1);
-  const tensor::Batch batch = dataset.make_batch(std::min<std::int64_t>(2, request.batch));
+  const tensor::Batch batch =
+      dataset.make_batch(std::min<std::int64_t>(2, request.batch));
   const tensor::Tensor out = it->second->forward(batch.images);
   GFAAS_CHECK(out.numel() > 0);
 }
@@ -100,24 +101,35 @@ StatusOr<SimTime> GpuManager::execute(const core::Request& request, GpuId gpu,
   record.cache_hit = hit;
   record.false_miss = false_miss;
   record.via_local_queue = via_local_queue;
+  record.deadline = request.deadline;
 
   auto complete = [this, request, gpu, record, done](SimTime finish) mutable {
     // Under the wall-clock executor now() keeps moving, so the remaining
     // delay can come out marginally negative; clamp to "immediately".
     const SimTime delay = std::max<SimTime>(0, finish - executor_->now());
-    executor_->schedule_after(delay, [this, request, gpu, record,
-                                      done, finish]() mutable {
-      gpu::VirtualGpu& dev = gpu_ref(gpu);
-      const auto proc = dev.find_process(request.model);
-      GFAAS_CHECK(proc.has_value());
-      GFAAS_CHECK(dev.finish_inference(finish, proc->id).ok());
-      maybe_execute_real(request);
-      GFAAS_CHECK(cache_->unpin(gpu, request.model).ok());
-      record.completed = finish;
-      publish_status(gpu, /*busy=*/false, finish);
-      report_latency(request, record.latency());
-      done(record);
-    });
+    const std::uint64_t event =
+        executor_->schedule_after(delay, [this, request, gpu, record,
+                                          done, finish]() mutable {
+          gpu::VirtualGpu& dev = gpu_ref(gpu);
+          const auto proc = dev.find_process(request.model);
+          GFAAS_CHECK(proc.has_value());
+          GFAAS_CHECK(dev.finish_inference(finish, proc->id).ok());
+          maybe_execute_real(request);
+          GFAAS_CHECK(cache_->unpin(gpu, request.model).ok());
+          record.completed = finish;
+          publish_status(gpu, /*busy=*/false, finish);
+          report_latency(request, record.latency());
+          // Retire the in-flight entry before the callback: the engine's
+          // completion handling may immediately start the next request on
+          // this GPU.
+          in_flight_.erase(gpu.value());
+          done(record);
+        });
+    // Runs on the executor's worker (or inside the simulator's event
+    // loop), so the event cannot fire before the id is recorded.
+    auto it = in_flight_.find(gpu.value());
+    GFAAS_CHECK(it != in_flight_.end());
+    it->second.pending_event = event;
   };
 
   if (hit) {
@@ -130,6 +142,7 @@ StatusOr<SimTime> GpuManager::execute(const core::Request& request, GpuId gpu,
     auto end = device.begin_inference(now, proc->id, *infer_time, request.batch);
     if (!end.ok()) return end.status();
     publish_status(gpu, /*busy=*/true, *end);
+    in_flight_[gpu.value()] = InFlightExecution{request, record, 0};
     complete(*end);
     return *end;
   }
@@ -161,7 +174,7 @@ StatusOr<SimTime> GpuManager::execute(const core::Request& request, GpuId gpu,
   const ProcessId process = *pid;
   const SimTime load_finish = *load_end;
   const SimTime infer_duration = *infer_time;
-  executor_->schedule_after(
+  const std::uint64_t load_event = executor_->schedule_after(
       std::max<SimTime>(0, load_finish - executor_->now()),
       [this, gpu, process, request, load_finish, infer_duration, complete]() mutable {
         gpu::VirtualGpu& dev = gpu_ref(gpu);
@@ -171,7 +184,33 @@ StatusOr<SimTime> GpuManager::execute(const core::Request& request, GpuId gpu,
         GFAAS_CHECK(end.ok()) << end.status().to_string();
         complete(*end);
       });
+  in_flight_[gpu.value()] = InFlightExecution{request, record, load_event};
   return expected_finish;
+}
+
+StatusOr<core::CompletionRecord> GpuManager::abort(GpuId gpu) {
+  auto it = in_flight_.find(gpu.value());
+  if (it == in_flight_.end()) {
+    return Status::NotFound("gpu " + std::to_string(gpu.value()) +
+                            " has no in-flight request");
+  }
+  InFlightExecution state = std::move(it->second);
+  in_flight_.erase(it);
+  // The pending event is the load-finish or the completion event; either
+  // way it has not fired yet (abort must precede the completion instant),
+  // so the cancel is authoritative and the chained lambdas never run.
+  GFAAS_CHECK(executor_->cancel(state.pending_event))
+      << "abort raced the completion of request " << state.request.id.value();
+  gpu::VirtualGpu& device = gpu_ref(gpu);
+  GFAAS_CHECK(device.abort_execution(executor_->now()).ok());
+  // Drop the execution pin taken at dispatch; residency bookkeeping stays
+  // until the killed GPU is retired through CacheManager::remove_gpu.
+  GFAAS_CHECK(cache_->unpin(gpu, state.request.model).ok());
+  core::CompletionRecord record = state.record;
+  record.completed = executor_->now();
+  record.failed = true;
+  publish_status(gpu, /*busy=*/false, record.completed);
+  return record;
 }
 
 }  // namespace gfaas::cluster

@@ -48,10 +48,27 @@ class GpuManager {
   StatusOr<SimTime> execute(const core::Request& request, GpuId gpu, bool false_miss,
                             bool via_local_queue, CompletionCallback done);
 
+  // Aborts the request currently executing on `gpu` (the GPU died):
+  // cancels the pending load/completion event, forces the device idle,
+  // drops the execution pin, and returns the completion record marked
+  // failed with `completed` stopped at the kill instant. The registered
+  // CompletionCallback never fires for an aborted request — the caller
+  // (SchedulerEngine::kill_gpu) owns the failure notification. Must be
+  // invoked strictly before the request's completion instant.
+  StatusOr<core::CompletionRecord> abort(GpuId gpu);
+
   gpu::VirtualGpu& gpu_ref(GpuId gpu);
   const gpu::VirtualGpu& gpu_ref(GpuId gpu) const;
 
  private:
+  // One executing request: what abort() needs to unwind the lambdas
+  // execute() chains through the executor.
+  struct InFlightExecution {
+    core::Request request;
+    core::CompletionRecord record;  // completed still unset
+    std::uint64_t pending_event = 0;  // load-finish or completion event
+  };
+
   void publish_status(GpuId gpu, bool busy, SimTime finish_time);
   void report_latency(const core::Request& request, SimTime latency);
   // Runs the scaled-down model for real when configured.
@@ -67,6 +84,8 @@ class GpuManager {
   bool execute_real_;
   // Lazily built runtime models for real execution, by model id.
   std::unordered_map<std::int64_t, tensor::ModulePtr> runtime_models_;
+  // In-flight executions by GPU id (one request per GPU at a time).
+  std::unordered_map<std::int64_t, InFlightExecution> in_flight_;
 };
 
 }  // namespace gfaas::cluster

@@ -39,7 +39,9 @@ class RealTimeExecutor final : public sim::Executor {
   bool cancel(std::uint64_t event_id) override;
 
   // Runs fn on the worker thread as soon as possible.
-  std::uint64_t post(std::function<void()> fn) { return schedule_after(0, std::move(fn)); }
+  std::uint64_t post(std::function<void()> fn) {
+    return schedule_after(0, std::move(fn));
+  }
 
   // Blocks until no events remain pending (due or future).
   void drain();

@@ -51,6 +51,7 @@ class RealTimeCluster final : public ElasticCluster {
   void unfence_gpu(GpuId gpu) override { assembly_->engine().unfence_gpu(gpu); }
   void remove_gpu(GpuId gpu) override { assembly_->engine().remove_gpu(gpu); }
   bool gpu_drained(GpuId gpu) const override { return assembly_->engine().drained(gpu); }
+  void kill_gpu(GpuId gpu) override { assembly_->engine().kill_gpu(gpu); }
   // Blocks the calling thread until no events remain pending.
   void run_to_completion() override { executor_->drain(); }
 

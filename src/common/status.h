@@ -33,11 +33,21 @@ class Status {
 
   static Status Ok() { return Status(); }
   static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
-  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
-  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
-  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
-  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
-  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }

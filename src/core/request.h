@@ -9,12 +9,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/id.h"
 #include "common/time.h"
 
 namespace gfaas::core {
+
+struct CompletionRecord;
+
+// Per-request completion notification (the Gateway resolving a serving
+// callback). Fires exactly once, on success or on failure.
+using CompletionHook = std::function<void(const CompletionRecord&)>;
 
 struct Request {
   RequestId id;
@@ -26,6 +33,16 @@ struct Request {
   int visits = 0;
   // Function name, for datastore metric keys and logs.
   std::string function_name;
+  // --- serving-layer metadata (src/gateway) ---
+  // Absolute completion deadline; kSimTimeMax = no SLO. The Gateway
+  // stamps arrival + the request's latency SLO here at admission. The
+  // scheduling policies never read it, so deadline-carrying replays stay
+  // bit-identical to the seed engine.
+  SimTime deadline = kSimTimeMax;
+  // Per-request completion hook. The engine detaches it at submit() and
+  // invokes it after the global completion hook, so it survives the
+  // request's trip through the global/local queues by id, not by copy.
+  CompletionHook on_complete;
 };
 
 // The final record of one completed invocation, used for every
@@ -43,8 +60,17 @@ struct CompletionRecord {
   bool false_miss = false;
   // Whether it waited in a busy GPU's local queue.
   bool via_local_queue = false;
+  // The GPU died while this request ran (SchedulerEngine::kill_gpu): the
+  // record is the failure notification; `completed` stops at the kill
+  // instant and the timing fields must not feed latency metrics.
+  bool failed = false;
+  // Deadline carried over from the request (kSimTimeMax = none).
+  SimTime deadline = kSimTimeMax;
 
   SimTime latency() const { return completed - arrival; }
+  // Whether the invocation finished within its deadline (vacuously true
+  // without one; never true for failed requests).
+  bool slo_met() const { return !failed && completed <= deadline; }
 };
 
 }  // namespace gfaas::core

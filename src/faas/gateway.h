@@ -37,7 +37,9 @@ class Gateway {
         clock_(clock) {}
 
   // --- CRUD (delegates to the registry after Dockerfile parsing) ---
-  Status register_function(FunctionSpec spec) { return registry_.create(std::move(spec)); }
+  Status register_function(FunctionSpec spec) {
+    return registry_.create(std::move(spec));
+  }
   Status update_function(FunctionSpec spec) { return registry_.update(std::move(spec)); }
   Status deregister_function(const std::string& name) { return registry_.remove(name); }
   StatusOr<FunctionSpec> describe(const std::string& name) const {

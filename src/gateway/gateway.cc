@@ -1,0 +1,223 @@
+#include "gateway/gateway.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/log.h"
+
+namespace gfaas::gateway {
+
+const char* disposition_name(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::kCompleted:
+      return "completed";
+    case Disposition::kShed:
+      return "shed";
+    case Disposition::kExpired:
+      return "expired";
+    case Disposition::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Gateway::Gateway(cluster::ElasticCluster* cluster, GatewayConfig config)
+    : cluster_(cluster), config_(config) {
+  GFAAS_CHECK(cluster_ != nullptr);
+  GFAAS_CHECK(config_.default_slo >= 0 && config_.stats_window > 0);
+  GFAAS_CHECK(config_.wait_budget_fraction > 0.0);
+}
+
+void Gateway::submit(core::Request request, ResultCallback done) {
+  GFAAS_CHECK(done != nullptr);
+  const SimTime now = cluster_->executor().now();
+  request.arrival = now;
+  if (request.deadline == kSimTimeMax && config_.default_slo > 0) {
+    request.deadline = now + config_.default_slo;
+  }
+  ++counters_.submitted;
+
+  // Already stale at the door (a client retransmitted an expired call):
+  // answer now rather than spending GPU time on a dead request.
+  if (request.deadline <= now) {
+    resolve_locally(request, Disposition::kExpired, done);
+    return;
+  }
+  // A zero-capacity window can never admit, and nothing ever drains the
+  // pending queue: shed synchronously instead of stranding callbacks.
+  if (config_.max_in_flight == 0) {
+    resolve_locally(request, Disposition::kShed, done);
+    return;
+  }
+  if (in_flight_ < config_.max_in_flight) {
+    admit(std::move(request), std::move(done));
+    return;
+  }
+  // Window full: shed vs queue. Queue only when the engine's own
+  // estimates say the request can still make its deadline from the back
+  // of the backlog; otherwise shedding now is strictly kinder than an
+  // expiry later.
+  if (pending_.size() >= config_.max_pending ||
+      estimated_completion(request) > request.deadline) {
+    resolve_locally(request, Disposition::kShed, done);
+    return;
+  }
+  pending_.push_back(PendingRequest{std::move(request), std::move(done)});
+}
+
+SimTime Gateway::estimated_completion(const core::Request& request) const {
+  const cluster::SchedulerEngine& engine = cluster_->engine();
+  const SimTime now = cluster_->executor().now();
+  const std::size_t fleet = engine.schedulable_gpu_count();
+  if (fleet == 0) return kSimTimeMax;
+
+  // When the engine's committed work (in-flight inference plus the local
+  // queues, per the engine's own §IV-A finish-time estimates) drains, on
+  // average across the schedulable fleet. The mean — not the min — is
+  // what a request at the back of the backlog actually experiences: the
+  // scheduler spreads the backlog over every GPU, not just the soonest.
+  // Idle GPUs contribute `now` each; no need to enumerate them (this
+  // runs per submission under overload, exactly when it matters).
+  std::size_t counted = engine.idle_gpu_count();
+  double mean_finish = static_cast<double>(now) * static_cast<double>(counted);
+  for (const GpuId gpu : engine.busy_gpus()) {
+    if (engine.is_fenced(gpu)) continue;  // draining: takes no new work
+    mean_finish += static_cast<double>(
+        std::max(now, engine.estimated_finish_time(gpu)));
+    ++counted;
+  }
+  if (counted == 0) return kSimTimeMax;  // whole fleet draining
+  mean_finish /= static_cast<double>(counted);
+
+  // The request's own demand: a cold load unless the model is warm
+  // somewhere the scheduler can route to.
+  const SimTime service =
+      (engine.cache().cached_anywhere(request.model)
+           ? 0
+           : engine.load_time(request.model)) +
+      engine.infer_time(request.model, request.batch);
+  // Backlog ahead of this request that the committed-finish estimates do
+  // not cover yet — the engine's global queue plus our own pending queue
+  // — spread across the fleet, each round costing about one service time.
+  const std::size_t ahead = engine.global_queue().size() + pending_.size();
+  const auto rounds = static_cast<SimTime>(ahead / fleet);
+  return static_cast<SimTime>(mean_finish) + service * (1 + rounds);
+}
+
+void Gateway::admit(core::Request request, ResultCallback done) {
+  ++counters_.admitted;
+  ++in_flight_;
+  request.on_complete = [this, done = std::move(done)](
+                            const core::CompletionRecord& record) mutable {
+    on_engine_result(record, done);
+  };
+  cluster_->engine().submit(std::move(request));
+}
+
+void Gateway::resolve_locally(const core::Request& request, Disposition disposition,
+                              ResultCallback& done) {
+  ModelServingStats& stats = model_stats_[request.model.value()];
+  GatewayResult result;
+  result.disposition = disposition;
+  if (disposition == Disposition::kShed) {
+    ++counters_.shed;
+    ++stats.shed;
+    const SimTime now = cluster_->executor().now();
+    window_sheds_.push_back(now);
+    trim_window(now);
+  } else {
+    GFAAS_CHECK(disposition == Disposition::kExpired);
+    ++counters_.expired;
+    ++stats.expired;
+  }
+  done(result);
+}
+
+void Gateway::on_engine_result(const core::CompletionRecord& record,
+                               ResultCallback& done) {
+  GFAAS_CHECK(in_flight_ > 0);
+  --in_flight_;
+  ModelServingStats& stats = model_stats_[record.model.value()];
+  GatewayResult result;
+  result.record = record;
+  if (record.failed) {
+    result.disposition = Disposition::kFailed;
+    ++counters_.failed;
+    ++stats.failed;
+  } else {
+    result.disposition = Disposition::kCompleted;
+    result.slo_met = record.slo_met();
+    ++counters_.completed;
+    ++stats.completed;
+    if (result.slo_met) {
+      ++counters_.slo_met;
+      ++stats.slo_met;
+    }
+    stats.latency_s.add(sim_to_seconds(record.latency()));
+    const SimTime wait = record.dispatched - record.arrival;
+    const bool deep_wait =
+        record.deadline != kSimTimeMax &&
+        static_cast<double>(wait) >
+            config_.wait_budget_fraction *
+                static_cast<double>(record.deadline - record.arrival);
+    window_latencies_.push_back(
+        OutcomeSample{record.completed, record.latency(), deep_wait});
+    trim_window(record.completed);
+  }
+  // Admit from the pending queue before resolving the callback: a client
+  // that synchronously resubmits from its callback must line up behind
+  // the requests already waiting, not steal the slot this completion
+  // just freed.
+  drain_pending();
+  done(result);
+}
+
+void Gateway::drain_pending() {
+  while (in_flight_ < config_.max_in_flight && !pending_.empty()) {
+    PendingRequest next = std::move(pending_.front());
+    pending_.pop_front();
+    if (next.request.deadline <= cluster_->executor().now()) {
+      resolve_locally(next.request, Disposition::kExpired, next.done);
+      continue;
+    }
+    admit(std::move(next.request), std::move(next.done));
+  }
+}
+
+void Gateway::trim_window(SimTime now) const {
+  const SimTime cutoff = now - config_.stats_window;
+  while (!window_latencies_.empty() && window_latencies_.front().completed < cutoff) {
+    window_latencies_.pop_front();
+  }
+  while (!window_sheds_.empty() && window_sheds_.front() < cutoff) {
+    window_sheds_.pop_front();
+  }
+}
+
+double Gateway::slo_attainment() const {
+  return counters_.completed > 0 ? static_cast<double>(counters_.slo_met) /
+                                       static_cast<double>(counters_.completed)
+                                 : 0.0;
+}
+
+WindowedOutcomes Gateway::windowed_outcomes() const {
+  trim_window(cluster_->executor().now());
+  WindowedOutcomes out;
+  out.completions = window_latencies_.size();
+  out.sheds = window_sheds_.size();
+  if (!window_latencies_.empty()) {
+    std::vector<SimTime> latencies;
+    latencies.reserve(window_latencies_.size());
+    for (const OutcomeSample& sample : window_latencies_) {
+      latencies.push_back(sample.latency);
+      if (sample.deep_wait) ++out.deep_waits;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    out.p50_latency = latencies[metrics::nearest_rank(latencies.size(), 0.50)];
+    out.p99_latency = latencies[metrics::nearest_rank(latencies.size(), 0.99)];
+  }
+  return out;
+}
+
+}  // namespace gfaas::gateway

@@ -1,0 +1,207 @@
+// Gateway serving layer: the async front end of the cluster (paper
+// Fig. 3: "the Gateway submits requests" — this is that Gateway).
+//
+// The trace-replay drivers feed the engine a pre-materialized request
+// stream; the Gateway instead serves live submissions with per-request
+// SLO metadata and admission control, turning the ElasticCluster seam
+// into something that can serve real RPCs in both execution modes
+// (SimCluster, evaluation; RealTimeCluster, deployment):
+//
+//   * submit(request, done) stamps arrival and deadline (arrival + SLO),
+//     and resolves `done` exactly once with the request's disposition —
+//     completed, shed, expired, or failed (GPU died mid-request);
+//   * admission is a bounded in-flight window: at most max_in_flight
+//     requests live inside the engine at once. A submission over the
+//     window faces the shed-vs-queue decision: the Gateway estimates the
+//     request's completion from the engine's own finish-time estimates
+//     (§IV-A) plus the backlog ahead of it, sheds immediately when the
+//     estimate already busts the deadline (the client can retry
+//     elsewhere now instead of timing out later), and otherwise holds
+//     the request in a bounded pending queue that drains on completions;
+//   * per-model serving stats (completions, SLO attainment, latency
+//     moments) and a trailing-window outcome record (latency quantiles,
+//     shed and deep-wait fractions) feed the SLO-aware scaling policy:
+//     the caller wires autoscale::SloAwarePolicy's probe callback to
+//     windowed_outcomes() (autoscale and gateway never link each other).
+//
+// Threading: the Gateway is not internally synchronized. On a
+// RealTimeCluster every submit() must run on the executor's worker
+// thread (schedule the submission, as the trace/ client generators do);
+// completions already arrive there.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/elastic_cluster.h"
+#include "core/request.h"
+#include "metrics/stats.h"
+
+namespace gfaas::gateway {
+
+// Final disposition of one submitted request.
+enum class Disposition {
+  kCompleted,  // served; slo_met tells whether within deadline
+  kShed,       // rejected at admission (load shedding)
+  kExpired,    // deadline passed before the engine could take it
+  kFailed,     // GPU died mid-request (chaos path)
+};
+
+const char* disposition_name(Disposition disposition);
+
+struct GatewayResult {
+  Disposition disposition = Disposition::kCompleted;
+  // Valid for kCompleted and kFailed; default-initialized otherwise.
+  core::CompletionRecord record;
+  // Completed within its deadline.
+  bool slo_met = false;
+};
+
+using ResultCallback = std::function<void(const GatewayResult&)>;
+
+struct GatewayConfig {
+  // Admission window: requests concurrently inside the engine (global
+  // queue + local queues + executing). 0 sheds every submission — a
+  // drained gateway held in reserve.
+  std::size_t max_in_flight = 256;
+  // Bounded pending queue for submissions over the window; overflow
+  // sheds the newcomer.
+  std::size_t max_pending = 4096;
+  // Latency SLO stamped onto requests that arrive without a deadline:
+  // deadline = arrival + default_slo.
+  SimTime default_slo = sec(30);
+  // Trailing window for the outcome record the scaling probe reads.
+  SimTime stats_window = minutes(2);
+  // A completion whose pre-dispatch wait exceeded this fraction of its
+  // SLO budget (deadline - arrival) counts as a deep wait.
+  double wait_budget_fraction = 0.25;
+};
+
+// Serving counters, whole-run.
+struct GatewayCounters {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t slo_met = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired = 0;
+  std::int64_t failed = 0;
+};
+
+// Per-model serving stats (the serving twin of the per-policy grids).
+struct ModelServingStats {
+  std::int64_t completed = 0;
+  std::int64_t slo_met = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired = 0;
+  std::int64_t failed = 0;
+  metrics::StreamingStats latency_s;  // completed requests only
+
+  double slo_attainment() const {
+    return completed > 0
+               ? static_cast<double>(slo_met) / static_cast<double>(completed)
+               : 0.0;
+  }
+};
+
+// What the scaling probe sees: the trailing stats_window of outcomes.
+// Wait (dispatch - arrival) is reported separately from end-to-end
+// latency: waits are the part of latency capacity can fix, while the
+// end-to-end tail also carries the intrinsic model-load time that no
+// fleet size removes (autoscale::SloAwarePolicy steers on the former).
+// Because the LALB policy queues a tail of requests on busy GPUs by
+// design (cache affinity), a wait *percentile* never reads zero; the
+// robust congestion aggregate is deep_wait_fraction — how many requests
+// burned more than wait_budget_fraction of their SLO budget waiting.
+struct WindowedOutcomes {
+  std::size_t completions = 0;
+  std::size_t sheds = 0;
+  std::size_t deep_waits = 0;
+  SimTime p50_latency = 0;
+  SimTime p99_latency = 0;
+
+  double shed_fraction() const {
+    const std::size_t total = completions + sheds;
+    return total > 0 ? static_cast<double>(sheds) / static_cast<double>(total) : 0.0;
+  }
+  double deep_wait_fraction() const {
+    return completions > 0
+               ? static_cast<double>(deep_waits) / static_cast<double>(completions)
+               : 0.0;
+  }
+};
+
+class Gateway {
+ public:
+  // `cluster` must outlive the gateway. The gateway takes over the
+  // engine's per-request completion routing for everything it submits;
+  // other submitters may still feed the engine directly.
+  Gateway(cluster::ElasticCluster* cluster, GatewayConfig config = {});
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // Submits one request for serving. Stamps request.arrival = now and,
+  // when the request carries no deadline, deadline = now + default_slo.
+  // `done` fires exactly once — possibly synchronously (shed / expired /
+  // zero window), otherwise at completion or failure.
+  void submit(core::Request request, ResultCallback done);
+
+  // Estimated completion time of `request` were it admitted now: the
+  // earliest schedulable-GPU availability by the engine's finish-time
+  // estimates, plus the request's own service time, scaled by the
+  // backlog ahead of it. kSimTimeMax when no GPU is schedulable.
+  SimTime estimated_completion(const core::Request& request) const;
+
+  // --- observability ---
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t pending() const { return pending_.size(); }
+  const GatewayCounters& counters() const { return counters_; }
+  // Whole-run SLO attainment over completed requests.
+  double slo_attainment() const;
+  // Per-model stats, keyed by model id (ordered for stable reports).
+  const std::map<std::int64_t, ModelServingStats>& model_stats() const {
+    return model_stats_;
+  }
+  // Trailing-window outcome record (the SLO-aware scaling signal).
+  WindowedOutcomes windowed_outcomes() const;
+
+ private:
+  struct PendingRequest {
+    core::Request request;
+    ResultCallback done;
+  };
+
+  void admit(core::Request request, ResultCallback done);
+  void resolve_locally(const core::Request& request, Disposition disposition,
+                       ResultCallback& done);
+  void on_engine_result(const core::CompletionRecord& record, ResultCallback& done);
+  // Admits from the pending queue while the window has room, expiring
+  // requests whose deadline passed while they waited.
+  void drain_pending();
+  void trim_window(SimTime now) const;
+
+  struct OutcomeSample {
+    SimTime completed;
+    SimTime latency;
+    bool deep_wait;  // wait exceeded wait_budget_fraction of the SLO budget
+  };
+
+  cluster::ElasticCluster* cluster_;
+  GatewayConfig config_;
+
+  std::size_t in_flight_ = 0;
+  std::deque<PendingRequest> pending_;
+
+  GatewayCounters counters_;
+  std::map<std::int64_t, ModelServingStats> model_stats_;
+  // Trailing-window outcome samples, trimmed lazily against stats_window.
+  mutable std::deque<OutcomeSample> window_latencies_;
+  mutable std::deque<SimTime> window_sheds_;
+};
+
+}  // namespace gfaas::gateway

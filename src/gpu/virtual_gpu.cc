@@ -125,6 +125,16 @@ StatusOr<SimTime> VirtualGpu::begin_inference(SimTime now, ProcessId process,
   return end;
 }
 
+Status VirtualGpu::abort_execution(SimTime now) {
+  if (phase_ == GpuPhase::kIdle) {
+    return Status::FailedPrecondition("gpu idle; nothing to abort");
+  }
+  phase_ = GpuPhase::kIdle;
+  busy_until_ = now;
+  sm_meter_.set(now, 0.0);
+  return Status::Ok();
+}
+
 Status VirtualGpu::finish_inference(SimTime now, ProcessId process) {
   GpuProcess* proc = mutable_process(process);
   if (proc == nullptr) {

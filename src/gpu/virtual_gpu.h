@@ -88,6 +88,12 @@ class VirtualGpu {
                                     SimTime infer_time, std::int64_t batch);
   Status finish_inference(SimTime now, ProcessId process);
 
+  // Aborts the in-flight load or inference at `now` (the GPU died, chaos
+  // path): the device returns to idle and its SMs stop accruing
+  // occupancy. Resident processes stay; the caller decides their fate
+  // (a killed GPU is retired wholesale via CacheManager::remove_gpu).
+  Status abort_execution(SimTime now);
+
   // --- observable state (what the Datastore publishes) ---
   GpuPhase phase() const { return phase_; }
   bool is_busy() const { return phase_ != GpuPhase::kIdle; }

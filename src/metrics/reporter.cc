@@ -46,7 +46,9 @@ std::string Table::to_string() const {
   };
   emit_row(headers_);
   std::string rule;
-  for (std::size_t c = 0; c < widths.size(); ++c) rule += "  " + std::string(widths[c], '-');
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += "  " + std::string(widths[c], '-');
+  }
   out << rule << '\n';
   for (const auto& row : rows_) emit_row(row);
   return out.str();

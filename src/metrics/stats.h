@@ -3,6 +3,8 @@
 // reports (average latency, latency variance, miss ratios, utilization).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -10,6 +12,18 @@
 #include "common/time.h"
 
 namespace gfaas::metrics {
+
+// Nearest-rank quantile index over `count` ascending samples: the
+// smallest index with at least fraction q of the distribution at or
+// below it (0 when count == 0 or q == 0). Shared so the Gateway's
+// windowed quantiles and the scaling policies' demand percentiles can
+// never drift apart on rank arithmetic.
+inline std::size_t nearest_rank(std::size_t count, double q) {
+  if (count == 0) return 0;
+  const double raw = std::ceil(q * static_cast<double>(count)) - 1.0;
+  const std::size_t rank = raw > 0.0 ? static_cast<std::size_t>(raw) : 0;
+  return std::min(rank, count - 1);
+}
 
 // Numerically-stable single-pass mean/variance (Welford's algorithm).
 class StreamingStats {

@@ -103,7 +103,8 @@ double LoadTimeModel::bandwidth_bps() const {
 LatencyOracle::LatencyOracle(const ModelRegistry& registry, double alpha) {
   entries_.reserve(registry.size());
   for (const auto& p : registry.all()) {
-    entries_.push_back(Entry{p.id, p.load_time, BatchLatencyModel(p.infer_time_b32, alpha)});
+    entries_.push_back(
+        Entry{p.id, p.load_time, BatchLatencyModel(p.infer_time_b32, alpha)});
   }
 }
 

@@ -43,7 +43,8 @@ Tensor SyntheticImageDataset::make_image(std::int64_t label) {
     const double phase = 0.7 * static_cast<double>(c);
     for (std::int64_t y = 0; y < spec_.height; ++y) {
       for (std::int64_t x = 0; x < spec_.width; ++x) {
-        const double t = freq * (cx * static_cast<double>(x) + sx * static_cast<double>(y));
+        const double t =
+            freq * (cx * static_cast<double>(x) + sx * static_cast<double>(y));
         const double signal = 0.5 + 0.4 * std::sin(t + phase);
         const double noise = 0.05 * rng_.normal();
         img.at4(0, c, y, x) = static_cast<float>(signal + noise);

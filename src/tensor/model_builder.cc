@@ -156,7 +156,8 @@ ModulePtr build_cnn(const CnnConfig& config) {
       net->push_back(std::make_shared<ReLU>());
       std::int64_t c = w;
       for (std::int64_t i = 0; i < config.depth; ++i) {
-        auto fire = std::make_shared<FireModule>(c, std::max<std::int64_t>(1, w / 2), w, rng);
+        auto fire =
+            std::make_shared<FireModule>(c, std::max<std::int64_t>(1, w / 2), w, rng);
         net->push_back(fire);
         c = 2 * w;
       }

@@ -108,7 +108,8 @@ Tensor MaxPool2d::forward(const Tensor& input) const {
           float best = -std::numeric_limits<float>::infinity();
           for (std::int64_t ky = 0; ky < kernel_; ++ky) {
             for (std::int64_t kx = 0; kx < kernel_; ++kx) {
-              best = std::max(best, input.at4(b, ch, oy * stride_ + ky, ox * stride_ + kx));
+              best = std::max(
+                  best, input.at4(b, ch, oy * stride_ + ky, ox * stride_ + kx));
             }
           }
           out.at4(b, ch, oy, ox) = best;

@@ -61,12 +61,14 @@ Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
 
 float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
   GFAAS_CHECK(ndim() == 4);
-  return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  return data_[static_cast<std::size_t>(
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
 }
 
 float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
   GFAAS_CHECK(ndim() == 4);
-  return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  return data_[static_cast<std::size_t>(
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
 }
 
 float& Tensor::at2(std::int64_t r, std::int64_t c) {

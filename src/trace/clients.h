@@ -1,0 +1,124 @@
+// Client generators: live traffic sources that drive a serving layer
+// (gateway::Gateway) instead of replaying a pre-materialized
+// trace::Workload.
+//
+// Both clients schedule their submissions on the cluster's Executor, so
+// the same generator code produces deterministic arrivals on the
+// discrete-event simulator and real traffic on the wall-clock executor
+// (where every submission lands on the executor's worker thread — the
+// Gateway's threading contract).
+//
+// The sink is a callback rather than a Gateway reference so trace/ stays
+// below the serving layer in the target graph: the caller binds
+// gateway::Gateway::submit (adapting its ResultCallback into the plain
+// `done` signal), a bare engine, or a test double.
+//
+//   * OpenLoopClient — offered-load client: minute m of the run carries
+//     rates[m] arrivals (uniform offsets within the minute, seeded),
+//     regardless of completions — the serving system cannot slow it
+//     down, which is what exposes SLO violations under overload. Each
+//     minute's arrivals are generated lazily at the minute boundary, so
+//     nothing is pre-materialized.
+//   * ClosedLoopClient — `users` concurrent callers, each submitting,
+//     waiting for its completion signal, thinking, then submitting
+//     again: throughput self-limits to the fleet's capacity, the classic
+//     interactive-client model.
+//
+// Models are drawn Zipf-skewed over a dense working set [0, model_count)
+// — the serving-time analogue of the trace popularity skew.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/request.h"
+#include "sim/simulator.h"
+
+namespace gfaas::trace {
+
+// Hands one request to the serving layer; `done` must fire exactly once
+// when the request reaches any final disposition (completed, shed,
+// expired, failed).
+using ClientSink = std::function<void(core::Request, std::function<void()> done)>;
+
+struct ClientConfig {
+  // Models are drawn from the dense id range [0, model_count).
+  std::size_t model_count = 1;
+  // Zipf popularity skew across the working set; 0 = uniform.
+  double zipf_s = 0.9;
+  std::int64_t batch_size = 32;
+  std::uint64_t seed = 7;
+  // Request ids are dense from here (keep streams disjoint when several
+  // clients share a gateway).
+  std::int64_t first_request_id = 0;
+};
+
+class OpenLoopClient {
+ public:
+  // Minute m of the run offers rates[m] arrivals. `executor` and the
+  // sink's target must outlive the run.
+  OpenLoopClient(sim::Executor* executor, ClientSink sink, ClientConfig config,
+                 std::vector<std::int64_t> rates);
+
+  // Schedules the first minute's generation; subsequent minutes chain
+  // lazily. Call once, before (or while) the executor runs.
+  void start();
+
+  std::size_t submitted() const { return submitted_; }
+  std::size_t completed() const { return completed_; }
+  // End of the offered-load schedule (start + one slot per rate entry).
+  // Only valid after start(): on a wall-clock executor the schedule is
+  // anchored to the clock reading at start, not at construction.
+  SimTime horizon() const;
+
+ private:
+  void generate_minute(std::size_t minute);
+
+  sim::Executor* executor_;
+  ClientSink sink_;
+  ClientConfig config_;
+  std::vector<std::int64_t> rates_;
+  ZipfDistribution popularity_;
+  Rng rng_;
+  SimTime start_time_ = -1;  // set by start(); horizon() CHECKs it
+  std::int64_t next_id_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+};
+
+class ClosedLoopClient {
+ public:
+  // `users` concurrent callers; each waits for its previous request's
+  // disposition, thinks for think_time, and submits again until
+  // `duration` has elapsed from start().
+  ClosedLoopClient(sim::Executor* executor, ClientSink sink, ClientConfig config,
+                   std::size_t users, SimTime think_time, SimTime duration);
+
+  void start();
+
+  std::size_t submitted() const { return submitted_; }
+  std::size_t completed() const { return completed_; }
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  void user_submit();
+  void on_done();
+
+  sim::Executor* executor_;
+  ClientSink sink_;
+  ClientConfig config_;
+  std::size_t users_;
+  SimTime think_time_;
+  SimTime duration_;
+  ZipfDistribution popularity_;
+  Rng rng_;
+  SimTime start_time_ = 0;
+  std::int64_t next_id_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace gfaas::trace

@@ -860,6 +860,104 @@ TEST(DeploymentModeTest, RealtimeReplayMatchesSimulatorWithinTolerance) {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos seed for the drain/reap paths: a GPU killed mid-request and a
+// delayed cold start, injected into an autoscaled run.
+// ---------------------------------------------------------------------------
+
+TEST(AutoscalerChaosTest, DelayedColdStartKeepsAccountingConsistent) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(1).models(3).build();
+
+  AutoscalerConfig config;
+  config.evaluation_interval = sec(5);
+  config.cold_start = sec(10);
+  config.min_gpus = 1;
+  config.max_gpus = 4;
+  // Fault injection: the first cold start stalls an extra 30s (container
+  // pull hang); later ones are healthy.
+  std::vector<std::int64_t> delayed_indexes;
+  config.cold_start_delay_hook = [&](std::int64_t index) {
+    delayed_indexes.push_back(index);
+    return index == 0 ? sec(30) : 0;
+  };
+  Autoscaler scaler(cluster.get(), std::make_unique<ReactivePolicy>(), config);
+
+  // A burst on the single-GPU fleet forces a scale-up decision at the
+  // first tick.
+  const auto requests = testkit::make_request_sequence(24, 3, 0, msec(50));
+  for (const core::Request& req : requests) {
+    cluster->simulator().schedule_at(req.arrival,
+                                     [&, req] { cluster->engine().submit(req); });
+  }
+  scaler.start(requests.back().arrival);
+  cluster->simulator().run();
+  scaler.finalize();
+
+  EXPECT_EQ(cluster->engine().pending(), 0u);
+  EXPECT_EQ(cluster->engine().completions().size(), requests.size());
+  EXPECT_GE(scaler.counters().gpus_added, 1);
+  EXPECT_EQ(scaler.provisioning_count(), 0u);
+  ASSERT_FALSE(delayed_indexes.empty());
+  EXPECT_EQ(delayed_indexes[0], 0);
+
+  // The stalled provisioning really held its join back: the batch's
+  // healthy cold starts land at decision + cold_start, while the delayed
+  // one (begun first, joining last) lands no earlier than decision +
+  // cold_start + injected delay.
+  const auto& steps = scaler.schedulable_timeline().steps();
+  SimTime last_join = -1;
+  double previous = 0;
+  for (const auto& [when, value] : steps) {
+    if (value > previous) last_join = when;
+    previous = value;
+  }
+  ASSERT_GE(last_join, 0);
+  EXPECT_GE(last_join, config.cold_start + sec(30));
+}
+
+TEST(AutoscalerChaosTest, GpuKilledMidRequestLeavesNoStrandedState) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).models(3).build();
+
+  AutoscalerConfig config;
+  config.evaluation_interval = sec(5);
+  config.cold_start = sec(10);
+  config.min_gpus = 2;
+  config.max_gpus = 4;
+  Autoscaler scaler(cluster.get(), std::make_unique<ReactivePolicy>(), config);
+
+  const auto requests = testkit::make_request_sequence(30, 3, 0, msec(400));
+  for (const core::Request& req : requests) {
+    cluster->simulator().schedule_at(req.arrival,
+                                     [&, req] { cluster->engine().submit(req); });
+  }
+  // Mid-run, kill whichever GPU is busy: its in-flight request fails,
+  // its local queue rejoins the global queue, and the membership indexes
+  // (engine, cache, autoscaler view) must all stay consistent.
+  GpuId victim;
+  cluster->simulator().schedule_at(sec(4), [&] {
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_FALSE(busy.empty());
+    victim = busy[0];
+    cluster->kill_gpu(victim);
+  });
+  scaler.start(requests.back().arrival);
+  cluster->simulator().run();
+  scaler.finalize();
+
+  ASSERT_TRUE(victim.valid());
+  EXPECT_EQ(cluster->engine().pending(), 0u);
+  ASSERT_EQ(cluster->engine().failures().size(), 1u);
+  EXPECT_TRUE(cluster->engine().failures()[0].failed);
+  EXPECT_EQ(cluster->engine().failures()[0].gpu, victim);
+  EXPECT_EQ(cluster->engine().completions().size(), requests.size() - 1);
+  EXPECT_FALSE(cluster->cache().is_registered(victim));
+  // No stranded pins on the survivors; the dead GPU never rejoins.
+  for (const GpuId gpu : cluster->engine().idle_gpus()) {
+    EXPECT_NE(gpu, victim);
+    EXPECT_FALSE(cluster->cache().state(gpu).any_pinned());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Determinism guard: with the autoscaler disabled (or pinned min == max),
 // the paper grid's completion stream is bit-identical to a plain run.
 // ---------------------------------------------------------------------------

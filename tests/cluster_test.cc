@@ -192,7 +192,9 @@ TEST(GpuManagerTest, MissEvictsExactlyPlannedVictims) {
   EXPECT_EQ(lru->value, "0,1");  // model0 is LRU
 
   cluster.simulator().schedule_at(sec(20),
-                                  [&] { cluster.engine().submit(make_request(2, 2, sec(20))); });
+                                  [&] {
+                                    cluster.engine().submit(make_request(2, 2, sec(20)));
+                                  });
   cluster.simulator().run();
   EXPECT_EQ(cluster.gpu(0).counters().evictions, 1);
   lru = cluster.datastore().get(datastore::keys::gpu_lru(GpuId(0)));
