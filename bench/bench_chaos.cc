@@ -1,0 +1,329 @@
+// Fleet-scale failure-domain chaos bench: retry + hedging under
+// correlated GPU kills, with enforced survival floors.
+//
+// A diurnal open-loop trace is served through the Gateway while a
+// deterministic fault schedule (src/chaos) kills whole failure domains —
+// one node's worth of GPUs sharing a host PCIe link — at a configured
+// fraction of the fleet per hour. The autoscaler re-provisions dead
+// capacity (min-floor backfill) while the Gateway retries failed
+// requests on surviving GPUs and hedges deep-waiting ones onto idle
+// GPUs. Three runs share the same trace seed:
+//
+//   * no-chaos    — the same serving stack with the fault schedule off
+//                   (reference for what survival costs);
+//   * retry       — chaos + transparent retry, hedging off;
+//   * retry+hedge — chaos + retry + tail-latency hedging.
+//
+// ACCEPTANCE (exit non-zero on a miss):
+//   * retry+hedge goodput (completed / offered) >= goodput floor (0.99)
+//     under the domain kills;
+//   * retry+hedge p99 strictly beats the retry-only p99 (the hedging
+//     win);
+//   * duplicate-work overhead — GPU-time of cancelled hedge losers over
+//     useful completed GPU-time — stays under the cap (5%).
+//
+// Usage:
+//   bench_chaos [--minutes 360] [--period 90] [--trough-rpm 60]
+//               [--peak-rpm 240] [--working-set 16] [--gpus-per-node 2]
+//               [--min-gpus 12] [--max-gpus 24] [--cold-start-s 15]
+//               [--interval-s 5] [--slo-s 10] [--window 256]
+//               [--kill-frac 0.10] [--degrade-frac 0.8]
+//               [--degrade-factor 8] [--degrade-minutes 8] [--seed 42]
+//               [--max-retries 2] [--hedge-frac 0.2]
+//               [--goodput-floor 0.99] [--overhead-cap 0.05]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "bench_common.h"
+#include "chaos/fault_injector.h"
+#include "cluster/experiment.h"
+#include "common/log.h"
+#include "gateway/gateway.h"
+#include "metrics/reporter.h"
+#include "trace/clients.h"
+#include "trace/workload.h"
+
+using namespace gfaas;
+
+namespace {
+
+struct Options {
+  std::int64_t minutes = 360;
+  std::int64_t period = 90;
+  std::int64_t trough_rpm = 60;
+  std::int64_t peak_rpm = 240;
+  std::size_t working_set = 16;
+  int gpus_per_node = 2;
+  std::size_t min_gpus = 12;
+  std::size_t max_gpus = 24;
+  SimTime cold_start = sec(15);
+  SimTime interval = sec(5);
+  SimTime slo = sec(10);
+  std::size_t window = 256;
+  double kill_frac = 0.10;  // domains killed per hour, as a fleet fraction
+  double degrade_frac = 0.8;  // domains gray-degraded per hour, ditto
+  double degrade_factor = 8.0;
+  std::int64_t degrade_minutes = 8;
+  std::uint64_t seed = 42;
+  int max_retries = 2;
+  double hedge_frac = 0.2;
+  double goodput_floor = 0.99;
+  double overhead_cap = 0.05;
+};
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      GFAAS_CHECK(i + 1 < argc) << "missing value for " << flag;
+      return argv[++i];
+    };
+    if (flag == "--minutes") {
+      options->minutes = std::atoll(next());
+    } else if (flag == "--period") {
+      options->period = std::atoll(next());
+    } else if (flag == "--trough-rpm") {
+      options->trough_rpm = std::atoll(next());
+    } else if (flag == "--peak-rpm") {
+      options->peak_rpm = std::atoll(next());
+    } else if (flag == "--working-set") {
+      options->working_set = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--gpus-per-node") {
+      options->gpus_per_node = std::atoi(next());
+    } else if (flag == "--min-gpus") {
+      options->min_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--max-gpus") {
+      options->max_gpus = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--cold-start-s") {
+      options->cold_start = sec(std::atoll(next()));
+    } else if (flag == "--interval-s") {
+      options->interval = sec(std::atoll(next()));
+    } else if (flag == "--slo-s") {
+      options->slo = sec(std::atoll(next()));
+    } else if (flag == "--window") {
+      options->window = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--kill-frac") {
+      options->kill_frac = std::atof(next());
+    } else if (flag == "--degrade-frac") {
+      options->degrade_frac = std::atof(next());
+    } else if (flag == "--degrade-factor") {
+      options->degrade_factor = std::atof(next());
+    } else if (flag == "--degrade-minutes") {
+      options->degrade_minutes = std::atoll(next());
+    } else if (flag == "--seed") {
+      options->seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (flag == "--max-retries") {
+      options->max_retries = std::atoi(next());
+    } else if (flag == "--hedge-frac") {
+      options->hedge_frac = std::atof(next());
+    } else if (flag == "--goodput-floor") {
+      options->goodput_floor = std::atof(next());
+    } else if (flag == "--overhead-cap") {
+      options->overhead_cap = std::atof(next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return options->minutes > 0 && options->peak_rpm >= options->trough_rpm &&
+         options->gpus_per_node >= 1 &&
+         options->min_gpus >= static_cast<std::size_t>(options->gpus_per_node) &&
+         options->min_gpus % static_cast<std::size_t>(options->gpus_per_node) == 0 &&
+         options->max_gpus >= options->min_gpus && options->slo > 0 &&
+         options->kill_frac >= 0 && options->degrade_frac >= 0 &&
+         options->degrade_factor >= 1 && options->degrade_minutes > 0 &&
+         options->max_retries >= 0 && options->hedge_frac >= 0 &&
+         options->hedge_frac < 1;
+}
+
+struct RunResult {
+  std::string name;
+  std::size_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired = 0;
+  double goodput = 0;     // completed / offered
+  double attainment = 0;  // slo_met / completed
+  double p50_s = 0, p99_s = 0;
+  std::int64_t retries = 0;
+  std::int64_t hedges = 0;
+  std::int64_t hedge_wins = 0;
+  std::int64_t domain_kills = 0;
+  std::int64_t gpus_killed = 0;
+  std::int64_t gpus_replaced = 0;
+  std::int64_t degrades = 0;
+  double dup_overhead = 0;  // cancelled GPU-time / useful GPU-time
+};
+
+RunResult run_one(const Options& options, const trace::Workload& registry_source,
+                  const std::vector<std::int64_t>& rates, bool chaos, bool hedging,
+                  const char* name) {
+  cluster::ClusterConfig cluster_config;
+  cluster_config.nodes = static_cast<int>(options.min_gpus) / options.gpus_per_node;
+  cluster_config.gpus_per_node = options.gpus_per_node;
+  cluster_config.shared_pcie_per_node = true;  // a domain dies as one unit
+  cluster::SimCluster cluster(cluster_config, registry_source.registry);
+
+  gateway::GatewayConfig gw_config;
+  gw_config.max_in_flight = options.window;
+  gw_config.default_slo = options.slo;
+  gw_config.max_retries = options.max_retries;
+  gw_config.hedge_budget_fraction = hedging ? options.hedge_frac : 0.0;
+  gateway::Gateway gateway(&cluster, gw_config);
+
+  autoscale::AutoscalerConfig as_config;
+  as_config.evaluation_interval = options.interval;
+  as_config.cold_start = options.cold_start;
+  as_config.min_gpus = options.min_gpus;
+  as_config.max_gpus = options.max_gpus;
+  autoscale::Autoscaler scaler(&cluster, std::make_unique<autoscale::ReactivePolicy>(),
+                               as_config);
+
+  chaos::FaultScheduleConfig fault_config;
+  fault_config.seed = options.seed;
+  fault_config.horizon = minutes(options.minutes);
+  fault_config.domain_kills_per_hour =
+      options.kill_frac * static_cast<double>(cluster.domain_count());
+  fault_config.degrades_per_hour =
+      options.degrade_frac * static_cast<double>(cluster.domain_count());
+  fault_config.degrade_factor = options.degrade_factor;
+  fault_config.max_degrade = minutes(options.degrade_minutes);
+  chaos::ChaosInjector injector(
+      &cluster, chaos ? chaos::make_fault_schedule(fault_config)
+                      : std::vector<chaos::FaultEvent>{});
+
+  trace::ClientConfig client_config;
+  client_config.model_count = options.working_set;
+  trace::ClientSink sink = [&gateway](core::Request request,
+                                      std::function<void()> done) {
+    gateway.submit(std::move(request),
+                   [done = std::move(done)](const gateway::GatewayResult&) { done(); });
+  };
+  trace::OpenLoopClient client(&cluster.executor(), sink, client_config, rates);
+
+  client.start();
+  scaler.start(client.horizon());
+  injector.arm();
+  cluster.run_to_completion();
+  scaler.finalize();
+  GFAAS_CHECK(cluster.engine().pending() == 0 && gateway.pending() == 0)
+      << "requests stranded behind the gateway";
+  GFAAS_CHECK(client.completed() == client.submitted())
+      << "client callbacks missing: every submission must resolve exactly once";
+
+  const gateway::GatewayCounters& counters = gateway.counters();
+  RunResult run;
+  run.name = name;
+  run.offered = client.submitted();
+  run.completed = counters.completed;
+  run.failed = counters.failed;
+  run.shed = counters.shed;
+  run.expired = counters.expired;
+  run.goodput = run.offered > 0 ? static_cast<double>(run.completed) /
+                                      static_cast<double>(run.offered)
+                                : 0;
+  run.attainment = gateway.slo_attainment();
+  const std::vector<double> latencies = bench::sorted_latencies_s(cluster.engine());
+  run.p50_s = bench::percentile(latencies, 0.50);
+  run.p99_s = bench::percentile(latencies, 0.99);
+  run.retries = counters.retries;
+  run.hedges = counters.hedges;
+  run.hedge_wins = counters.hedge_wins;
+  run.domain_kills = injector.counters().domain_kills;
+  run.gpus_killed = injector.counters().gpus_killed;
+  run.gpus_replaced = scaler.counters().gpus_replaced;
+  run.degrades = injector.counters().degrades;
+  SimTime useful = 0;
+  for (const auto& record : cluster.engine().completions()) {
+    useful += record.completed - record.dispatched;
+  }
+  run.dup_overhead =
+      useful > 0 ? static_cast<double>(cluster.engine().cancelled_execution_time()) /
+                       static_cast<double>(useful)
+                 : 0;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, &options)) return 1;
+
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = options.working_set;
+  auto registry_source = trace::build_standard_workload(wconfig);
+  if (!registry_source.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 registry_source.status().to_string().c_str());
+    return 1;
+  }
+
+  trace::DiurnalConfig diurnal;
+  diurnal.window_minutes = options.minutes;
+  diurnal.period_minutes = options.period;
+  diurnal.trough_rpm = options.trough_rpm;
+  diurnal.peak_rpm = options.peak_rpm;
+  const std::vector<std::int64_t> rates = trace::diurnal_rates(diurnal);
+
+  std::printf(
+      "=== Chaos bench: %lld min diurnal (trough %lld, peak %lld rpm), fleet "
+      "%zu..%zu (%d GPUs/domain), %.0f%%/hour domain kills, %.0f%%/hour "
+      "%.0fx gray degrades, SLO %.0fs, retries %d, hedge at %.0f%% of "
+      "budget ===\n",
+      static_cast<long long>(options.minutes),
+      static_cast<long long>(options.trough_rpm),
+      static_cast<long long>(options.peak_rpm), options.min_gpus, options.max_gpus,
+      options.gpus_per_node, options.kill_frac * 100.0,
+      options.degrade_frac * 100.0, options.degrade_factor,
+      sim_to_seconds(options.slo), options.max_retries, options.hedge_frac * 100.0);
+
+  const RunResult no_chaos = run_one(options, *registry_source, rates,
+                                     /*chaos=*/false, /*hedging=*/false, "no-chaos");
+  const RunResult retry_only = run_one(options, *registry_source, rates,
+                                       /*chaos=*/true, /*hedging=*/false, "retry");
+  const RunResult hedged = run_one(options, *registry_source, rates,
+                                   /*chaos=*/true, /*hedging=*/true, "retry+hedge");
+
+  metrics::Table table({"Run", "Offered", "Done", "Fail", "Shed", "Expired",
+                        "Goodput", "Attain", "p50(s)", "p99(s)", "Retry", "Hedge",
+                        "HWin", "Kills", "Degr", "GPUsKilled", "Replaced",
+                        "DupOvh"});
+  for (const RunResult* run : {&no_chaos, &retry_only, &hedged}) {
+    table.add_row({run->name, std::to_string(run->offered),
+                   std::to_string(run->completed), std::to_string(run->failed),
+                   std::to_string(run->shed), std::to_string(run->expired),
+                   metrics::Table::fmt(run->goodput, 4),
+                   metrics::Table::fmt(run->attainment, 3),
+                   metrics::Table::fmt(run->p50_s), metrics::Table::fmt(run->p99_s),
+                   std::to_string(run->retries), std::to_string(run->hedges),
+                   std::to_string(run->hedge_wins), std::to_string(run->domain_kills),
+                   std::to_string(run->degrades), std::to_string(run->gpus_killed),
+                   std::to_string(run->gpus_replaced),
+                   metrics::Table::fmt(run->dup_overhead, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  GFAAS_CHECK(retry_only.domain_kills > 0)
+      << "chaos schedule produced no kills; raise --minutes or --kill-frac";
+
+  const bool goodput_ok = hedged.goodput >= options.goodput_floor;
+  const bool p99_ok = hedged.p99_s < retry_only.p99_s;
+  const bool overhead_ok = hedged.dup_overhead < options.overhead_cap;
+  std::printf("\nACCEPTANCE retry+hedge goodput >= %.2f under %lld domain kills "
+              "(%.4f): %s\n",
+              options.goodput_floor, static_cast<long long>(hedged.domain_kills),
+              hedged.goodput, goodput_ok ? "PASS" : "FAIL");
+  std::printf("ACCEPTANCE hedging beats no-hedging p99 (%.2fs < %.2fs): %s\n",
+              hedged.p99_s, retry_only.p99_s, p99_ok ? "PASS" : "FAIL");
+  std::printf("ACCEPTANCE duplicate-work overhead < %.0f%% (%.2f%%): %s\n",
+              options.overhead_cap * 100.0, hedged.dup_overhead * 100.0,
+              overhead_ok ? "PASS" : "FAIL");
+  return (goodput_ok && p99_ok && overhead_ok) ? 0 : 1;
+}

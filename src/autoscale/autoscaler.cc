@@ -97,6 +97,20 @@ void Autoscaler::tick() {
   ++counters_.ticks;
   reap_drained();
 
+  // Dead capacity is re-provisioned, not drained: a chaos kill removes
+  // GPUs without any scale-down decision, and no policy is guaranteed to
+  // notice (a mostly-idle fleet can sit below min_gpus indefinitely).
+  // Backfill the floor before consulting the policy so the configured
+  // minimum is an invariant, not a suggestion.
+  const std::size_t committed_floor =
+      cluster_->engine().schedulable_gpu_count() + provisioning_;
+  if (committed_floor < config_.min_gpus) {
+    const std::size_t deficit = config_.min_gpus - committed_floor;
+    for (std::size_t i = 0; i < deficit; ++i) begin_cold_start();
+    counters_.gpus_replaced += static_cast<std::int64_t>(deficit);
+    record_fleet();
+  }
+
   const FleetView view = snapshot();
   const ScalingDecision decision = policy_->evaluate(view);
   apply(decision);

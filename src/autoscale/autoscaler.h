@@ -71,6 +71,10 @@ struct AutoscalerCounters {
   std::int64_t scale_down_decisions = 0;
   std::int64_t gpus_added = 0;    // cold starts completed
   std::int64_t gpus_retired = 0;  // drains completed
+  // Cold starts begun to replace killed capacity (chaos): the fleet fell
+  // below min_gpus without any drain decision, so the controller
+  // re-provisions the deficit rather than serving degraded forever.
+  std::int64_t gpus_replaced = 0;
 };
 
 // Warm-pool-aware drain-victim selection: greedily picks `count` victims,

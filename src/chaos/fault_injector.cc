@@ -1,0 +1,162 @@
+#include "chaos/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace gfaas::chaos {
+
+std::vector<FaultEvent> make_fault_schedule(const FaultScheduleConfig& config) {
+  GFAAS_CHECK(config.horizon > 0);
+  GFAAS_CHECK(config.domain_kills_per_hour >= 0 &&
+              config.cold_start_stalls_per_hour >= 0);
+  GFAAS_CHECK(config.stall_index_bound > 0 && config.max_stall >= 0);
+  const double hours = sim_to_seconds(config.horizon) / 3600.0;
+  Rng rng(config.seed);
+
+  std::vector<FaultEvent> schedule;
+  const auto kills =
+      static_cast<std::size_t>(std::llround(config.domain_kills_per_hour * hours));
+  for (std::size_t i = 0; i < kills; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kKillDomain;
+    // Uniform in (0, horizon): never at t=0 (the fleet must exist) and
+    // never exactly at the horizon (nothing left to disrupt).
+    event.at = 1 + static_cast<SimTime>(
+                       rng.next_below(static_cast<std::uint64_t>(config.horizon - 1)));
+    event.domain_ordinal = static_cast<std::size_t>(rng.next_below(1ULL << 30));
+    schedule.push_back(event);
+  }
+  const auto stalls = static_cast<std::size_t>(
+      std::llround(config.cold_start_stalls_per_hour * hours));
+  for (std::size_t i = 0; i < stalls; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kStallColdStart;
+    event.cold_start_index = rng.uniform_int(0, config.stall_index_bound - 1);
+    event.stall = config.max_stall > 0
+                      ? 1 + static_cast<SimTime>(rng.next_below(
+                                static_cast<std::uint64_t>(config.max_stall)))
+                      : 0;
+    schedule.push_back(event);
+  }
+  const auto degrades =
+      static_cast<std::size_t>(std::llround(config.degrades_per_hour * hours));
+  GFAAS_CHECK(degrades == 0 ||
+              (config.degrade_factor >= 1.0 && config.max_degrade > 0));
+  for (std::size_t i = 0; i < degrades; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kDegradeDomain;
+    event.at = 1 + static_cast<SimTime>(
+                       rng.next_below(static_cast<std::uint64_t>(config.horizon - 1)));
+    event.domain_ordinal = static_cast<std::size_t>(rng.next_below(1ULL << 30));
+    event.degrade_factor = config.degrade_factor;
+    event.degrade_duration =
+        1 + static_cast<SimTime>(
+                rng.next_below(static_cast<std::uint64_t>(config.max_degrade)));
+    schedule.push_back(event);
+  }
+  // Stable order: by time, kills before stalls, then by ordinal — so the
+  // schedule (and everything downstream) is a pure function of config.
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return schedule;
+}
+
+ChaosInjector::ChaosInjector(cluster::ElasticCluster* cluster,
+                             std::vector<FaultEvent> schedule,
+                             std::size_t min_alive_domains)
+    : cluster_(cluster),
+      schedule_(std::move(schedule)),
+      min_alive_domains_(min_alive_domains) {
+  GFAAS_CHECK(cluster_ != nullptr);
+  for (const FaultEvent& event : schedule_) {
+    if (event.kind == FaultKind::kStallColdStart) {
+      GFAAS_CHECK(event.cold_start_index >= 0 && event.stall >= 0);
+      stalls_[event.cold_start_index] += event.stall;
+    }
+  }
+}
+
+void ChaosInjector::arm() {
+  GFAAS_CHECK(!armed_) << "injector armed twice";
+  armed_ = true;
+  const SimTime now = cluster_->executor().now();
+  for (const FaultEvent& event : schedule_) {
+    if (event.kind == FaultKind::kStallColdStart) continue;  // hook-driven
+    FaultEvent copy = event;
+    cluster_->executor().schedule_after(
+        std::max<SimTime>(0, event.at - now), [this, copy] {
+          if (copy.kind == FaultKind::kKillDomain) {
+            fire_kill(copy);
+          } else {
+            fire_degrade(copy);
+          }
+        });
+  }
+}
+
+std::size_t ChaosInjector::resolve_victim(std::size_t ordinal,
+                                          std::size_t min_alive) const {
+  // Resolve the ordinal against the domains alive *now*: the autoscaler
+  // may have added single-GPU domains or earlier kills may have emptied
+  // some. Alive = at least one registered member.
+  const cluster::SchedulerEngine& engine = cluster_->engine();
+  std::vector<std::size_t> alive;
+  for (std::size_t d = 0; d < cluster_->domain_count(); ++d) {
+    for (const GpuId gpu : cluster_->domain_gpus(d)) {
+      if (engine.is_registered(gpu)) {
+        alive.push_back(d);
+        break;
+      }
+    }
+  }
+  if (alive.size() <= min_alive) return cluster_->domain_count();
+  return alive[ordinal % alive.size()];
+}
+
+void ChaosInjector::fire_kill(const FaultEvent& event) {
+  const std::size_t victim =
+      resolve_victim(event.domain_ordinal, min_alive_domains_);
+  if (victim == cluster_->domain_count()) {
+    ++counters_.kills_skipped;
+    return;
+  }
+  const cluster::SchedulerEngine& engine = cluster_->engine();
+  std::int64_t members = 0;
+  for (const GpuId gpu : cluster_->domain_gpus(victim)) {
+    if (engine.is_registered(gpu)) ++members;
+  }
+  cluster_->kill_domain(victim);
+  ++counters_.domain_kills;
+  counters_.gpus_killed += members;
+}
+
+void ChaosInjector::fire_degrade(const FaultEvent& event) {
+  // Degrades do not reduce capacity, so they ignore min_alive_domains_
+  // (any alive domain qualifies) and heal on a timer. A member killed
+  // mid-window just disappears; healing only touches survivors.
+  const std::size_t victim = resolve_victim(event.domain_ordinal, 0);
+  if (victim == cluster_->domain_count()) {
+    ++counters_.degrades_skipped;
+    return;
+  }
+  cluster_->degrade_domain(victim, event.degrade_factor);
+  ++counters_.degrades;
+  cluster_->executor().schedule_after(event.degrade_duration, [this, victim] {
+    cluster_->degrade_domain(victim, 1.0);
+  });
+}
+
+std::function<SimTime(std::int64_t)> ChaosInjector::cold_start_delay_hook() {
+  return [this](std::int64_t index) {
+    auto it = stalls_.find(index);
+    if (it == stalls_.end()) return SimTime{0};
+    ++counters_.stalls_injected;
+    counters_.stall_time += it->second;
+    return it->second;
+  };
+}
+
+}  // namespace gfaas::chaos

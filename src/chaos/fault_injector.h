@@ -1,0 +1,127 @@
+// Deterministic fault-injection harness (failure-domain chaos).
+//
+// A fault schedule is a seeded, pre-materialized list of events — domain
+// kills and cold-start stalls — generated once from a (seed, config)
+// pair, so the same schedule replays bit-identically on the simulator
+// and approximately on the wall-clock executor (the replayability the
+// chaos determinism tests assert). Events address failure domains by
+// *ordinal*, resolved against the domains alive at fire time: the
+// schedule never names GPU ids, so it stays valid while the autoscaler
+// grows and shrinks the fleet underneath it.
+//
+// The injector is deliberately dumb: it arms executor events and calls
+// ElasticCluster::kill_domain. Everything interesting — requeue, retry,
+// hedging, re-provisioning — happens in the layers under test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/elastic_cluster.h"
+#include "common/time.h"
+
+namespace gfaas::chaos {
+
+enum class FaultKind {
+  // Kills every registered GPU of one failure domain at once (correlated
+  // failure: PSU, PCIe switch, host kernel panic).
+  kKillDomain,
+  // Stalls one autoscaler cold start (slow container pull / late
+  // instance), addressed by cold-start ordinal.
+  kStallColdStart,
+  // Gray-degrades one domain for a window: executions run `factor`x
+  // slower while the scheduler keeps seeing healthy estimates (thermal
+  // throttle, noisy neighbor). The straggler fault hedging exists for.
+  kDegradeDomain,
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kKillDomain;
+  // kKillDomain: resolved at fire time as `ordinal % alive_domains` so
+  // the schedule is fleet-size independent.
+  std::size_t domain_ordinal = 0;
+  // kStallColdStart: which cold start (0-based, in begin order) and how
+  // long to stall it.
+  std::int64_t cold_start_index = -1;
+  SimTime stall = 0;
+  // kDegradeDomain: slowdown factor and how long before the domain heals.
+  double degrade_factor = 1.0;
+  SimTime degrade_duration = 0;
+};
+
+struct FaultScheduleConfig {
+  std::uint64_t seed = 1;
+  // Events are drawn uniformly over (0, horizon).
+  SimTime horizon = minutes(60);
+  // Expected domain kills per hour (the bench's "k%/hour fleet kills" is
+  // kill_fraction_per_hour * domain_count). The realized count is the
+  // rounded expectation — deterministic, not Poisson — so two configs
+  // differing only in seed kill the same number of domains.
+  double domain_kills_per_hour = 0.0;
+  // Expected cold-start stalls per hour, each hitting a cold-start
+  // ordinal in [0, stall_index_bound) for up to max_stall.
+  double cold_start_stalls_per_hour = 0.0;
+  std::int64_t stall_index_bound = 32;
+  SimTime max_stall = sec(30);
+  // Expected gray degradations per hour: one domain runs degrade_factor x
+  // slower for a window of up to max_degrade, then heals.
+  double degrades_per_hour = 0.0;
+  double degrade_factor = 8.0;
+  SimTime max_degrade = minutes(3);
+};
+
+// Builds the schedule: kill times sorted ascending, ordinals/stalls drawn
+// from a private Rng stream. Pure function of the config.
+std::vector<FaultEvent> make_fault_schedule(const FaultScheduleConfig& config);
+
+struct ChaosCounters {
+  std::int64_t domain_kills = 0;   // kill events that found a victim
+  std::int64_t kills_skipped = 0;  // fired with no (spare-able) domain alive
+  std::int64_t gpus_killed = 0;    // registered members removed by kills
+  std::int64_t stalls_injected = 0;
+  SimTime stall_time = 0;
+  std::int64_t degrades = 0;          // degrade events that found a victim
+  std::int64_t degrades_skipped = 0;  // fired with no domain alive
+};
+
+class ChaosInjector {
+ public:
+  // `cluster` must outlive the injector. `min_alive_domains` guards the
+  // blast radius: a kill that would leave fewer than this many domains
+  // with registered GPUs is skipped (counted in kills_skipped) — total
+  // extinction tests set it to 0.
+  ChaosInjector(cluster::ElasticCluster* cluster, std::vector<FaultEvent> schedule,
+                std::size_t min_alive_domains = 1);
+
+  // Schedules every event on the cluster's executor (relative to now).
+  // Call once, before the run starts.
+  void arm();
+
+  // Adapter for autoscale::AutoscalerConfig::cold_start_delay_hook:
+  // returns the scheduled stall for the index-th cold start (0 if none).
+  std::function<SimTime(std::int64_t)> cold_start_delay_hook();
+
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  const ChaosCounters& counters() const { return counters_; }
+
+ private:
+  void fire_kill(const FaultEvent& event);
+  void fire_degrade(const FaultEvent& event);
+  // Victim selection shared by kills and degrades: the event ordinal
+  // resolved against the domains with >= 1 registered member right now.
+  // Returns domain_count() when none qualify.
+  std::size_t resolve_victim(std::size_t ordinal, std::size_t min_alive) const;
+
+  cluster::ElasticCluster* cluster_;
+  std::vector<FaultEvent> schedule_;
+  std::size_t min_alive_domains_;
+  bool armed_ = false;
+  // cold-start ordinal -> injected stall (collisions accumulate).
+  std::unordered_map<std::int64_t, SimTime> stalls_;
+  ChaosCounters counters_;
+};
+
+}  // namespace gfaas::chaos

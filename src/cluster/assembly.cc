@@ -30,6 +30,7 @@ ClusterAssembly::ClusterAssembly(sim::Executor* executor, const ClusterConfig& c
       shared_link = links_.back().get();
     }
     std::vector<gpu::VirtualGpu*> node_gpus;
+    std::vector<GpuId> domain_members;
     for (int g = 0; g < config.gpus_per_node; ++g) {
       gpu::PcieLink* link = shared_link;
       if (link == nullptr) {
@@ -42,7 +43,9 @@ ClusterAssembly::ClusterAssembly(sim::Executor* executor, const ClusterConfig& c
       cache_->add_gpu(id, gpus_.back()->memory_capacity());
       node_gpus.push_back(gpus_.back().get());
       gpu_ptrs.push_back(gpus_.back().get());
+      domain_members.push_back(id);
     }
+    domain_gpus_.push_back(std::move(domain_members));
     managers_.push_back(std::make_unique<GpuManager>(
         NodeId(node), executor_, store_.get(), cache_.get(), registry_.get(),
         oracle_.get(), node_gpus, config.execute_real_inference));
@@ -67,7 +70,25 @@ GpuId ClusterAssembly::add_gpu(const gpu::GpuSpec& spec) {
       std::vector<gpu::VirtualGpu*>{gpus_.back().get()},
       config_.execute_real_inference));
   engine_->add_gpu(gpus_.back().get(), managers_.back().get());
+  domain_gpus_.push_back({id});
   return id;
+}
+
+const std::vector<GpuId>& ClusterAssembly::domain_gpus(std::size_t domain) const {
+  GFAAS_CHECK(domain < domain_gpus_.size()) << "unknown domain " << domain;
+  return domain_gpus_[domain];
+}
+
+void ClusterAssembly::kill_domain(std::size_t domain) {
+  for (const GpuId gpu : domain_gpus(domain)) {
+    if (engine_->is_registered(gpu)) engine_->kill_gpu(gpu);
+  }
+}
+
+void ClusterAssembly::degrade_domain(std::size_t domain, double factor) {
+  for (const GpuId gpu : domain_gpus(domain)) {
+    if (engine_->is_registered(gpu)) engine_->degrade_gpu(gpu, factor);
+  }
 }
 
 }  // namespace gfaas::cluster

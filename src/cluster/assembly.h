@@ -44,6 +44,24 @@ class ClusterAssembly {
   // gpu()) after removal so post-run accounting can still read it.
   GpuId add_gpu(const gpu::GpuSpec& spec);
 
+  // --- failure domains (src/chaos) ---
+  // A domain is one node: its GPUs share the host PCIe link and the GPU
+  // Manager, so correlated hardware faults (PSU, PCIe switch, host
+  // kernel panic) take out the whole group at once. Autoscaler-added
+  // GPUs are single-GPU nodes, i.e. each is its own domain. Domains are
+  // never renumbered; a fully-killed domain simply has no registered
+  // members left.
+  std::size_t domain_count() const { return domain_gpus_.size(); }
+  const std::vector<GpuId>& domain_gpus(std::size_t domain) const;
+  // Chaos verb: kills every still-registered GPU of the domain in one
+  // step (see SchedulerEngine::kill_gpu for per-GPU semantics). Members
+  // already removed or killed are skipped.
+  void kill_domain(std::size_t domain);
+  // Chaos verb: gray-degrades (factor > 1) or heals (factor = 1) every
+  // still-registered GPU of the domain — a correlated straggler (thermal
+  // event, oversubscribed host) rather than a crash.
+  void degrade_domain(std::size_t domain, double factor);
+
  private:
   ClusterConfig config_;
   sim::Executor* executor_;
@@ -54,6 +72,7 @@ class ClusterAssembly {
   std::vector<std::unique_ptr<gpu::PcieLink>> links_;
   std::vector<std::unique_ptr<gpu::VirtualGpu>> gpus_;
   std::vector<std::unique_ptr<GpuManager>> managers_;
+  std::vector<std::vector<GpuId>> domain_gpus_;  // domain ordinal -> members
   std::unique_ptr<SchedulerEngine> engine_;
 };
 

@@ -14,6 +14,9 @@
 //     (wall clock, optionally compressed via time_scale).
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "cache/cache_manager.h"
 #include "cluster/engine.h"
 #include "gpu/gpu_spec.h"
@@ -43,6 +46,19 @@ class ElasticCluster {
   // in-flight request fails through its completion hooks, local-queue
   // requests rejoin the global queue, and the GPU is retired.
   virtual void kill_gpu(GpuId gpu) = 0;
+
+  // --- failure domains (correlated chaos, src/chaos) ---
+  // A domain groups GPUs that fail together — one node's worth (shared
+  // host PCIe link + GPU Manager). Domain ordinals are stable for a run;
+  // a fully-killed domain keeps its ordinal with no registered members.
+  virtual std::size_t domain_count() const = 0;
+  virtual const std::vector<GpuId>& domain_gpus(std::size_t domain) const = 0;
+  // Kills every still-registered member of the domain in one step.
+  virtual void kill_domain(std::size_t domain) = 0;
+  // Gray-degrades (factor > 1) or heals (factor = 1) every
+  // still-registered member: executions stretch by `factor` while the
+  // scheduler keeps seeing healthy estimates.
+  virtual void degrade_domain(std::size_t domain, double factor) = 0;
 
   // Runs (simulated) or waits (wall clock) until every scheduled event has
   // fired and no further work is outstanding.

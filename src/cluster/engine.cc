@@ -32,7 +32,7 @@ GpuManager& SchedulerEngine::manager_for(GpuId gpu) {
   __builtin_unreachable();
 }
 
-void SchedulerEngine::submit(core::Request request) {
+void SchedulerEngine::detach_hook(core::Request& request) {
   // Detach the per-request hook before the request is copied through the
   // queues and GPU Manager lambdas; it is re-attached to the completion
   // (or failure) by id in notify_request_hook().
@@ -43,6 +43,10 @@ void SchedulerEngine::submit(core::Request request) {
     GFAAS_CHECK(inserted) << "duplicate in-flight request id " << request.id.value();
     request.on_complete = nullptr;
   }
+}
+
+void SchedulerEngine::submit(core::Request request) {
+  detach_hook(request);
   global_queue_.push(std::move(request));
   run_policy();
 }
@@ -154,6 +158,7 @@ void SchedulerEngine::start_execution(core::Request request, GpuId gpu, bool fal
   index_.record_dispatch(gpu);
   index_.mark_busy(gpu);
   ++in_flight_;
+  executing_[request.id.value()] = gpu;
   auto finish = manager_for(gpu).execute(
       request, gpu, false_miss, via_local_queue,
       [this](const core::CompletionRecord& record) { on_completion(record); });
@@ -165,6 +170,7 @@ void SchedulerEngine::start_execution(core::Request request, GpuId gpu, bool fal
 void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
   GFAAS_CHECK(in_flight_ > 0);
   --in_flight_;
+  executing_.erase(record.id.value());
   // The GPU Manager retired the inference before invoking us, so the GPU
   // is idle again as of this event.
   index_.mark_idle(record.gpu);
@@ -209,6 +215,7 @@ void SchedulerEngine::kill_gpu(GpuId gpu) {
     GFAAS_CHECK(aborted.ok()) << aborted.status().to_string();
     GFAAS_CHECK(in_flight_ > 0);
     --in_flight_;
+    executing_.erase(aborted->id.value());
     index_.mark_idle(gpu);
     failures_.push_back(*aborted);
     if (completion_hook_) completion_hook_(*aborted);
@@ -228,6 +235,129 @@ void SchedulerEngine::kill_gpu(GpuId gpu) {
   cache_->remove_gpu(gpu);
   update_duplicates_meter();
   run_policy();
+}
+
+bool SchedulerEngine::cancel_request(RequestId id) {
+  GFAAS_CHECK(id.valid());
+  // (1) Waiting in the global queue: drop it before any GPU commits.
+  if (global_queue_.find(id) != nullptr) {
+    GFAAS_CHECK(global_queue_.take(id).ok());
+    request_hooks_.erase(id.value());
+    return true;
+  }
+  // (2) Parked in a local queue: undo move_to_local — give back the pin
+  // and the work/pending aggregates the move charged to the GPU.
+  for (std::size_t i = 0; i < index_.gpu_count(); ++i) {
+    const GpuId gpu(static_cast<std::int64_t>(i));
+    if (!index_.is_registered(gpu) || local_queues_.empty(gpu)) continue;
+    if (auto req = local_queues_.remove(gpu, id)) {
+      index_.add_local_work(gpu, -infer_time(req->model, req->batch));
+      index_.pop_local_request(gpu);
+      GFAAS_CHECK(cache_->unpin(gpu, req->model).ok());
+      request_hooks_.erase(id.value());
+      return true;
+    }
+  }
+  // (3) Executing: abort through the GPU Manager. Unlike kill_gpu the GPU
+  // survives — it goes back to the idle set and can take waiting work
+  // immediately. The aborted record is discarded (the winner's completion
+  // is the result); only the wasted GPU-time is kept for the hedging
+  // overhead metric.
+  auto it = executing_.find(id.value());
+  if (it == executing_.end()) return false;
+  const GpuId gpu = it->second;
+  auto aborted = manager_for(gpu).abort(gpu);
+  GFAAS_CHECK(aborted.ok()) << aborted.status().to_string();
+  GFAAS_CHECK(in_flight_ > 0);
+  --in_flight_;
+  executing_.erase(it);
+  index_.mark_idle(gpu);
+  cancelled_execution_time_ += aborted->completed - aborted->dispatched;
+  ++cancellations_;
+  request_hooks_.erase(id.value());
+  update_duplicates_meter();
+  // Same serve-next chain as a completion: a draining GPU works through
+  // its local queue, everyone else goes back to the policy.
+  if (index_.is_fenced(gpu) && index_.local_pending(gpu) > 0) {
+    dispatch_from_local(gpu);
+  }
+  run_policy();
+  return true;
+}
+
+bool SchedulerEngine::request_waiting(RequestId id) const {
+  if (global_queue_.find(id) != nullptr) return true;
+  for (std::size_t i = 0; i < index_.gpu_count(); ++i) {
+    const GpuId gpu(static_cast<std::int64_t>(i));
+    if (!index_.is_registered(gpu)) continue;
+    for (const core::Request& req : local_queues_.queued(gpu)) {
+      if (req.id == id) return true;
+    }
+  }
+  return false;
+}
+
+GpuId SchedulerEngine::hedge_dispatch(core::Request request, RequestId primary) {
+  GpuId target;
+  bool target_cached = false;
+  for (const GpuId gpu : cache_->locations(request.model)) {
+    if (is_idle(gpu)) {
+      target = gpu;
+      target_cached = true;
+      break;
+    }
+  }
+  if (!target.valid()) {
+    const auto idle = index_.idle_gpus();
+    if (idle.empty()) return GpuId();
+    target = idle.back();
+  }
+  // Only duplicate when the copy is expected to win. The scheduler's own
+  // placement judged the primary's spot cheapest at the time, so an
+  // unconditional hedge loses almost every race and just burns the idle
+  // GPU. Re-run the comparison against the fleet as it stands NOW, with
+  // one extra signal the placement never had: overdueness. A GPU whose
+  // committed finish is already in the past while it is still busy is a
+  // straggler — every believed number about it is a lie, and the amount
+  // it is overdue is a *lower bound* on the extra delay (it is that late
+  // and still running). So the primary's effective cost is the believed
+  // queue-ahead work plus the overdueness of the GPU it sits on (an
+  // executing primary has no queue ahead — only overdueness can justify
+  // duplicating it). A primary still in the global queue has no committed
+  // placement at all: always worth duplicating onto an idle GPU.
+  const SimTime infer = infer_time(request.model, request.batch);
+  const SimTime hedge_eta =
+      (target_cached ? 0 : load_time(request.model)) + infer;
+  SimTime effective = kSimTimeMax;
+  const auto overdue_by = [this](GpuId gpu) {
+    return std::max<SimTime>(0, now() - index_.committed_finish(gpu));
+  };
+  const auto ex = executing_.find(primary.value());
+  if (ex != executing_.end()) {
+    effective = overdue_by(ex->second);
+  } else if (global_queue_.find(primary) == nullptr) {
+    for (std::size_t i = 0; i < index_.gpu_count() && effective == kSimTimeMax;
+         ++i) {
+      const GpuId gpu(static_cast<std::int64_t>(i));
+      if (!index_.is_registered(gpu) || local_queues_.empty(gpu)) continue;
+      SimTime work = 0;
+      for (const core::Request& req : local_queues_.queued(gpu)) {
+        if (req.id == primary) {
+          effective = work + overdue_by(gpu);
+          break;
+        }
+        work += infer_time(req.model, req.batch);
+      }
+    }
+    // Not executing, not global, not parked: the caller raced a terminal
+    // transition; decline and let it re-check.
+    if (effective == kSimTimeMax) return GpuId();
+  }
+  if (effective <= hedge_eta) return GpuId();
+  detach_hook(request);
+  start_execution(std::move(request), target, /*false_miss=*/false,
+                  /*via_local_queue=*/false);
+  return target;
 }
 
 void SchedulerEngine::update_duplicates_meter() {

@@ -73,6 +73,45 @@ class SchedulerEngine final : public core::SchedulingContext {
   std::size_t schedulable_gpu_count() const { return index_.schedulable_count(); }
   std::size_t idle_gpu_count() const { return index_.idle_count(); }
 
+  // --- retry / hedging support (src/gateway) ---
+  // Cancels a not-yet-completed request wherever it sits: waiting in the
+  // global queue, parked in a local queue (its model pin is given back),
+  // or executing on a GPU (aborted through the GPU Manager; the wasted
+  // GPU-time accrues to cancelled_execution_time()). The request's
+  // completion hook is dropped without firing — the caller owns result
+  // delivery for cancelled duplicates. Returns false if the request is
+  // unknown here (already completed, failed, or never submitted).
+  bool cancel_request(RequestId id);
+  // Whether the request is still queued (global or local), i.e. has not
+  // started executing — the hedging trigger: duplicating a request that
+  // is already running buys nothing.
+  bool request_waiting(RequestId id) const;
+  // Whether the request is currently executing on some GPU.
+  bool request_executing(RequestId id) const {
+    return executing_.count(id.value()) > 0;
+  }
+  // Dispatches a hedge duplicate directly onto an idle schedulable GPU,
+  // bypassing the queues: prefers an idle holder of the model (a warm
+  // duplicate finishes fastest), else the least-dispatched idle GPU (the
+  // classic LB pick). The duplicate only launches when its ETA on the
+  // target beats the work still queued ahead of `primary` (the original
+  // submission id) — otherwise the parked placement is still the right
+  // call and duplicating would waste the idle GPU. Returns the chosen
+  // GPU, or an invalid id when no idle GPU exists or the hedge cannot
+  // win — the caller re-arms its hedge timer.
+  GpuId hedge_dispatch(core::Request request, RequestId primary);
+  // Gray-degrades (or, with factor 1, heals) a GPU: executions run
+  // `factor`x slower while every estimate the scheduler sees stays at the
+  // healthy profile numbers (see GpuManager::set_slowdown). The straggler
+  // injection behind the hedging win.
+  void degrade_gpu(GpuId gpu, double factor) {
+    manager_for(gpu).set_slowdown(gpu, factor);
+  }
+  // GPU-time thrown away by cancel_request() aborts — the duplicate-work
+  // overhead hedging pays for its p99 win — and the cancellation count.
+  SimTime cancelled_execution_time() const { return cancelled_execution_time_; }
+  std::int64_t cancellations() const { return cancellations_; }
+
   // Optional per-completion hook (e.g. the Gateway resolving a future).
   void set_completion_hook(std::function<void(const core::CompletionRecord&)> hook) {
     completion_hook_ = std::move(hook);
@@ -138,6 +177,8 @@ class SchedulerEngine final : public core::SchedulingContext {
 
  private:
   GpuManager& manager_for(GpuId gpu);
+  // Moves request.on_complete into request_hooks_ (submit/hedge paths).
+  void detach_hook(core::Request& request);
   void run_policy();
   void start_execution(core::Request request, GpuId gpu, bool false_miss,
                        bool via_local_queue);
@@ -173,6 +214,12 @@ class SchedulerEngine final : public core::SchedulingContext {
   // Per-request hooks, detached from the Request at submit() so they ride
   // by id instead of being copied through the queues and GPU Managers.
   std::unordered_map<std::int64_t, core::CompletionHook> request_hooks_;
+  // Where each executing request runs (request id -> GPU), maintained at
+  // dispatch/completion/abort so cancel_request() can find its target
+  // without a fleet scan.
+  std::unordered_map<std::int64_t, GpuId> executing_;
+  SimTime cancelled_execution_time_ = 0;
+  std::int64_t cancellations_ = 0;
   ModelId tracked_model_;
   metrics::TimeWeightedAverage duplicates_meter_;
   metrics::TimeSeries latency_series_{minutes(1)};

@@ -48,14 +48,24 @@ class GpuManager {
   StatusOr<SimTime> execute(const core::Request& request, GpuId gpu, bool false_miss,
                             bool via_local_queue, CompletionCallback done);
 
-  // Aborts the request currently executing on `gpu` (the GPU died):
-  // cancels the pending load/completion event, forces the device idle,
-  // drops the execution pin, and returns the completion record marked
-  // failed with `completed` stopped at the kill instant. The registered
+  // Aborts the request currently executing on `gpu` (the GPU died, or a
+  // hedge loser is being cancelled): cancels the pending load/completion
+  // event, forces the device idle, drops the execution pin, evicts a
+  // half-loaded process (an interrupted upload must not linger as a
+  // phantom cache entry), and returns the completion record marked failed
+  // with `completed` stopped at the abort instant. The registered
   // CompletionCallback never fires for an aborted request — the caller
-  // (SchedulerEngine::kill_gpu) owns the failure notification. Must be
-  // invoked strictly before the request's completion instant.
+  // (SchedulerEngine kill_gpu / cancel_request) owns the notification.
+  // Must be invoked strictly before the request's completion instant.
   StatusOr<core::CompletionRecord> abort(GpuId gpu);
+
+  // Gray degradation (chaos): the GPU silently runs `factor`x slower —
+  // loads and inferences stretch, but execute() still *returns* the
+  // healthy profile-based finish estimate, so every scheduler estimate
+  // built on it (committed finish, parking decisions) goes stale exactly
+  // the way a real straggler's would. factor >= 1; 1 restores health.
+  void set_slowdown(GpuId gpu, double factor);
+  double slowdown(GpuId gpu) const;
 
   gpu::VirtualGpu& gpu_ref(GpuId gpu);
   const gpu::VirtualGpu& gpu_ref(GpuId gpu) const;
@@ -86,6 +96,8 @@ class GpuManager {
   std::unordered_map<std::int64_t, tensor::ModulePtr> runtime_models_;
   // In-flight executions by GPU id (one request per GPU at a time).
   std::unordered_map<std::int64_t, InFlightExecution> in_flight_;
+  // Active gray-degradation factors by GPU id (absent = healthy).
+  std::unordered_map<std::int64_t, double> slowdown_;
 };
 
 }  // namespace gfaas::cluster

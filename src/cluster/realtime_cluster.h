@@ -52,6 +52,14 @@ class RealTimeCluster final : public ElasticCluster {
   void remove_gpu(GpuId gpu) override { assembly_->engine().remove_gpu(gpu); }
   bool gpu_drained(GpuId gpu) const override { return assembly_->engine().drained(gpu); }
   void kill_gpu(GpuId gpu) override { assembly_->engine().kill_gpu(gpu); }
+  std::size_t domain_count() const override { return assembly_->domain_count(); }
+  const std::vector<GpuId>& domain_gpus(std::size_t domain) const override {
+    return assembly_->domain_gpus(domain);
+  }
+  void kill_domain(std::size_t domain) override { assembly_->kill_domain(domain); }
+  void degrade_domain(std::size_t domain, double factor) override {
+    assembly_->degrade_domain(domain, factor);
+  }
   // Blocks the calling thread until no events remain pending.
   void run_to_completion() override { executor_->drain(); }
 

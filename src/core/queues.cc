@@ -97,6 +97,20 @@ std::optional<Request> LocalQueues::pop_head(GpuId gpu) {
   return out;
 }
 
+std::optional<Request> LocalQueues::remove(GpuId gpu, RequestId id) {
+  const auto index = static_cast<std::size_t>(gpu.value());
+  GFAAS_CHECK(index < queues_.size());
+  auto& queue = queues_[index];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->id == id) {
+      Request out = std::move(*it);
+      queue.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
 const Request* LocalQueues::head(GpuId gpu) const {
   const auto index = static_cast<std::size_t>(gpu.value());
   GFAAS_CHECK(index < queues_.size());

@@ -90,6 +90,10 @@ class LocalQueues {
 
   void push(GpuId gpu, Request request);
   std::optional<Request> pop_head(GpuId gpu);
+  // Removes the request from the GPU's queue wherever it sits (hedging
+  // cancels a parked loser mid-queue; the head is the common case but a
+  // deep-waiting duplicate can win first). Nullopt if not queued there.
+  std::optional<Request> remove(GpuId gpu, RequestId id);
   const Request* head(GpuId gpu) const;
   std::size_t size(GpuId gpu) const;
   bool empty(GpuId gpu) const { return size(gpu) == 0; }

@@ -27,6 +27,10 @@ Gateway::Gateway(cluster::ElasticCluster* cluster, GatewayConfig config)
   GFAAS_CHECK(cluster_ != nullptr);
   GFAAS_CHECK(config_.default_slo >= 0 && config_.stats_window > 0);
   GFAAS_CHECK(config_.wait_budget_fraction > 0.0);
+  GFAAS_CHECK(config_.max_retries >= 0);
+  GFAAS_CHECK(config_.hedge_budget_fraction >= 0.0 &&
+              config_.hedge_budget_fraction < 1.0);
+  GFAAS_CHECK(config_.hedge_retry_interval > 0);
 }
 
 void Gateway::submit(core::Request request, ResultCallback done) {
@@ -108,11 +112,71 @@ SimTime Gateway::estimated_completion(const core::Request& request) const {
 void Gateway::admit(core::Request request, ResultCallback done) {
   ++counters_.admitted;
   ++in_flight_;
-  request.on_complete = [this, done = std::move(done)](
-                            const core::CompletionRecord& record) mutable {
-    on_engine_result(record, done);
+  const std::int64_t id = request.id.value();
+  // The hook routes back through route_ so retries (same id) and hedges
+  // (fresh id) all land in on_engine_result; the flight keeps a pristine
+  // request copy — hook included — to resubmit from.
+  request.on_complete = [this](const core::CompletionRecord& record) {
+    on_engine_result(record);
   };
+  Flight flight;
+  flight.request = request;
+  flight.done = std::move(done);
+  auto [it, inserted] = flights_.emplace(id, std::move(flight));
+  GFAAS_CHECK(inserted) << "duplicate in-flight gateway request id " << id;
+  route_[id] = id;
   cluster_->engine().submit(std::move(request));
+  if (config_.hedge_budget_fraction > 0 &&
+      it->second.request.deadline != kSimTimeMax) {
+    const core::Request& req = it->second.request;
+    const auto budget = static_cast<double>(req.deadline - req.arrival);
+    arm_hedge_timer(it->second,
+                    req.arrival + static_cast<SimTime>(
+                                      config_.hedge_budget_fraction * budget));
+  }
+}
+
+void Gateway::arm_hedge_timer(Flight& flight, SimTime fire_at) {
+  const std::int64_t id = flight.request.id.value();
+  const SimTime delay =
+      std::max<SimTime>(0, fire_at - cluster_->executor().now());
+  flight.hedge_event = cluster_->executor().schedule_after(
+      delay, [this, id] { on_hedge_timer(id); });
+}
+
+void Gateway::on_hedge_timer(std::int64_t id) {
+  auto it = flights_.find(id);
+  if (it == flights_.end()) return;  // resolved; stale timer
+  Flight& flight = it->second;
+  flight.hedge_event = 0;
+  if (flight.hedge_id >= 0) return;  // already hedged
+  const core::Request& req = flight.request;
+  const SimTime now = cluster_->executor().now();
+  if (now >= req.deadline) return;  // no budget left to race against
+  cluster::SchedulerEngine& engine = cluster_->engine();
+  // Only waiting requests are hedged. Duplicating an *executing* request
+  // was tried and hurts: every won race re-idles the straggling GPU,
+  // which immediately grabs (and slow-walks) the next request — the
+  // degradation spreads instead of being contained by its own
+  // backpressure. A parked primary, by contrast, cancels for free.
+  if (engine.request_executing(req.id)) return;  // dispatched: nothing to win
+  if (!engine.request_waiting(req.id)) return;   // failure being handled
+  core::Request hedge = flight.request;  // carries the routing hook
+  hedge.id = RequestId(next_hedge_id_++);
+  const std::int64_t hedge_id = hedge.id.value();
+  const GpuId gpu = engine.hedge_dispatch(std::move(hedge), req.id);
+  if (!gpu.valid()) {
+    // No idle GPU to duplicate onto, or the engine judged the duplicate
+    // a guaranteed loser against the primary's queue position. Re-check
+    // shortly; the timer retires itself once the deadline passes or the
+    // primary dispatches.
+    next_hedge_id_ = hedge_id;  // id unused; reclaim for determinism
+    arm_hedge_timer(flight, now + config_.hedge_retry_interval);
+    return;
+  }
+  flight.hedge_id = hedge_id;
+  route_[hedge_id] = id;
+  ++counters_.hedges;
 }
 
 void Gateway::resolve_locally(const core::Request& request, Disposition disposition,
@@ -134,8 +198,81 @@ void Gateway::resolve_locally(const core::Request& request, Disposition disposit
   done(result);
 }
 
-void Gateway::on_engine_result(const core::CompletionRecord& record,
-                               ResultCallback& done) {
+void Gateway::on_engine_result(const core::CompletionRecord& record) {
+  auto route = route_.find(record.id.value());
+  GFAAS_CHECK(route != route_.end())
+      << "engine result for unrouted id " << record.id.value();
+  const std::int64_t id = route->second;
+  route_.erase(route);
+  auto it = flights_.find(id);
+  GFAAS_CHECK(it != flights_.end()) << "engine result for retired flight " << id;
+  Flight& flight = it->second;
+  const bool is_hedge = record.id.value() != id;
+
+  if (!record.failed) {
+    // A winner. Cancel the losing copy (it may be queued or executing;
+    // the engine drops its hook silently either way) before resolving.
+    if (is_hedge) ++counters_.hedge_wins;
+    const std::int64_t loser = is_hedge ? id : flight.hedge_id;
+    const bool loser_live = is_hedge ? flight.primary_live : flight.hedge_id >= 0;
+    if (loser_live) {
+      GFAAS_CHECK(cluster_->engine().cancel_request(RequestId(loser)))
+          << "hedge loser " << loser << " neither queued nor executing";
+      route_.erase(loser);
+      if (!is_hedge) ++counters_.hedges_cancelled;
+    }
+    core::CompletionRecord normalized = record;
+    normalized.id = flight.request.id;
+    resolve_flight(it, normalized);
+    return;
+  }
+
+  // One copy died with its GPU. Remember the first cause — that is what
+  // the caller should see if everything else fails too.
+  if (is_hedge) {
+    flight.hedge_id = -1;
+  } else {
+    flight.primary_live = false;
+  }
+  if (!flight.failed_before) {
+    flight.first_failure = record;
+    flight.failed_before = true;
+  }
+  // While the other copy is still racing, swallow the failure: the flight
+  // can still complete normally (a domain kill that takes out both copies
+  // lands here twice; only the second fall-through decides).
+  if (flight.primary_live || flight.hedge_id >= 0) return;
+
+  // Every copy is dead: retry on surviving capacity, budget permitting.
+  const bool budget_left = flight.retries < config_.max_retries;
+  if (budget_left &&
+      estimated_completion(flight.request) <= flight.request.deadline) {
+    ++flight.retries;
+    ++counters_.retries;
+    ++model_stats_[flight.request.model.value()].retried;
+    flight.primary_live = true;
+    route_[id] = id;
+    cluster_->engine().submit(flight.request);
+    // The hedge timer (if hedging is on and none is pending) keeps
+    // covering the retry: re-arm against the remaining budget.
+    if (config_.hedge_budget_fraction > 0 && flight.hedge_event == 0 &&
+        flight.request.deadline != kSimTimeMax) {
+      arm_hedge_timer(flight, cluster_->executor().now() +
+                                  config_.hedge_retry_interval);
+    }
+    return;
+  }
+  if (budget_left) ++counters_.retries_denied;
+  core::CompletionRecord failure = flight.first_failure;
+  failure.id = flight.request.id;
+  resolve_flight(it, failure);
+}
+
+void Gateway::resolve_flight(FlightMap::iterator it,
+                             const core::CompletionRecord& record) {
+  Flight flight = std::move(it->second);
+  flights_.erase(it);
+  if (flight.hedge_event != 0) cluster_->executor().cancel(flight.hedge_event);
   GFAAS_CHECK(in_flight_ > 0);
   --in_flight_;
   ModelServingStats& stats = model_stats_[record.model.value()];
@@ -170,7 +307,7 @@ void Gateway::on_engine_result(const core::CompletionRecord& record,
   // the requests already waiting, not steal the slot this completion
   // just freed.
   drain_pending();
-  done(result);
+  flight.done(result);
 }
 
 void Gateway::drain_pending() {

@@ -22,7 +22,13 @@
 //     moments) and a trailing-window outcome record (latency quantiles,
 //     shed and deep-wait fractions) feed the SLO-aware scaling policy:
 //     the caller wires autoscale::SloAwarePolicy's probe callback to
-//     windowed_outcomes() (autoscale and gateway never link each other).
+//     windowed_outcomes() (autoscale and gateway never link each other);
+//   * resilience, off by default (GatewayConfig::max_retries / hedging):
+//     a failed request is transparently resubmitted on surviving
+//     capacity while its SLO budget allows, and a deep-waiting request
+//     is hedged — duplicated onto an idle GPU, first completion wins,
+//     the loser is cancelled through the engine's abort path — with the
+//     caller's callback still firing exactly once.
 //
 // Threading: the Gateway is not internally synchronized. On a
 // RealTimeCluster every submit() must run on the executor's worker
@@ -35,6 +41,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/elastic_cluster.h"
@@ -79,6 +86,29 @@ struct GatewayConfig {
   // A completion whose pre-dispatch wait exceeded this fraction of its
   // SLO budget (deadline - arrival) counts as a deep wait.
   double wait_budget_fraction = 0.25;
+
+  // --- failure resilience (chaos path). Both knobs default OFF so the
+  // serving path is byte-identical to the plain engine when unused (the
+  // bench_seed_digest guard).
+  //
+  // Transparent retry: a request whose completion hook fires failed=true
+  // (its GPU died) is resubmitted onto surviving capacity up to this many
+  // times before the caller sees kFailed. A retry is only spent when the
+  // engine's own finish-time estimate says it can still make the
+  // deadline; otherwise the failure is reported at once with the
+  // original cause.
+  int max_retries = 0;
+  // Tail-latency hedging: a request still waiting (not dispatched) after
+  // this fraction of its SLO budget (deadline - arrival) is duplicated
+  // onto an idle schedulable GPU — warm holder preferred, else the
+  // least-loaded. First completion wins; the loser is cancelled through
+  // the engine's abort path, and the caller's callback fires exactly
+  // once either way. 0 disables. Requests without a finite deadline are
+  // never hedged (no budget to race against).
+  double hedge_budget_fraction = 0.0;
+  // When the hedge trigger finds no idle GPU (fleet saturated), re-check
+  // after this long, until the deadline passes.
+  SimTime hedge_retry_interval = msec(50);
 };
 
 // Serving counters, whole-run.
@@ -90,6 +120,12 @@ struct GatewayCounters {
   std::int64_t shed = 0;
   std::int64_t expired = 0;
   std::int64_t failed = 0;
+  // --- resilience (see GatewayConfig::max_retries / hedging) ---
+  std::int64_t retries = 0;         // failed requests resubmitted
+  std::int64_t retries_denied = 0;  // retry budget left, but SLO budget gone
+  std::int64_t hedges = 0;          // duplicates launched
+  std::int64_t hedge_wins = 0;      // duplicate finished first
+  std::int64_t hedges_cancelled = 0;  // duplicates cancelled (primary won)
 };
 
 // Per-model serving stats (the serving twin of the per-policy grids).
@@ -99,6 +135,7 @@ struct ModelServingStats {
   std::int64_t shed = 0;
   std::int64_t expired = 0;
   std::int64_t failed = 0;
+  std::int64_t retried = 0;  // transparent resubmissions after a GPU death
   metrics::StreamingStats latency_s;  // completed requests only
 
   double slo_attainment() const {
@@ -176,10 +213,36 @@ class Gateway {
     ResultCallback done;
   };
 
+  // One admitted request until its callback resolves. The gateway may
+  // have up to two engine-side copies racing for it (the primary —
+  // possibly a retry reincarnation under the same id — and one hedge
+  // under a fresh id); `route_` maps engine-side ids back here.
+  struct Flight {
+    core::Request request;  // pristine copy for retries and hedges
+    ResultCallback done;
+    int retries = 0;
+    bool primary_live = true;
+    std::int64_t hedge_id = -1;      // engine id of the live hedge, -1 none
+    std::uint64_t hedge_event = 0;   // pending hedge-timer event, 0 none
+    // First failure seen, reported as the cause if every copy and retry
+    // dies (the caller learns what originally went wrong, not what the
+    // last doomed duplicate hit).
+    core::CompletionRecord first_failure;
+    bool failed_before = false;
+  };
+  using FlightMap = std::unordered_map<std::int64_t, Flight>;
+
   void admit(core::Request request, ResultCallback done);
   void resolve_locally(const core::Request& request, Disposition disposition,
                        ResultCallback& done);
-  void on_engine_result(const core::CompletionRecord& record, ResultCallback& done);
+  void on_engine_result(const core::CompletionRecord& record);
+  // Resolves the flight's callback with `record` (id already normalized
+  // to the caller's), retiring the flight and its pending hedge timer.
+  void resolve_flight(FlightMap::iterator it, const core::CompletionRecord& record);
+  // Schedules the flight's hedge trigger at hedge_budget_fraction of its
+  // SLO budget (no-op when hedging is off or the deadline is infinite).
+  void arm_hedge_timer(Flight& flight, SimTime fire_at);
+  void on_hedge_timer(std::int64_t id);
   // Admits from the pending queue while the window has room, expiring
   // requests whose deadline passed while they waited.
   void drain_pending();
@@ -196,6 +259,14 @@ class Gateway {
 
   std::size_t in_flight_ = 0;
   std::deque<PendingRequest> pending_;
+
+  // Admitted-but-unresolved requests by their original (caller) id, and
+  // the engine-side id -> original id routing for completions. Hedge
+  // duplicates get ids from a disjoint namespace so they can never
+  // collide with client ids.
+  FlightMap flights_;
+  std::unordered_map<std::int64_t, std::int64_t> route_;
+  std::int64_t next_hedge_id_ = std::int64_t{1} << 40;
 
   GatewayCounters counters_;
   std::map<std::int64_t, ModelServingStats> model_stats_;

@@ -29,4 +29,8 @@ TransferTiming PcieLink::reserve(SimTime now, Bytes bytes) {
   return timing;
 }
 
+void PcieLink::cancel_reservation(const TransferTiming& timing) {
+  if (busy_until_ == timing.end) busy_until_ = timing.start;
+}
+
 }  // namespace gfaas::gpu

@@ -33,6 +33,14 @@ class PcieLink {
   // returns actual start (after any queued transfer) and end.
   TransferTiming reserve(SimTime now, Bytes bytes);
 
+  // Releases a reservation whose transfer was aborted (the GPU died
+  // mid-upload). Only the most recent reservation can be rolled back: the
+  // link serializes transfers, so once a later transfer has queued behind
+  // this one, un-queueing it would double-book the slot — in that case the
+  // reservation is forfeited (conservative). transfers_completed() /
+  // bytes_transferred() count reservations and are not rolled back.
+  void cancel_reservation(const TransferTiming& timing);
+
   SimTime busy_until() const { return busy_until_; }
   std::int64_t transfers_completed() const { return transfers_; }
   Bytes bytes_transferred() const { return bytes_total_; }

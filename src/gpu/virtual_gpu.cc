@@ -78,6 +78,7 @@ StatusOr<SimTime> VirtualGpu::begin_load(SimTime now, ProcessId process,
   const TransferTiming transfer = host_link_->reserve(now, proc->memory.total);
   const SimTime queue_delay = transfer.start - now;
   const SimTime end = now + queue_delay + std::max(scaled, transfer.duration());
+  load_transfer_ = transfer;
   phase_ = GpuPhase::kLoading;
   busy_until_ = end;
   sm_meter_.set(now, 0.0);  // SMs idle during upload (§V-C)
@@ -128,6 +129,9 @@ StatusOr<SimTime> VirtualGpu::begin_inference(SimTime now, ProcessId process,
 Status VirtualGpu::abort_execution(SimTime now) {
   if (phase_ == GpuPhase::kIdle) {
     return Status::FailedPrecondition("gpu idle; nothing to abort");
+  }
+  if (phase_ == GpuPhase::kLoading) {
+    host_link_->cancel_reservation(load_transfer_);
   }
   phase_ = GpuPhase::kIdle;
   busy_until_ = now;

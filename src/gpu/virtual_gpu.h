@@ -88,10 +88,13 @@ class VirtualGpu {
                                     SimTime infer_time, std::int64_t batch);
   Status finish_inference(SimTime now, ProcessId process);
 
-  // Aborts the in-flight load or inference at `now` (the GPU died, chaos
-  // path): the device returns to idle and its SMs stop accruing
-  // occupancy. Resident processes stay; the caller decides their fate
-  // (a killed GPU is retired wholesale via CacheManager::remove_gpu).
+  // Aborts the in-flight load or inference at `now` (the GPU died or the
+  // request was cancelled, chaos/hedging paths): the device returns to
+  // idle and its SMs stop accruing occupancy. An aborted upload releases
+  // its PCIe reservation so co-located GPUs stop queueing behind a
+  // transfer that will never finish. Resident processes stay; the caller
+  // decides their fate (the GPU Manager evicts a half-loaded process, a
+  // killed GPU is retired wholesale via CacheManager::remove_gpu).
   Status abort_execution(SimTime now);
 
   // --- observable state (what the Datastore publishes) ---
@@ -116,6 +119,9 @@ class VirtualGpu {
 
   GpuPhase phase_ = GpuPhase::kIdle;
   SimTime busy_until_ = 0;
+  // The in-flight upload's link reservation (valid while kLoading), so an
+  // abort can hand the slot back to the shared host link.
+  TransferTiming load_transfer_;
   metrics::TimeWeightedAverage sm_meter_;
   GpuCounters counters_;
 };

@@ -10,9 +10,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "autoscale/slo_policy.h"
+#include "common/rng.h"
 #include "gateway/gateway.h"
 #include "testing/builders.h"
 #include "trace/clients.h"
@@ -442,6 +444,381 @@ TEST(SloAwarePolicyTest, EnvelopeFloorBacksCleanScaleDowns) {
     gpus -= last.remove;
   }
   EXPECT_EQ(gpus, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Transparent retry: budget edge cases
+// ---------------------------------------------------------------------------
+
+TEST(GatewayRetryTest, TransparentRetryCompletesAfterGpuDeath) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).build();
+  GatewayConfig config;
+  config.max_retries = 2;
+  config.default_slo = sec(30);
+  Gateway gateway(cluster.get(), config);
+  Collector collector;
+
+  cluster->simulator().schedule_at(0, [&] {
+    gateway.submit(serving_request(0, 0), collector.callback(0));
+  });
+  cluster->simulator().schedule_at(msec(2000), [&] {
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 1u);
+    cluster->kill_gpu(busy[0]);  // mid-load; the budget covers a retry
+  });
+  cluster->run_to_completion();
+
+  // The caller saw one clean completion; the death stayed internal.
+  ASSERT_EQ(collector.outcomes.size(), 1u);
+  EXPECT_EQ(collector.outcomes[0].disposition, Disposition::kCompleted);
+  EXPECT_EQ(gateway.counters().retries, 1);
+  EXPECT_EQ(gateway.counters().completed, 1);
+  EXPECT_EQ(gateway.counters().failed, 0);
+  EXPECT_EQ(gateway.model_stats().at(0).retried, 1);
+  // The engine still logged the killed incarnation as a failure.
+  EXPECT_EQ(cluster->engine().failures().size(), 1u);
+  EXPECT_EQ(gateway.in_flight(), 0u);
+}
+
+TEST(GatewayRetryTest, RetryDeniedWhenSloBudgetAlreadySpent) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).build();
+  GatewayConfig config;
+  config.max_retries = 2;
+  config.default_slo = sec(3);  // a fresh cold load (~3.7s) cannot make it
+  Gateway gateway(cluster.get(), config);
+
+  GatewayResult seen;
+  std::size_t calls = 0;
+  cluster->simulator().schedule_at(0, [&] {
+    gateway.submit(serving_request(0, 0), [&](const GatewayResult& result) {
+      seen = result;
+      ++calls;
+    });
+  });
+  GpuId victim;
+  cluster->simulator().schedule_at(msec(2000), [&] {
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 1u);
+    victim = busy[0];
+    cluster->kill_gpu(victim);
+  });
+  cluster->run_to_completion();
+
+  // Retry budget remained, but the SLO budget was gone: the failure is
+  // reported at once instead of burning a GPU on a doomed resubmission.
+  ASSERT_EQ(calls, 1u);
+  EXPECT_EQ(seen.disposition, Disposition::kFailed);
+  EXPECT_EQ(seen.record.gpu, victim);
+  EXPECT_EQ(gateway.counters().retries, 0);
+  EXPECT_EQ(gateway.counters().retries_denied, 1);
+  EXPECT_EQ(gateway.counters().failed, 1);
+}
+
+TEST(GatewayRetryTest, ExhaustionReportsTheOriginalCause) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).build();
+  GatewayConfig config;
+  config.max_retries = 1;
+  config.default_slo = sec(30);
+  Gateway gateway(cluster.get(), config);
+
+  GatewayResult seen;
+  std::size_t calls = 0;
+  cluster->simulator().schedule_at(0, [&] {
+    gateway.submit(serving_request(0, 0), [&](const GatewayResult& result) {
+      seen = result;
+      ++calls;
+    });
+  });
+  GpuId first_victim;
+  cluster->simulator().schedule_at(msec(2000), [&] {
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 1u);
+    first_victim = busy[0];
+    cluster->kill_gpu(first_victim);  // retry moves to the survivor
+  });
+  cluster->simulator().schedule_at(msec(4500), [&] {
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 1u);
+    ASSERT_NE(busy[0], first_victim);
+    cluster->kill_gpu(busy[0]);  // and dies again, budget exhausted
+  });
+  cluster->run_to_completion();
+
+  // The caller learns what originally went wrong — the first GPU's death
+  // — not whatever the last doomed incarnation happened to hit.
+  ASSERT_EQ(calls, 1u);
+  EXPECT_EQ(seen.disposition, Disposition::kFailed);
+  EXPECT_EQ(seen.record.gpu, first_victim);
+  EXPECT_EQ(gateway.counters().retries, 1);
+  EXPECT_EQ(gateway.counters().retries_denied, 0);
+  EXPECT_EQ(gateway.counters().failed, 1);
+  EXPECT_EQ(gateway.in_flight(), 0u);
+}
+
+TEST(GatewayRetryTest, RetryDuringBurstKeepsWindowInvariants) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).build();
+  GatewayConfig config;
+  config.max_in_flight = 2;
+  config.max_pending = 8;
+  config.max_retries = 2;
+  config.default_slo = minutes(5);  // generous: nothing sheds on estimate
+  Gateway gateway(cluster.get(), config);
+  Collector collector;
+
+  constexpr std::int64_t kBurst = 6;
+  cluster->simulator().schedule_at(0, [&] {
+    for (std::int64_t i = 0; i < kBurst; ++i) {
+      gateway.submit(serving_request(i, i % 2), collector.callback(i));
+    }
+    EXPECT_EQ(gateway.in_flight(), 2u);
+    EXPECT_EQ(gateway.pending(), 4u);
+  });
+  cluster->simulator().schedule_at(msec(2000), [&] {
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_FALSE(busy.empty());
+    cluster->kill_gpu(busy[0]);
+  });
+  cluster->run_to_completion();
+
+  // The retry rides the same window slot as the original admission: the
+  // pending queue keeps draining and every burst member resolves exactly
+  // once, all as completions.
+  ASSERT_EQ(collector.outcomes.size(), static_cast<std::size_t>(kBurst));
+  for (std::int64_t i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(std::count_if(collector.outcomes.begin(), collector.outcomes.end(),
+                            [&](const Outcome& o) { return o.id == i; }),
+              1)
+        << "request " << i;
+  }
+  EXPECT_EQ(collector.count(Disposition::kCompleted),
+            static_cast<std::size_t>(kBurst));
+  EXPECT_GE(gateway.counters().retries, 1);
+  EXPECT_EQ(gateway.counters().shed, 0);
+  EXPECT_EQ(gateway.in_flight(), 0u);
+  EXPECT_EQ(gateway.pending(), 0u);
+  EXPECT_EQ(cluster->engine().pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hedging: exactly-once under every interleaving
+// ---------------------------------------------------------------------------
+
+// A gray-degraded GPU makes the parked primary overdue; the hedge fires,
+// wins on a healthy GPU, and the parked primary is cancelled for free.
+TEST(GatewayHedgeTest, HedgeWinsAndCancelsParkedPrimary) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(2).build();
+  GatewayConfig config;
+  config.default_slo = sec(12);
+  config.hedge_budget_fraction = 0.1;
+  Gateway gateway(cluster.get(), config);
+  Collector collector;
+
+  GpuId straggler;
+  cluster->simulator().schedule_at(0, [&] {
+    // Slowdown is sampled at dispatch, so degrade both GPUs before the
+    // submit: whichever takes request 0 becomes the straggler (10x slower
+    // while its believed ~3.7s finish stays published); the other is
+    // healed right back and stays the healthy hedge target.
+    for (std::int64_t i = 0; i < 2; ++i) {
+      cluster->engine().degrade_gpu(GpuId(i), 10.0);
+    }
+    gateway.submit(serving_request(0, 0), collector.callback(0));
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 1u);
+    straggler = busy[0];
+    for (std::int64_t i = 0; i < 2; ++i) {
+      if (GpuId(i) != straggler) cluster->engine().degrade_gpu(GpuId(i), 1.0);
+    }
+  });
+  cluster->simulator().schedule_at(msec(2000), [&] {
+    // Parks behind the straggler (believed residual ~1.7s < ~2.4s load).
+    gateway.submit(serving_request(1, 0), collector.callback(1));
+    ASSERT_EQ(cluster->engine().local_queues().size(straggler), 1u);
+  });
+  cluster->run_to_completion();
+
+  // The hedge launched once the straggler's overdueness exceeded the
+  // duplicate's cold ETA, won on the healthy GPU, and cancelled the
+  // parked primary without wasting any GPU time on it.
+  ASSERT_EQ(collector.outcomes.size(), 2u);
+  EXPECT_EQ(collector.count(Disposition::kCompleted), 2u);
+  EXPECT_EQ(gateway.counters().hedges, 1);
+  EXPECT_EQ(gateway.counters().hedge_wins, 1);
+  EXPECT_EQ(gateway.counters().hedges_cancelled, 0);
+  // A parked loser is a queue removal, not an abort: no cancellation is
+  // metered and no GPU-time is wasted.
+  EXPECT_EQ(cluster->engine().cancellations(), 0);
+  EXPECT_EQ(cluster->engine().cancelled_execution_time(), 0);
+  EXPECT_EQ(cluster->engine().pending(), 0u);
+  EXPECT_EQ(gateway.in_flight(), 0u);
+  for (const GpuId gpu : cluster->engine().idle_gpus()) {
+    EXPECT_FALSE(cluster->cache().state(gpu).any_pinned());
+  }
+}
+
+TEST(GatewayHedgeTest, BothCopiesKilledStillResolvesExactlyOnce) {
+  auto cluster = testkit::ClusterBuilder().nodes(1).gpus_per_node(4).build();
+  GatewayConfig config;
+  config.default_slo = sec(12);
+  config.hedge_budget_fraction = 0.1;
+  config.max_retries = 0;
+  Gateway gateway(cluster.get(), config);
+
+  std::size_t calls_a = 0, calls_b = 0;
+  GatewayResult seen_b;
+  GpuId straggler, hedge_gpu, primary_gpu;
+  cluster->simulator().schedule_at(0, [&] {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      cluster->engine().degrade_gpu(GpuId(i), 10.0);
+    }
+    gateway.submit(serving_request(0, 0),
+                   [&](const GatewayResult&) { ++calls_a; });
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 1u);
+    straggler = busy[0];
+    for (std::int64_t i = 0; i < 4; ++i) {
+      if (GpuId(i) != straggler) cluster->engine().degrade_gpu(GpuId(i), 1.0);
+    }
+  });
+  cluster->simulator().schedule_at(msec(2000), [&] {
+    gateway.submit(serving_request(1, 0), [&](const GatewayResult& result) {
+      seen_b = result;
+      ++calls_b;
+    });
+    ASSERT_EQ(cluster->engine().local_queues().size(straggler), 1u);
+  });
+  // By t=8s the hedge has launched (overdueness beat the cold ETA around
+  // t~7.5s). Kill the straggler: request 0 fails, the parked primary
+  // requeues and dispatches onto a second healthy GPU — both copies of
+  // request 1 now execute. Then kill them both.
+  cluster->simulator().schedule_at(sec(8), [&] {
+    ASSERT_EQ(gateway.counters().hedges, 1);
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 2u);
+    hedge_gpu = busy[0] == straggler ? busy[1] : busy[0];
+    cluster->kill_gpu(straggler);
+  });
+  cluster->simulator().schedule_at(msec(8200), [&] {
+    // The requeued primary landed on a second healthy GPU.
+    const auto busy = cluster->engine().busy_gpus();
+    ASSERT_EQ(busy.size(), 2u);
+    primary_gpu = busy[0] == hedge_gpu ? busy[1] : busy[0];
+    ASSERT_NE(primary_gpu, straggler);
+  });
+  cluster->simulator().schedule_at(msec(8500), [&] {
+    cluster->kill_gpu(primary_gpu);  // first copy down; hedge still racing
+  });
+  cluster->simulator().schedule_at(sec(9), [&] {
+    cluster->kill_gpu(hedge_gpu);  // second copy down; no retries left
+  });
+  cluster->run_to_completion();
+
+  // Both the straggling request and the doubly-killed request resolved
+  // exactly once, the latter with the first copy's death as the cause.
+  EXPECT_EQ(calls_a, 1u);
+  ASSERT_EQ(calls_b, 1u);
+  EXPECT_EQ(seen_b.disposition, Disposition::kFailed);
+  EXPECT_EQ(seen_b.record.gpu, primary_gpu);
+  EXPECT_EQ(gateway.counters().failed, 2);
+  EXPECT_EQ(gateway.counters().completed, 0);
+  EXPECT_EQ(gateway.counters().hedges, 1);
+  EXPECT_EQ(gateway.counters().hedge_wins, 0);
+  EXPECT_EQ(gateway.in_flight(), 0u);
+  EXPECT_EQ(cluster->engine().pending(), 0u);
+  EXPECT_EQ(cluster->engine().schedulable_gpu_count(), 1u);
+  for (const GpuId gpu : cluster->engine().idle_gpus()) {
+    EXPECT_FALSE(cluster->cache().state(gpu).any_pinned());
+  }
+}
+
+// Randomized interleavings: gray degradation plus random GPU kills over
+// many seeds exercise hedge-vs-kill races the deterministic tests cannot
+// enumerate (primary killed while hedged, hedge killed mid-load, kills
+// landing between the trigger and the dispatch, ...). The invariant under
+// every interleaving: each submission resolves exactly once, and nothing
+// — window slots, engine queue entries, cache pins — leaks.
+TEST(GatewayHedgeTest, ExactlyOnceUnderRandomizedChaosSweep) {
+  std::int64_t total_hedges = 0;
+  std::int64_t total_kills = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto cluster =
+        testkit::ClusterBuilder().nodes(2).gpus_per_node(2).models(4).build();
+    GatewayConfig config;
+    config.max_in_flight = 32;
+    config.default_slo = sec(20);
+    config.max_retries = 2;
+    config.hedge_budget_fraction = 0.1;
+    Gateway gateway(cluster.get(), config);
+    auto rng = std::make_shared<Rng>(seed);
+
+    std::unordered_map<std::int64_t, int> calls;
+    trace::ClientSink sink = [&](core::Request request,
+                                 std::function<void()> done) {
+      const std::int64_t id = request.id.value();
+      gateway.submit(std::move(request),
+                     [&calls, id, done = std::move(done)](const GatewayResult&) {
+                       ++calls[id];
+                       done();
+                     });
+    };
+    trace::ClientConfig client_config;
+    client_config.model_count = 4;
+    client_config.seed = seed;
+    trace::OpenLoopClient client(&cluster->simulator(), sink, client_config,
+                                 {90, 90});
+
+    const std::int64_t gpu_count =
+        static_cast<std::int64_t>(cluster->gpu_count());
+    cluster->simulator().schedule_at(0, [&, rng] {
+      // One hidden straggler per run: the overdueness source hedges need.
+      const GpuId gpu(static_cast<std::int64_t>(
+          rng->next_below(static_cast<std::uint64_t>(gpu_count))));
+      cluster->engine().degrade_gpu(gpu, 8.0);
+    });
+    std::int64_t kills = 0;
+    for (int k = 0; k < 3; ++k) {
+      const SimTime at =
+          sec(5) + static_cast<SimTime>(rng->next_below(sec(110)));
+      cluster->simulator().schedule_at(at, [&, rng] {
+        std::vector<GpuId> registered;
+        for (std::int64_t i = 0; i < gpu_count; ++i) {
+          if (cluster->engine().is_registered(GpuId(i))) {
+            registered.push_back(GpuId(i));
+          }
+        }
+        if (registered.size() <= 1) return;  // never go extinct
+        cluster->kill_gpu(registered[rng->next_below(registered.size())]);
+        ++kills;
+      });
+    }
+
+    client.start();
+    cluster->run_to_completion();
+
+    EXPECT_EQ(client.completed(), client.submitted()) << "seed " << seed;
+    EXPECT_EQ(calls.size(), client.submitted()) << "seed " << seed;
+    for (const auto& [id, count] : calls) {
+      EXPECT_EQ(count, 1) << "seed " << seed << " request " << id;
+    }
+    const GatewayCounters& counters = gateway.counters();
+    EXPECT_EQ(counters.completed + counters.shed + counters.expired +
+                  counters.failed,
+              counters.submitted)
+        << "seed " << seed;
+    EXPECT_EQ(gateway.in_flight(), 0u) << "seed " << seed;
+    EXPECT_EQ(gateway.pending(), 0u) << "seed " << seed;
+    EXPECT_EQ(cluster->engine().pending(), 0u) << "seed " << seed;
+    for (std::int64_t i = 0; i < gpu_count; ++i) {
+      if (!cluster->engine().is_registered(GpuId(i))) continue;
+      EXPECT_FALSE(cluster->cache().state(GpuId(i)).any_pinned())
+          << "seed " << seed << " gpu " << i;
+    }
+    total_hedges += counters.hedges;
+    total_kills += kills;
+  }
+  // The sweep must actually have exercised the machinery.
+  EXPECT_GT(total_hedges, 0);
+  EXPECT_GT(total_kills, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -140,11 +140,14 @@ TEST(RealTimeExecutorTest, ReverseFireOrderStaysFast) {
   // smallest id (the old code walked the whole index on every fire —
   // quadratic, well over the bound at this size). To actually produce
   // that order the deadlines must descend with the index *despite* now()
-  // advancing while we post: a 2s-wall base keeps every event pending
-  // until posting finishes, and the 20ms-sim spacing dwarfs the per-post
-  // now() drift (~1ms sim, ~10ms under sanitizers). The keyed erase makes
-  // the run O(n log n); the wall bound is loose on purpose — it separates
-  // "a few seconds" from "minutes", not jitter from no jitter.
+  // advancing while we post: each delay is computed against a fixed
+  // absolute target (base + spacing * reverse-index) minus now() at post
+  // time, so per-post drift cancels instead of accumulating into the
+  // order — TSan's 10-20x post cost would otherwise invert a third of
+  // the neighbors. The 2s-wall base keeps every target in the future
+  // until posting finishes. The keyed erase makes the run O(n log n);
+  // the wall bound is loose on purpose — it separates "a few seconds"
+  // from "minutes", not jitter from no jitter.
   RealTimeExecutor executor(/*time_scale=*/1000.0);
   constexpr int kEvents = 60000;
   std::vector<int> order;
@@ -152,8 +155,8 @@ TEST(RealTimeExecutorTest, ReverseFireOrderStaysFast) {
   std::mutex order_mu;
   const auto wall_start = std::chrono::steady_clock::now();
   for (int i = 0; i < kEvents; ++i) {
-    const SimTime deadline = sec(2000) + msec(20) * (kEvents - i);
-    executor.schedule_after(deadline, [&order, &order_mu, i] {
+    const SimTime target = sec(2000) + msec(20) * (kEvents - i);
+    executor.schedule_after(target - executor.now(), [&order, &order_mu, i] {
       std::lock_guard<std::mutex> lock(order_mu);
       order.push_back(i);
     });
