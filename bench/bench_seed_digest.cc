@@ -17,6 +17,13 @@
 //
 //   ./build/bench_seed_digest > direct.txt
 //   ./build/bench_seed_digest --via-gateway | diff direct.txt -
+//
+// --via-gateway --batch additionally funnels every same-arrival burst
+// through Gateway::submit_batch (the shape the concurrent ingestion
+// path produces), proving bulk admission makes exactly the same
+// decisions as per-request admission:
+//
+//   ./build/bench_seed_digest --via-gateway --batch | diff direct.txt -
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -77,7 +84,29 @@ cluster::IngestFactory gateway_ingest() {
   };
 }
 
-int run(bool via_gateway) {
+// Bulk twin: same gateway, but each same-arrival burst enters through
+// one submit_batch call (the memoized-admission path under test).
+cluster::BatchIngestFactory gateway_batch_ingest() {
+  return [](cluster::ElasticCluster& cluster) {
+    gateway::GatewayConfig config;
+    config.max_in_flight = std::numeric_limits<std::size_t>::max();
+    config.default_slo = 0;  // no deadline stamping
+    auto gw = std::make_shared<gateway::Gateway>(&cluster, config);
+    return [gw](std::vector<core::Request> burst) {
+      std::vector<gateway::Submission> cells;
+      cells.reserve(burst.size());
+      for (core::Request& request : burst) {
+        cells.push_back(gateway::Submission{
+            std::move(request), [](const gateway::GatewayResult& result) {
+              GFAAS_CHECK(result.disposition == gateway::Disposition::kCompleted);
+            }});
+      }
+      gw->submit_batch(std::move(cells));
+    };
+  };
+}
+
+int run(bool via_gateway, bool batch) {
   GridOptions options;
   for (std::size_t ws : options.working_sets) {
     trace::WorkloadConfig wconfig;
@@ -91,9 +120,12 @@ int run(bool via_gateway) {
       config.o3_limit = options.o3_limit;
       config.cache_policy = options.cache_policy;
       std::vector<core::CompletionRecord> records;
-      const auto r = cluster::run_experiment(
-          config, *workload, &records,
-          via_gateway ? gateway_ingest() : cluster::IngestFactory());
+      const auto r =
+          batch ? cluster::run_experiment_batched(config, *workload, &records,
+                                                  gateway_batch_ingest())
+                : cluster::run_experiment(
+                      config, *workload, &records,
+                      via_gateway ? gateway_ingest() : cluster::IngestFactory());
       std::printf("ws=%zu policy=%s requests=%zu\n", ws, r.policy.c_str(), r.requests);
       std::printf("  avg_latency_s=%a variance=%a p50=%a p95=%a p99=%a\n",
                   r.avg_latency_s, r.latency_variance_s2, r.p50_latency_s,
@@ -115,13 +147,20 @@ int run(bool via_gateway) {
 
 int main(int argc, char** argv) {
   bool via_gateway = false;
+  bool batch = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--via-gateway") == 0) {
       via_gateway = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
     }
   }
-  return gfaas::bench::run(via_gateway);
+  if (batch && !via_gateway) {
+    std::fprintf(stderr, "--batch requires --via-gateway\n");
+    return 1;
+  }
+  return gfaas::bench::run(via_gateway, batch);
 }

@@ -1,50 +1,20 @@
 #include "cluster/experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.h"
 #include "metrics/stats.h"
 
 namespace gfaas::cluster {
+namespace {
 
-SimCluster::SimCluster(const ClusterConfig& config,
-                       const models::ModelRegistry& registry)
-    : simulator_(std::make_unique<sim::Simulator>()),
-      assembly_(std::make_unique<ClusterAssembly>(simulator_.get(), config, registry)) {}
-
-SimCluster::~SimCluster() = default;
-
-SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
-  return replay(requests,
-                [this](core::Request req) { engine().submit(std::move(req)); });
-}
-
-SimTime SimCluster::replay(const std::vector<core::Request>& requests,
-                           const std::function<void(core::Request)>& submit) {
-  for (const core::Request& req : requests) {
-    simulator_->schedule_at(req.arrival, [&submit, req]() { submit(req); });
-  }
-  simulator_->run();
-  GFAAS_CHECK(engine().pending() == 0)
-      << engine().pending() << " requests stranded after replay";
-  SimTime makespan = 0;
-  for (const auto& record : engine().completions()) {
-    makespan = std::max(makespan, record.completed);
-  }
-  return makespan;
-}
-
-ExperimentResult run_experiment(const ClusterConfig& config,
-                                const trace::Workload& workload,
-                                std::vector<core::CompletionRecord>* completions_out,
-                                const IngestFactory& ingest) {
-  SimCluster cluster(config, workload.registry);
-  cluster.engine().track_duplicates_of(workload.top_model);
-
-  const SimTime makespan =
-      ingest ? cluster.replay(workload.requests, ingest(cluster))
-             : cluster.replay(workload.requests);
-
+// Shared metric aggregation for both ingestion shapes: the numbers are
+// functions of the completion stream and the assembled cluster only, not
+// of how requests entered.
+ExperimentResult aggregate_result(
+    SimCluster& cluster, const trace::Workload& workload, SimTime makespan,
+    std::vector<core::CompletionRecord>* completions_out) {
   const auto& completions = cluster.engine().completions();
   GFAAS_CHECK(completions.size() == workload.requests.size());
 
@@ -85,6 +55,86 @@ ExperimentResult run_experiment(const ClusterConfig& config,
   result.makespan_s = sim_to_seconds(makespan);
   if (completions_out != nullptr) *completions_out = completions;
   return result;
+}
+
+}  // namespace
+
+SimCluster::SimCluster(const ClusterConfig& config,
+                       const models::ModelRegistry& registry)
+    : simulator_(std::make_unique<sim::Simulator>()),
+      assembly_(std::make_unique<ClusterAssembly>(simulator_.get(), config, registry)) {}
+
+SimCluster::~SimCluster() = default;
+
+SimTime SimCluster::replay(const std::vector<core::Request>& requests) {
+  return replay(requests,
+                [this](core::Request req) { engine().submit(std::move(req)); });
+}
+
+SimTime SimCluster::replay(const std::vector<core::Request>& requests,
+                           const std::function<void(core::Request)>& submit) {
+  for (const core::Request& req : requests) {
+    simulator_->schedule_at(req.arrival, [&submit, req]() { submit(req); });
+  }
+  simulator_->run();
+  GFAAS_CHECK(engine().pending() == 0)
+      << engine().pending() << " requests stranded after replay";
+  SimTime makespan = 0;
+  for (const auto& record : engine().completions()) {
+    makespan = std::max(makespan, record.completed);
+  }
+  return makespan;
+}
+
+SimTime SimCluster::replay_batched(
+    const std::vector<core::Request>& requests,
+    const std::function<void(std::vector<core::Request>)>& submit) {
+  std::size_t i = 0;
+  while (i < requests.size()) {
+    std::size_t j = i + 1;
+    while (j < requests.size() && requests[j].arrival == requests[i].arrival) {
+      ++j;
+    }
+    std::vector<core::Request> burst(requests.begin() + i, requests.begin() + j);
+    simulator_->schedule_at(
+        requests[i].arrival,
+        [&submit, burst = std::move(burst)]() mutable { submit(std::move(burst)); });
+    i = j;
+  }
+  simulator_->run();
+  GFAAS_CHECK(engine().pending() == 0)
+      << engine().pending() << " requests stranded after replay";
+  SimTime makespan = 0;
+  for (const auto& record : engine().completions()) {
+    makespan = std::max(makespan, record.completed);
+  }
+  return makespan;
+}
+
+ExperimentResult run_experiment(const ClusterConfig& config,
+                                const trace::Workload& workload,
+                                std::vector<core::CompletionRecord>* completions_out,
+                                const IngestFactory& ingest) {
+  SimCluster cluster(config, workload.registry);
+  cluster.engine().track_duplicates_of(workload.top_model);
+
+  const SimTime makespan =
+      ingest ? cluster.replay(workload.requests, ingest(cluster))
+             : cluster.replay(workload.requests);
+  return aggregate_result(cluster, workload, makespan, completions_out);
+}
+
+ExperimentResult run_experiment_batched(
+    const ClusterConfig& config, const trace::Workload& workload,
+    std::vector<core::CompletionRecord>* completions_out,
+    const BatchIngestFactory& ingest) {
+  GFAAS_CHECK(ingest != nullptr);
+  SimCluster cluster(config, workload.registry);
+  cluster.engine().track_duplicates_of(workload.top_model);
+
+  const SimTime makespan =
+      cluster.replay_batched(workload.requests, ingest(cluster));
+  return aggregate_result(cluster, workload, makespan, completions_out);
 }
 
 }  // namespace gfaas::cluster

@@ -48,6 +48,15 @@ struct ExperimentResult {
 using IngestFactory =
     std::function<std::function<void(core::Request)>(ElasticCluster&)>;
 
+// Bulk twin of IngestFactory: the returned function receives a whole
+// same-arrival burst at once, the shape the concurrent ingestion path
+// delivers (ConcurrentIngress drains a backlog into one
+// Gateway::submit_batch). bench_seed_digest --via-gateway --batch uses
+// this to prove bulk admission is decision-identical to per-request
+// admission.
+using BatchIngestFactory = std::function<std::function<void(
+    std::vector<core::Request>)>(ElasticCluster&)>;
+
 // Runs one experiment (deterministic for a given config + workload).
 // `completions`, when non-null, receives the full completion-record
 // stream (bench_seed_digest hashes it without a second simulation).
@@ -55,6 +64,14 @@ ExperimentResult run_experiment(
     const ClusterConfig& config, const trace::Workload& workload,
     std::vector<core::CompletionRecord>* completions = nullptr,
     const IngestFactory& ingest = nullptr);
+
+// run_experiment with bulk ingestion: consecutive same-arrival requests
+// enter as one burst through `ingest` (required). Metrics are aggregated
+// identically to run_experiment.
+ExperimentResult run_experiment_batched(
+    const ClusterConfig& config, const trace::Workload& workload,
+    std::vector<core::CompletionRecord>* completions,
+    const BatchIngestFactory& ingest);
 
 // A fully-assembled simulated cluster, for callers that need to drive the
 // simulation themselves (examples, integration tests, the Gateway
@@ -79,6 +96,16 @@ class SimCluster final : public ElasticCluster {
   SimTime replay(const std::vector<core::Request>& requests);
   SimTime replay(const std::vector<core::Request>& requests,
                  const std::function<void(core::Request)>& submit);
+
+  // Bulk replay: consecutive requests sharing an arrival time are handed
+  // to `submit` as one burst in a single simulator event. Because every
+  // submission event is scheduled upfront (lowest sequence numbers),
+  // same-time submissions already fire back-to-back before any same-time
+  // completion — so grouping them preserves engine behavior exactly;
+  // only the ingestion call shape changes.
+  SimTime replay_batched(
+      const std::vector<core::Request>& requests,
+      const std::function<void(std::vector<core::Request>)>& submit);
 
   // --- ElasticCluster (elastic membership driven by autoscale::Autoscaler) ---
   sim::Executor& executor() override { return *simulator_; }

@@ -46,23 +46,42 @@ std::uint64_t RealTimeExecutor::schedule_after(SimTime delay, std::function<void
   return id;
 }
 
+std::uint64_t RealTimeExecutor::post(std::function<void()> fn) {
+  GFAAS_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  ready_.push_back(Ready{id, now(), next_seq_++, std::move(fn)});
+  ready_live_.insert(id);
+  cv_.notify_all();
+  return id;
+}
+
 bool RealTimeExecutor::cancel(std::uint64_t event_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_id_.find(event_id);
-  if (it == by_id_.end()) return false;
-  events_.erase(it->second);
-  by_id_.erase(it);
-  ++cancelled_;
-  // Wake the worker: it may be sleeping until this event's deadline (or
-  // holding drain() callers hostage to it). It re-evaluates the head and
-  // notifies drained_cv_ itself if the queue is now empty.
-  cv_.notify_all();
-  return true;
+  if (it != by_id_.end()) {
+    events_.erase(it->second);
+    by_id_.erase(it);
+    ++cancelled_;
+    // Wake the worker: it may be sleeping until this event's deadline (or
+    // holding drain() callers hostage to it). It re-evaluates the head and
+    // notifies drained_cv_ itself if the queue is now empty.
+    cv_.notify_all();
+    return true;
+  }
+  if (ready_live_.erase(event_id) > 0) {
+    // The deque entry stays behind as a tombstone; the worker scrubs it
+    // (and releases its closure) on its next pass.
+    ++cancelled_;
+    cv_.notify_all();
+    return true;
+  }
+  return false;
 }
 
 std::size_t RealTimeExecutor::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_.size() + (running_ ? 1 : 0);
+  return events_.size() + ready_live_.size() + (running_ ? 1 : 0);
 }
 
 std::uint64_t RealTimeExecutor::fired_count() const {
@@ -77,35 +96,60 @@ std::uint64_t RealTimeExecutor::cancelled_count() const {
 
 void RealTimeExecutor::drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return events_.empty() && !running_; });
+  drained_cv_.wait(lock, [this] {
+    return events_.empty() && ready_live_.empty() && !running_;
+  });
 }
 
 void RealTimeExecutor::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
-    if (events_.empty()) {
+    // Scrub cancelled ready tombstones so their closures are released
+    // promptly and the emptiness checks below see the true state.
+    while (!ready_.empty() && ready_live_.count(ready_.front().id) == 0) {
+      ready_.pop_front();
+    }
+    if (events_.empty() && ready_.empty()) {
       drained_cv_.notify_all();
-      cv_.wait(lock, [this] { return stop_ || !events_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || !events_.empty() || !ready_.empty();
+      });
       continue;
     }
-    const auto next = events_.begin();
-    const SimTime fire_at = next->first.first;
-    if (now() < fire_at) {
-      cv_.wait_until(lock, deadline_for(fire_at));
-      continue;  // re-evaluate: an earlier event may have been added
+    // Pick the earlier of the ready head and the timed head by
+    // (when, seq). Ready items are always due (stamped when <= now), so
+    // whenever the timed head wins that comparison it is due too
+    // (timed.when <= ready.when <= now) — the worker only sleeps when
+    // the ready deque is empty.
+    std::function<void()> fn;
+    const auto timed = events_.begin();
+    const bool ready_first =
+        !ready_.empty() &&
+        (events_.empty() ||
+         std::make_pair(ready_.front().when, ready_.front().seq) < timed->first);
+    if (ready_first) {
+      fn = std::move(ready_.front().fn);
+      ready_live_.erase(ready_.front().id);
+      ready_.pop_front();
+    } else {
+      const SimTime fire_at = timed->first.first;
+      if (ready_.empty() && now() < fire_at) {
+        cv_.wait_until(lock, deadline_for(fire_at));
+        continue;  // re-evaluate: an earlier event may have been added
+      }
+      fn = std::move(timed->second.fn);
+      // Keyed erase of the id index: O(log n), matching cancel(). (A
+      // value scan here made every fire O(n) and a run quadratic.)
+      by_id_.erase(timed->second.id);
+      events_.erase(timed);
     }
-    std::function<void()> fn = std::move(next->second.fn);
-    // Keyed erase of the id index: O(log n), matching cancel(). (A
-    // value scan here made every fire O(n) and a run quadratic.)
-    by_id_.erase(next->second.id);
-    events_.erase(next);
     ++fired_;
     running_ = true;
     lock.unlock();
     fn();
     lock.lock();
     running_ = false;
-    if (events_.empty()) drained_cv_.notify_all();
+    if (events_.empty() && ready_live_.empty()) drained_cv_.notify_all();
   }
 }
 

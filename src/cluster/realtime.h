@@ -7,14 +7,22 @@
 // thread, which is exactly the isolation the (single-threaded) engine
 // expects. External threads hand work in via post() and synchronize with
 // drain().
+//
+// post() is the ingestion fast path: immediate work skips the timed
+// event map (two ordered-map inserts plus a keyed erase per fire) and
+// goes onto a plain ready deque — one push, one hash-set insert — while
+// keeping the global (when, seq) firing order against timed events and
+// exact fired/cancelled accounting.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "sim/simulator.h"
 
@@ -38,10 +46,10 @@ class RealTimeExecutor final : public sim::Executor {
   std::uint64_t schedule_after(SimTime delay, std::function<void()> fn) override;
   bool cancel(std::uint64_t event_id) override;
 
-  // Runs fn on the worker thread as soon as possible.
-  std::uint64_t post(std::function<void()> fn) {
-    return schedule_after(0, std::move(fn));
-  }
+  // Runs fn on the worker thread as soon as possible, FIFO with respect
+  // to other post() calls and ordered by (when, seq) against timed
+  // events. Cancellable like any scheduled event until it runs.
+  std::uint64_t post(std::function<void()> fn) override;
 
   // Blocks until no events remain pending (due or future).
   void drain();
@@ -49,8 +57,9 @@ class RealTimeExecutor final : public sim::Executor {
   std::size_t pending() const;
 
   // Lifetime counters (regression guards: fired + cancelled must account
-  // for every schedule_after, and firing is O(log n) — the worker erases
-  // the id index by key, never by scanning it).
+  // for every schedule_after AND post, and firing is O(log n) on the
+  // timed path — the worker erases the id index by key, never by
+  // scanning it — and O(1) amortized on the ready path).
   std::uint64_t fired_count() const;
   std::uint64_t cancelled_count() const;
 
@@ -61,6 +70,16 @@ class RealTimeExecutor final : public sim::Executor {
   // quadratic over a run).
   struct Scheduled {
     std::uint64_t id;
+    std::function<void()> fn;
+  };
+
+  // A post()ed item: `when` is the now() observed at post time so the
+  // worker can merge ready work with timed events in (when, seq) order
+  // — post() keeps exactly the firing position schedule_after(0) had.
+  struct Ready {
+    std::uint64_t id;
+    SimTime when;
+    std::uint64_t seq;
     std::function<void()> fn;
   };
 
@@ -75,6 +94,11 @@ class RealTimeExecutor final : public sim::Executor {
   // (fire time in scaled µs, sequence) -> scheduled callback.
   std::map<std::pair<SimTime, std::uint64_t>, Scheduled> events_;
   std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> by_id_;
+  // post() fast path: FIFO deque of ready work plus the live-id set that
+  // makes cancel O(1) (a cancelled entry stays in the deque as a
+  // tombstone the worker scrubs; ready_live_.size() is the true count).
+  std::deque<Ready> ready_;
+  std::unordered_set<std::uint64_t> ready_live_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;

@@ -1,0 +1,73 @@
+#include "concurrent/callback_executor.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace gfaas::concurrent {
+
+CallbackExecutor::CallbackExecutor() {
+  worker_ = std::thread([this] { loop(); });
+}
+
+CallbackExecutor::~CallbackExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void CallbackExecutor::post(std::function<void()> fn) {
+  GFAAS_CHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GFAAS_CHECK(!stop_) << "post() on a stopping CallbackExecutor";
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void CallbackExecutor::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+std::uint64_t CallbackExecutor::executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+std::size_t CallbackExecutor::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (running_ ? 1 : 0);
+}
+
+void CallbackExecutor::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<std::function<void()>> batch;
+  for (;;) {
+    if (queue_.empty()) {
+      drained_cv_.notify_all();
+      if (stop_) return;  // queue drained before exit, nothing dropped
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    // Swap the whole backlog out: one lock per pass, FIFO preserved.
+    batch.assign(std::make_move_iterator(queue_.begin()),
+                 std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    running_ = true;
+    lock.unlock();
+    for (std::function<void()>& fn : batch) fn();
+    const std::uint64_t ran = batch.size();
+    batch.clear();
+    lock.lock();
+    running_ = false;
+    executed_ += ran;
+  }
+}
+
+}  // namespace gfaas::concurrent

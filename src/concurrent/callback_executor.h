@@ -1,0 +1,64 @@
+// Dedicated completion-callback thread: the fan-out side of the
+// concurrent ingestion path.
+//
+// The scheduler runs on the executor's single worker thread; a client
+// completion callback that blocks (logging, an RPC reply, a slow
+// downstream) would stall every dispatch behind it. The Gateway instead
+// hands resolved results here (Gateway::set_callback_executor) and the
+// worker thread returns to scheduling immediately.
+//
+// Guarantees:
+//   * FIFO: callbacks run in post() order (one consumer thread, one
+//     ordered queue), so results delivered by the Gateway keep the
+//     engine's completion order — and each request's single resolution
+//     stays exactly-once by construction.
+//   * post() never blocks on a running callback: the producer takes one
+//     uncontended-in-the-common-case mutex push; the consumer swaps the
+//     whole backlog out under one lock per pass.
+//   * drain() blocks until everything posted so far has finished.
+//
+// Destruction runs every callback already posted, then joins the thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace gfaas::concurrent {
+
+class CallbackExecutor {
+ public:
+  CallbackExecutor();
+  ~CallbackExecutor();
+
+  CallbackExecutor(const CallbackExecutor&) = delete;
+  CallbackExecutor& operator=(const CallbackExecutor&) = delete;
+
+  // Thread-safe; `fn` runs on the callback thread, after everything
+  // posted before it.
+  void post(std::function<void()> fn);
+
+  // Blocks the calling thread (never the callback thread) until the
+  // queue is empty and no callback is mid-flight.
+  void drain();
+
+  std::uint64_t executed() const;
+  std::size_t pending() const;
+
+ private:
+  void loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t executed_ = 0;
+  bool running_ = false;  // a batch of callbacks is executing
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace gfaas::concurrent

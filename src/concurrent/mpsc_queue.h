@@ -1,0 +1,128 @@
+// Bounded lock-free MPSC queue: the submission path between client
+// threads and the executor worker (gateway::ConcurrentIngress).
+//
+// A Vyukov-style bounded ring of cells, each carrying a sequence number
+// that encodes its lap: producers claim the tail with an atomic
+// compare-exchange (no lock, no syscall on the fast path), write the
+// cell, then publish it by bumping the cell's sequence; the single
+// consumer walks the head and observes cells strictly in publish order.
+// A full ring fails the push immediately — backpressure surfaces to the
+// producer as `false`, never as blocking — and a claimed-but-unpublished
+// cell pauses the consumer only until its producer finishes the two-word
+// write.
+//
+// Threading contract: any number of producers may call try_push
+// concurrently; try_pop/drain must only ever run on ONE thread at a time
+// (they are not synchronized against each other). approx_size() is safe
+// anywhere and approximate by nature.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace gfaas::concurrent {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  // `capacity` must be a power of two (the ring index is a mask).
+  explicit BoundedMpscQueue(std::size_t capacity)
+      : mask_(capacity - 1), cells_(new Cell[capacity]) {
+    GFAAS_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0)
+        << "MPSC capacity must be a power of two, got " << capacity;
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Multi-producer enqueue. Moves from `value` ONLY on success; on a full
+  // queue the caller keeps ownership (retry, shed, or park — producer's
+  // choice). Lock-free: the only loop is CAS contention with other
+  // producers, never a wait on the consumer.
+  bool try_push(T& value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free this lap: claim it by advancing the tail.
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // Lost the claim race; `pos` was reloaded by compare_exchange.
+      } else if (dif < 0) {
+        // A full lap behind: the consumer has not freed this cell.
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Single-consumer dequeue. Returns false when the queue is empty or the
+  // head cell is claimed but not yet published (its producer is mid-write;
+  // the armed-drain protocol in ConcurrentIngress guarantees a later pass).
+  bool try_pop(T& out) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0) {
+      return false;
+    }
+    out = std::move(cell.value);
+    cell.value = T();  // release captured resources now, not a lap later
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Single-consumer bulk drain: pops everything published at call time
+  // (and whatever publishes while draining) into `out` in queue order.
+  // Returns the number drained.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t drained = 0;
+    T item;
+    while (try_pop(item)) {
+      out.push_back(std::move(item));
+      ++drained;
+    }
+    return drained;
+  }
+
+  // Published-but-unconsumed count; racy snapshot, for stats only.
+  std::size_t approx_size() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  static constexpr std::size_t kCacheLine = 64;
+
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers share tail_; the consumer owns head_ (atomic only so
+  // approx_size() can read it from other threads).
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace gfaas::concurrent

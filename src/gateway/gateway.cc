@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "concurrent/callback_executor.h"
 
 namespace gfaas::gateway {
 
@@ -31,9 +32,22 @@ Gateway::Gateway(cluster::ElasticCluster* cluster, GatewayConfig config)
   GFAAS_CHECK(config_.hedge_budget_fraction >= 0.0 &&
               config_.hedge_budget_fraction < 1.0);
   GFAAS_CHECK(config_.hedge_retry_interval > 0);
+  resilient_ = config_.max_retries > 0 || config_.hedge_budget_fraction > 0;
 }
 
 void Gateway::submit(core::Request request, ResultCallback done) {
+  submit_one(std::move(request), std::move(done), nullptr);
+}
+
+void Gateway::submit_batch(std::vector<Submission> batch) {
+  BatchMemo memo;
+  for (Submission& cell : batch) {
+    submit_one(std::move(cell.request), std::move(cell.done), &memo);
+  }
+}
+
+void Gateway::submit_one(core::Request request, ResultCallback done,
+                         BatchMemo* memo) {
   GFAAS_CHECK(done != nullptr);
   const SimTime now = cluster_->executor().now();
   request.arrival = now;
@@ -55,6 +69,9 @@ void Gateway::submit(core::Request request, ResultCallback done) {
     return;
   }
   if (in_flight_ < config_.max_in_flight) {
+    // Admission mutates the engine (global queue, dispatch state): any
+    // memoized fleet scan from earlier in the batch is stale now.
+    if (memo != nullptr) memo->valid = false;
     admit(std::move(request), std::move(done));
     return;
   }
@@ -63,7 +80,7 @@ void Gateway::submit(core::Request request, ResultCallback done) {
   // of the backlog; otherwise shedding now is strictly kinder than an
   // expiry later.
   if (pending_.size() >= config_.max_pending ||
-      estimated_completion(request) > request.deadline) {
+      estimated_completion_impl(request, memo) > request.deadline) {
     resolve_locally(request, Disposition::kShed, done);
     return;
   }
@@ -71,31 +88,54 @@ void Gateway::submit(core::Request request, ResultCallback done) {
 }
 
 SimTime Gateway::estimated_completion(const core::Request& request) const {
-  const cluster::SchedulerEngine& engine = cluster_->engine();
-  const SimTime now = cluster_->executor().now();
-  const std::size_t fleet = engine.schedulable_gpu_count();
-  if (fleet == 0) return kSimTimeMax;
+  return estimated_completion_impl(request, nullptr);
+}
 
-  // When the engine's committed work (in-flight inference plus the local
-  // queues, per the engine's own §IV-A finish-time estimates) drains, on
-  // average across the schedulable fleet. The mean — not the min — is
-  // what a request at the back of the backlog actually experiences: the
-  // scheduler spreads the backlog over every GPU, not just the soonest.
-  // Idle GPUs contribute `now` each; no need to enumerate them (this
-  // runs per submission under overload, exactly when it matters).
-  std::size_t counted = engine.idle_gpu_count();
-  double mean_finish = static_cast<double>(now) * static_cast<double>(counted);
-  for (const GpuId gpu : engine.busy_gpus()) {
-    if (engine.is_fenced(gpu)) continue;  // draining: takes no new work
-    mean_finish += static_cast<double>(
-        std::max(now, engine.estimated_finish_time(gpu)));
-    ++counted;
+SimTime Gateway::estimated_completion_impl(const core::Request& request,
+                                           BatchMemo* memo) const {
+  const cluster::SchedulerEngine& engine = cluster_->engine();
+  BatchMemo local;
+  BatchMemo* scan = memo != nullptr ? memo : &local;
+  if (!scan->valid) {
+    scan->now = cluster_->executor().now();
+    scan->fleet = engine.schedulable_gpu_count();
+    scan->counted = 0;
+    scan->mean_finish = 0.0;
+    scan->global_queue = 0;
+    if (scan->fleet > 0) {
+      // When the engine's committed work (in-flight inference plus the
+      // local queues, per the engine's own §IV-A finish-time estimates)
+      // drains, on average across the schedulable fleet. The mean — not
+      // the min — is what a request at the back of the backlog actually
+      // experiences: the scheduler spreads the backlog over every GPU,
+      // not just the soonest. Idle GPUs contribute `now` each; no need
+      // to enumerate them (this runs per submission under overload,
+      // exactly when it matters — and once per *batch* on the bulk
+      // path: admissions are the only engine mutations a submission can
+      // cause, so between admissions this scan is invariant).
+      scan->counted = engine.idle_gpu_count();
+      scan->mean_finish =
+          static_cast<double>(scan->now) * static_cast<double>(scan->counted);
+      for (const GpuId gpu : engine.busy_gpus()) {
+        if (engine.is_fenced(gpu)) continue;  // draining: takes no new work
+        scan->mean_finish += static_cast<double>(
+            std::max(scan->now, engine.estimated_finish_time(gpu)));
+        ++scan->counted;
+      }
+      if (scan->counted > 0) {
+        scan->mean_finish /= static_cast<double>(scan->counted);
+      }
+      scan->global_queue = engine.global_queue().size();
+    }
+    scan->valid = true;
   }
-  if (counted == 0) return kSimTimeMax;  // whole fleet draining
-  mean_finish /= static_cast<double>(counted);
+  if (scan->fleet == 0) return kSimTimeMax;
+  if (scan->counted == 0) return kSimTimeMax;  // whole fleet draining
 
   // The request's own demand: a cold load unless the model is warm
-  // somewhere the scheduler can route to.
+  // somewhere the scheduler can route to. Always read live — it is
+  // request-specific, and so is pending_.size() below, which the batch
+  // itself grows.
   const SimTime service =
       (engine.cache().cached_anywhere(request.model)
            ? 0
@@ -104,9 +144,9 @@ SimTime Gateway::estimated_completion(const core::Request& request) const {
   // Backlog ahead of this request that the committed-finish estimates do
   // not cover yet — the engine's global queue plus our own pending queue
   // — spread across the fleet, each round costing about one service time.
-  const std::size_t ahead = engine.global_queue().size() + pending_.size();
-  const auto rounds = static_cast<SimTime>(ahead / fleet);
-  return static_cast<SimTime>(mean_finish) + service * (1 + rounds);
+  const std::size_t ahead = scan->global_queue + pending_.size();
+  const auto rounds = static_cast<SimTime>(ahead / scan->fleet);
+  return static_cast<SimTime>(scan->mean_finish) + service * (1 + rounds);
 }
 
 void Gateway::admit(core::Request request, ResultCallback done) {
@@ -115,16 +155,28 @@ void Gateway::admit(core::Request request, ResultCallback done) {
   const std::int64_t id = request.id.value();
   // The hook routes back through route_ so retries (same id) and hedges
   // (fresh id) all land in on_engine_result; the flight keeps a pristine
-  // request copy — hook included — to resubmit from.
+  // request copy — hook included — to resubmit from. Without resilience
+  // there is nothing to resubmit: keep only the scalar header (no
+  // string, no visit history, no hook copy — the admitted fast path
+  // then allocates nothing per flight beyond the map node).
   request.on_complete = [this](const core::CompletionRecord& record) {
     on_engine_result(record);
   };
   Flight flight;
-  flight.request = request;
+  if (resilient_) {
+    flight.request = request;
+  } else {
+    flight.request.id = request.id;
+    flight.request.function = request.function;
+    flight.request.model = request.model;
+    flight.request.batch = request.batch;
+    flight.request.arrival = request.arrival;
+    flight.request.deadline = request.deadline;
+  }
   flight.done = std::move(done);
   auto [it, inserted] = flights_.emplace(id, std::move(flight));
   GFAAS_CHECK(inserted) << "duplicate in-flight gateway request id " << id;
-  route_[id] = id;
+  if (resilient_) route_[id] = id;
   cluster_->engine().submit(std::move(request));
   if (config_.hedge_budget_fraction > 0 &&
       it->second.request.deadline != kSimTimeMax) {
@@ -195,15 +247,29 @@ void Gateway::resolve_locally(const core::Request& request, Disposition disposit
     ++counters_.expired;
     ++stats.expired;
   }
-  done(result);
+  deliver(std::move(done), result);
+}
+
+void Gateway::deliver(ResultCallback&& done, const GatewayResult& result) {
+  if (callbacks_ == nullptr) {
+    done(result);
+    return;
+  }
+  callbacks_->post([done = std::move(done), result] { done(result); });
 }
 
 void Gateway::on_engine_result(const core::CompletionRecord& record) {
-  auto route = route_.find(record.id.value());
-  GFAAS_CHECK(route != route_.end())
-      << "engine result for unrouted id " << record.id.value();
-  const std::int64_t id = route->second;
-  route_.erase(route);
+  std::int64_t id;
+  if (resilient_) {
+    auto route = route_.find(record.id.value());
+    GFAAS_CHECK(route != route_.end())
+        << "engine result for unrouted id " << record.id.value();
+    id = route->second;
+    route_.erase(route);
+  } else {
+    // No retries, no hedges: the engine-side id IS the flight id.
+    id = record.id.value();
+  }
   auto it = flights_.find(id);
   GFAAS_CHECK(it != flights_.end()) << "engine result for retired flight " << id;
   Flight& flight = it->second;
@@ -307,7 +373,7 @@ void Gateway::resolve_flight(FlightMap::iterator it,
   // the requests already waiting, not steal the slot this completion
   // just freed.
   drain_pending();
-  flight.done(result);
+  deliver(std::move(flight.done), result);
 }
 
 void Gateway::drain_pending() {

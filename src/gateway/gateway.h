@@ -10,6 +10,11 @@
 //   * submit(request, done) stamps arrival and deadline (arrival + SLO),
 //     and resolves `done` exactly once with the request's disposition —
 //     completed, shed, expired, or failed (GPU died mid-request);
+//   * submit_batch(cells) is the bulk form the concurrent ingestion path
+//     drains into: one burst of submissions shares a single fleet-scan
+//     finish-time estimate (memoized between admissions, invalidated by
+//     each one), producing exactly the same shed-vs-queue decisions as
+//     submitting the cells one at a time (bench_seed_digest-guarded);
 //   * admission is a bounded in-flight window: at most max_in_flight
 //     requests live inside the engine at once. A submission over the
 //     window faces the shed-vs-queue decision: the Gateway estimates the
@@ -30,10 +35,17 @@
 //     the loser is cancelled through the engine's abort path — with the
 //     caller's callback still firing exactly once.
 //
-// Threading: the Gateway is not internally synchronized. On a
-// RealTimeCluster every submit() must run on the executor's worker
-// thread (schedule the submission, as the trace/ client generators do);
-// completions already arrive there.
+// Threading: the Gateway's own state is not internally synchronized —
+// submit()/submit_batch() and engine completions all run on the
+// executor's worker thread. Client threads do not schedule submissions
+// themselves anymore: they push {request, callback} cells into a
+// ConcurrentIngress (gateway/ingress.h), whose lock-free MPSC queue the
+// worker drains into submit_batch() in one pass. Completion-callback
+// fan-out can be moved off the worker thread with
+// set_callback_executor(): every resolution is then posted, in
+// resolution order, to a dedicated concurrent::CallbackExecutor thread,
+// so a slow client callback can never stall dispatch. Callbacks remain
+// exactly-once per request either way.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +59,10 @@
 #include "cluster/elastic_cluster.h"
 #include "core/request.h"
 #include "metrics/stats.h"
+
+namespace gfaas::concurrent {
+class CallbackExecutor;
+}  // namespace gfaas::concurrent
 
 namespace gfaas::gateway {
 
@@ -69,6 +85,14 @@ struct GatewayResult {
 };
 
 using ResultCallback = std::function<void(const GatewayResult&)>;
+
+// One unit of ingestion: what a producer thread enqueues and what
+// submit_batch consumes. Default-constructible so it can live in the
+// MPSC ring's cells.
+struct Submission {
+  core::Request request;
+  ResultCallback done;
+};
 
 struct GatewayConfig {
   // Admission window: requests concurrently inside the engine (global
@@ -185,8 +209,25 @@ class Gateway {
   // Submits one request for serving. Stamps request.arrival = now and,
   // when the request carries no deadline, deadline = now + default_slo.
   // `done` fires exactly once — possibly synchronously (shed / expired /
-  // zero window), otherwise at completion or failure.
+  // zero window), otherwise at completion or failure. (With a callback
+  // executor attached, "synchronously" becomes "posted immediately".)
   void submit(core::Request request, ResultCallback done);
+
+  // Bulk admission for a drained ingestion burst: submits every cell in
+  // order, amortizing the window check and the fleet-scan half of the
+  // finish-time estimate over the batch. Decisions are identical to
+  // calling submit() per cell — the memoized scan is invalidated by
+  // every admission, and only engine-invariant stretches reuse it.
+  void submit_batch(std::vector<Submission> batch);
+
+  // Routes every future result callback (and the synchronous shed /
+  // expired answers) through `callbacks` instead of invoking them on the
+  // executor's worker thread. Pass nullptr to restore inline delivery.
+  // Must be set before the first submission; `callbacks` must outlive
+  // the gateway's last resolution.
+  void set_callback_executor(concurrent::CallbackExecutor* callbacks) {
+    callbacks_ = callbacks;
+  }
 
   // Estimated completion time of `request` were it admitted now: the
   // earliest schedulable-GPU availability by the engine's finish-time
@@ -216,7 +257,10 @@ class Gateway {
   // One admitted request until its callback resolves. The gateway may
   // have up to two engine-side copies racing for it (the primary —
   // possibly a retry reincarnation under the same id — and one hedge
-  // under a fresh id); `route_` maps engine-side ids back here.
+  // under a fresh id); `route_` maps engine-side ids back here. When
+  // resilience is off (resilient_ == false) the flight keeps only the
+  // request's scalar header — no string / visit-history / hook copies —
+  // and routing is the identity, skipping route_ entirely.
   struct Flight {
     core::Request request;  // pristine copy for retries and hedges
     ResultCallback done;
@@ -232,9 +276,29 @@ class Gateway {
   };
   using FlightMap = std::unordered_map<std::int64_t, Flight>;
 
+  // Batch-scoped cache of the fleet scan inside estimated_completion.
+  // Valid only while the engine is untouched: every admission (the only
+  // engine mutation a submission can cause) invalidates it. Everything
+  // request-specific (service time, cache warmth) and everything the
+  // batch itself mutates (pending_.size()) is always read live.
+  struct BatchMemo {
+    bool valid = false;
+    SimTime now = 0;
+    double mean_finish = 0.0;
+    std::size_t counted = 0;
+    std::size_t fleet = 0;
+    std::size_t global_queue = 0;
+  };
+
+  void submit_one(core::Request request, ResultCallback done, BatchMemo* memo);
+  SimTime estimated_completion_impl(const core::Request& request,
+                                    BatchMemo* memo) const;
   void admit(core::Request request, ResultCallback done);
   void resolve_locally(const core::Request& request, Disposition disposition,
                        ResultCallback& done);
+  // Invokes `done` with `result` — inline, or posted to the callback
+  // executor when one is attached. Consumes `done`.
+  void deliver(ResultCallback&& done, const GatewayResult& result);
   void on_engine_result(const core::CompletionRecord& record);
   // Resolves the flight's callback with `record` (id already normalized
   // to the caller's), retiring the flight and its pending hedge timer.
@@ -256,6 +320,11 @@ class Gateway {
 
   cluster::ElasticCluster* cluster_;
   GatewayConfig config_;
+  // Retries or hedging enabled: flights keep full pristine request
+  // copies and engine-side ids go through route_. Off (the common
+  // serving path), both per-submission costs are skipped.
+  bool resilient_ = false;
+  concurrent::CallbackExecutor* callbacks_ = nullptr;
 
   std::size_t in_flight_ = 0;
   std::deque<PendingRequest> pending_;
@@ -263,7 +332,7 @@ class Gateway {
   // Admitted-but-unresolved requests by their original (caller) id, and
   // the engine-side id -> original id routing for completions. Hedge
   // duplicates get ids from a disjoint namespace so they can never
-  // collide with client ids.
+  // collide with client ids. route_ is only populated when resilient_.
   FlightMap flights_;
   std::unordered_map<std::int64_t, std::int64_t> route_;
   std::int64_t next_hedge_id_ = std::int64_t{1} << 40;

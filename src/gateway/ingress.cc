@@ -1,0 +1,51 @@
+#include "gateway/ingress.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace gfaas::gateway {
+
+ConcurrentIngress::ConcurrentIngress(Gateway* gateway, sim::Executor* executor,
+                                     std::size_t capacity)
+    : gateway_(gateway), executor_(executor), queue_(capacity) {
+  GFAAS_CHECK(gateway_ != nullptr && executor_ != nullptr);
+}
+
+bool ConcurrentIngress::try_submit(Submission& cell) {
+  GFAAS_CHECK(cell.done != nullptr);
+  if (!queue_.try_push(cell)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  // Publish-then-arm. The seq_cst exchange orders this producer's
+  // publish against the drainer's disarm: whoever flips the flag
+  // false->true owns posting the (single) wakeup for the burst.
+  if (!drain_armed_.exchange(true)) {
+    executor_->post([this] { drain(); });
+  }
+  return true;
+}
+
+void ConcurrentIngress::drain() {
+  // Disarm BEFORE draining: a cell published after this store re-arms
+  // and posts its own pass, so nothing published concurrently with the
+  // sweep below can be stranded.
+  drain_armed_.store(false);
+  std::vector<Submission> batch;
+  batch.reserve(queue_.approx_size() + 1);
+  queue_.drain(batch);
+  if (batch.empty()) return;  // raced with a later pass; nothing stranded
+  drains_.fetch_add(1, std::memory_order_relaxed);
+  drained_.fetch_add(batch.size(), std::memory_order_relaxed);
+  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < batch.size() &&
+         !max_batch_.compare_exchange_weak(prev, batch.size(),
+                                           std::memory_order_relaxed)) {
+  }
+  gateway_->submit_batch(std::move(batch));
+}
+
+}  // namespace gfaas::gateway

@@ -38,6 +38,14 @@ class Executor : public Clock {
   // cancel().
   virtual std::uint64_t schedule_after(SimTime delay, std::function<void()> fn) = 0;
   virtual bool cancel(std::uint64_t event_id) = 0;
+
+  // Runs fn as soon as possible, keeping FIFO order with the events
+  // already due. Semantically schedule_after(0, fn); wall-clock
+  // implementations override it with a cheaper immediate-work path
+  // (cluster::RealTimeExecutor's ready deque).
+  virtual std::uint64_t post(std::function<void()> fn) {
+    return schedule_after(0, std::move(fn));
+  }
 };
 
 class Simulator final : public Executor {

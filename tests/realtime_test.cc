@@ -213,6 +213,74 @@ TEST(RealTimeExecutorTest, DrainOnEmptyReturnsImmediately) {
   EXPECT_EQ(executor.pending(), 0u);
 }
 
+TEST(RealTimeExecutorTest, PostedWorkRunsFifoWithExactAccounting) {
+  // post() takes the ready-deque fast path, not the timed map; it must
+  // still run in FIFO order and keep fired_count exact.
+  RealTimeExecutor executor;
+  std::mutex mu;
+  std::vector<int> order;
+  constexpr int kPosts = 500;
+  for (int i = 0; i < kPosts; ++i) {
+    executor.post([&mu, &order, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  executor.drain();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kPosts));
+  for (int i = 0; i < kPosts; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(executor.fired_count(), static_cast<std::uint64_t>(kPosts));
+  EXPECT_EQ(executor.cancelled_count(), 0u);
+  EXPECT_EQ(executor.pending(), 0u);
+}
+
+TEST(RealTimeExecutorTest, CancelPostedWorkFromWithinCallback) {
+  // Deterministic cancel of a ready-deque item: the first posted
+  // callback cancels the second while the worker is mid-pass, so the
+  // victim is already in the ready deque (a tombstone, not a map erase).
+  RealTimeExecutor executor;
+  std::atomic<bool> victim_ran{false};
+  std::atomic<bool> cancel_ok{false};
+  std::atomic<std::uint64_t> victim_id{0};
+  std::mutex gate;  // holds the first callback until the victim is posted
+  gate.lock();
+  executor.post([&] {
+    std::lock_guard<std::mutex> lock(gate);
+    cancel_ok = executor.cancel(victim_id.load());
+  });
+  victim_id = executor.post([&] { victim_ran = true; });
+  gate.unlock();
+  executor.drain();
+  EXPECT_TRUE(cancel_ok.load());
+  EXPECT_FALSE(victim_ran.load());
+  EXPECT_EQ(executor.fired_count(), 1u);
+  EXPECT_EQ(executor.cancelled_count(), 1u);
+  EXPECT_EQ(executor.pending(), 0u);
+  // The id is retired: a second cancel is a clean no-op.
+  EXPECT_FALSE(executor.cancel(victim_id.load()));
+}
+
+TEST(RealTimeExecutorTest, PostedAndTimedWorkInterleaveByFireOrder) {
+  // A due timed event scheduled before a post() must fire before it, and
+  // one scheduled after must fire after: the ready deque merges with the
+  // timed map by (when, seq), it does not jump the queue.
+  RealTimeExecutor executor;
+  std::mutex mu;
+  std::vector<int> order;
+  auto mark = [&mu, &order](int tag) {
+    return [&mu, &order, tag] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tag);
+    };
+  };
+  executor.schedule_after(msec(500), mark(3));  // future: fires last
+  executor.schedule_after(0, mark(1));         // due now, seq before the post
+  executor.post(mark(2));
+  executor.drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(executor.fired_count(), 3u);
+}
+
 TEST(RealTimeExecutorTest, FullSchedulingStackRunsOnWallClock) {
   // The exact same Scheduler/CacheManager/GpuManager stack the simulator
   // drives, now driven by real time (compressed 10000x: a 2.4s model
