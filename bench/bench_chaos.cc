@@ -31,20 +31,23 @@
 //               [--degrade-factor 8] [--degrade-minutes 8] [--seed 42]
 //               [--max-retries 2] [--hedge-frac 0.2]
 //               [--goodput-floor 0.99] [--overhead-cap 0.05]
+//               [--telemetry-jsonl PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "autoscale/autoscaler.h"
-#include "bench_common.h"
 #include "chaos/fault_injector.h"
 #include "cluster/experiment.h"
 #include "common/log.h"
 #include "gateway/gateway.h"
 #include "metrics/reporter.h"
+#include "telemetry/exporter.h"
+#include "telemetry/telemetry.h"
 #include "trace/clients.h"
 #include "trace/workload.h"
 
@@ -74,6 +77,7 @@ struct Options {
   double hedge_frac = 0.2;
   double goodput_floor = 0.99;
   double overhead_cap = 0.05;
+  std::string telemetry_jsonl;
 };
 
 bool parse_args(int argc, char** argv, Options* options) {
@@ -125,6 +129,8 @@ bool parse_args(int argc, char** argv, Options* options) {
       options->goodput_floor = std::atof(next());
     } else if (flag == "--overhead-cap") {
       options->overhead_cap = std::atof(next());
+    } else if (flag == "--telemetry-jsonl") {
+      options->telemetry_jsonl = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -159,11 +165,13 @@ struct RunResult {
   std::int64_t gpus_replaced = 0;
   std::int64_t degrades = 0;
   double dup_overhead = 0;  // cancelled GPU-time / useful GPU-time
+  // Final exporter row, kept for the acceptance-failure dump.
+  telemetry::MetricsSnapshot snapshot;
 };
 
 RunResult run_one(const Options& options, const trace::Workload& registry_source,
                   const std::vector<std::int64_t>& rates, bool chaos, bool hedging,
-                  const char* name) {
+                  const char* name, std::ostream* jsonl) {
   cluster::ClusterConfig cluster_config;
   cluster_config.nodes = static_cast<int>(options.min_gpus) / options.gpus_per_node;
   cluster_config.gpus_per_node = options.gpus_per_node;
@@ -198,6 +206,22 @@ RunResult run_one(const Options& options, const trace::Workload& registry_source
       &cluster, chaos ? chaos::make_fault_schedule(fault_config)
                       : std::vector<chaos::FaultEvent>{});
 
+  // All four serving layers record into one Telemetry; the exporter
+  // ticks on the autoscaler's cadence and is the single source for the
+  // result table (the ad-hoc latency/GPU-time accounting is gone).
+  telemetry::Telemetry telemetry;
+  gateway.set_telemetry(&telemetry);
+  cluster.engine().set_telemetry(&telemetry);
+  scaler.set_telemetry(&telemetry);
+  injector.set_telemetry(&telemetry);
+  telemetry::TelemetryExporterConfig exporter_config;
+  exporter_config.interval = options.interval;
+  exporter_config.label = name;
+  exporter_config.jsonl = jsonl;
+  exporter_config.export_spans = jsonl != nullptr;
+  telemetry::TelemetryExporter exporter(&cluster.executor(), &telemetry,
+                                        exporter_config);
+
   trace::ClientConfig client_config;
   client_config.model_count = options.working_set;
   trace::ClientSink sink = [&gateway](core::Request request,
@@ -209,44 +233,48 @@ RunResult run_one(const Options& options, const trace::Workload& registry_source
 
   client.start();
   scaler.start(client.horizon());
+  exporter.start(client.horizon());
   injector.arm();
   cluster.run_to_completion();
   scaler.finalize();
+  exporter.finish();
   GFAAS_CHECK(cluster.engine().pending() == 0 && gateway.pending() == 0)
       << "requests stranded behind the gateway";
   GFAAS_CHECK(client.completed() == client.submitted())
       << "client callbacks missing: every submission must resolve exactly once";
 
-  const gateway::GatewayCounters& counters = gateway.counters();
+  const telemetry::MetricsSnapshot& snap = exporter.last();
+  auto count = [&snap](const char* metric) {
+    return static_cast<std::int64_t>(snap.value(metric));
+  };
   RunResult run;
   run.name = name;
+  run.snapshot = snap;
   run.offered = client.submitted();
-  run.completed = counters.completed;
-  run.failed = counters.failed;
-  run.shed = counters.shed;
-  run.expired = counters.expired;
+  run.completed = count("gateway.completed");
+  run.failed = count("gateway.failed");
+  run.shed = count("gateway.shed");
+  run.expired = count("gateway.expired");
   run.goodput = run.offered > 0 ? static_cast<double>(run.completed) /
                                       static_cast<double>(run.offered)
                                 : 0;
-  run.attainment = gateway.slo_attainment();
-  const std::vector<double> latencies = bench::sorted_latencies_s(cluster.engine());
-  run.p50_s = bench::percentile(latencies, 0.50);
-  run.p99_s = bench::percentile(latencies, 0.99);
-  run.retries = counters.retries;
-  run.hedges = counters.hedges;
-  run.hedge_wins = counters.hedge_wins;
-  run.domain_kills = injector.counters().domain_kills;
-  run.gpus_killed = injector.counters().gpus_killed;
-  run.gpus_replaced = scaler.counters().gpus_replaced;
-  run.degrades = injector.counters().degrades;
-  SimTime useful = 0;
-  for (const auto& record : cluster.engine().completions()) {
-    useful += record.completed - record.dispatched;
-  }
+  run.attainment = run.completed > 0
+                       ? snap.value("gateway.slo_met") /
+                             static_cast<double>(run.completed)
+                       : 0;
+  run.p50_s = snap.value("gateway.latency_s.p50");
+  run.p99_s = snap.value("gateway.latency_s.p99");
+  run.retries = count("gateway.retries");
+  run.hedges = count("gateway.hedges");
+  run.hedge_wins = count("gateway.hedge_wins");
+  run.domain_kills = count("chaos.domain_kills");
+  run.gpus_killed = count("chaos.gpus_killed");
+  run.gpus_replaced = count("autoscale.gpus_replaced");
+  run.degrades = count("chaos.degrades");
+  const double useful_us = snap.value("engine.execution_time_us");
   run.dup_overhead =
-      useful > 0 ? static_cast<double>(cluster.engine().cancelled_execution_time()) /
-                       static_cast<double>(useful)
-                 : 0;
+      useful_us > 0 ? snap.value("engine.cancelled_execution_time_us") / useful_us
+                    : 0;
   return run;
 }
 
@@ -284,12 +312,26 @@ int main(int argc, char** argv) {
       options.degrade_frac * 100.0, options.degrade_factor,
       sim_to_seconds(options.slo), options.max_retries, options.hedge_frac * 100.0);
 
-  const RunResult no_chaos = run_one(options, *registry_source, rates,
-                                     /*chaos=*/false, /*hedging=*/false, "no-chaos");
-  const RunResult retry_only = run_one(options, *registry_source, rates,
-                                       /*chaos=*/true, /*hedging=*/false, "retry");
-  const RunResult hedged = run_one(options, *registry_source, rates,
-                                   /*chaos=*/true, /*hedging=*/true, "retry+hedge");
+  std::ofstream jsonl_file;
+  std::ostream* jsonl = nullptr;
+  if (!options.telemetry_jsonl.empty()) {
+    jsonl_file.open(options.telemetry_jsonl);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s\n", options.telemetry_jsonl.c_str());
+      return 1;
+    }
+    jsonl = &jsonl_file;
+  }
+
+  const RunResult no_chaos =
+      run_one(options, *registry_source, rates,
+              /*chaos=*/false, /*hedging=*/false, "no-chaos", jsonl);
+  const RunResult retry_only =
+      run_one(options, *registry_source, rates,
+              /*chaos=*/true, /*hedging=*/false, "retry", jsonl);
+  const RunResult hedged =
+      run_one(options, *registry_source, rates,
+              /*chaos=*/true, /*hedging=*/true, "retry+hedge", jsonl);
 
   metrics::Table table({"Run", "Offered", "Done", "Fail", "Shed", "Expired",
                         "Goodput", "Attain", "p50(s)", "p99(s)", "Retry", "Hedge",
@@ -325,5 +367,12 @@ int main(int argc, char** argv) {
   std::printf("ACCEPTANCE duplicate-work overhead < %.0f%% (%.2f%%): %s\n",
               options.overhead_cap * 100.0, hedged.dup_overhead * 100.0,
               overhead_ok ? "PASS" : "FAIL");
-  return (goodput_ok && p99_ok && overhead_ok) ? 0 : 1;
+  if (!(goodput_ok && p99_ok && overhead_ok)) {
+    std::fprintf(stderr, "acceptance failed; final telemetry snapshots:\n");
+    for (const RunResult* run : {&retry_only, &hedged}) {
+      telemetry::dump_snapshot(run->snapshot, stderr);
+    }
+    return 1;
+  }
+  return 0;
 }

@@ -31,10 +31,12 @@
 //                     [--working-set 20] [--min-gpus 4] [--max-gpus 32]
 //                     [--cold-start-s 20] [--interval-s 5] [--slos 8,12]
 //                     [--load-mults 1.4,1.0] [--window 128]
+//                     [--telemetry-jsonl PATH]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +49,8 @@
 #include "gateway/gateway.h"
 #include "metrics/fleet.h"
 #include "metrics/reporter.h"
+#include "telemetry/exporter.h"
+#include "telemetry/telemetry.h"
 #include "trace/clients.h"
 #include "trace/workload.h"
 
@@ -69,6 +73,7 @@ struct Options {
   std::vector<SimTime> slos = {sec(8), sec(12)};
   std::vector<double> load_mults = {1.4, 1.0};
   std::size_t window = 128;
+  std::string telemetry_jsonl;
 };
 
 std::vector<double> parse_double_list(const char* text) {
@@ -124,6 +129,8 @@ bool parse_args(int argc, char** argv, Options* options) {
       options->load_mults = parse_double_list(next());
     } else if (flag == "--window") {
       options->window = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--telemetry-jsonl") {
+      options->telemetry_jsonl = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -173,11 +180,13 @@ struct RunResult {
   double gpu_seconds = 0;
   double cost = 0;
   std::int64_t cold_starts = 0;
+  // Final exporter row, kept for the acceptance-failure dump.
+  telemetry::MetricsSnapshot snapshot;
 };
 
 RunResult run_one(const Options& options, const trace::Workload& registry_source,
                   const std::vector<std::int64_t>& rates, double load_mult,
-                  SimTime slo, PolicyKind kind) {
+                  SimTime slo, PolicyKind kind, std::ostream* jsonl) {
   cluster::SimCluster cluster(one_gpu_per_node(options.min_gpus),
                               registry_source.registry);
 
@@ -238,6 +247,23 @@ RunResult run_one(const Options& options, const trace::Workload& registry_source
   as_config.max_gpus = options.max_gpus;
   autoscale::Autoscaler scaler(&cluster, std::move(policy), as_config);
 
+  // One Telemetry per run; the exporter's final row is the single source
+  // for the result table (the ad-hoc latency accounting is gone).
+  telemetry::Telemetry telemetry;
+  gateway.set_telemetry(&telemetry);
+  cluster.engine().set_telemetry(&telemetry);
+  scaler.set_telemetry(&telemetry);
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s-slo%.0fs-%.1fx", policy_kind_name(kind),
+                sim_to_seconds(slo), load_mult);
+  telemetry::TelemetryExporterConfig exporter_config;
+  exporter_config.interval = options.interval;
+  exporter_config.label = label;
+  exporter_config.jsonl = jsonl;
+  exporter_config.export_spans = jsonl != nullptr;
+  telemetry::TelemetryExporter exporter(&cluster.executor(), &telemetry,
+                                        exporter_config);
+
   trace::ClientConfig client_config;
   client_config.model_count = options.working_set;
   trace::ClientSink sink = [&gateway](core::Request request,
@@ -251,35 +277,40 @@ RunResult run_one(const Options& options, const trace::Workload& registry_source
   // the client first (anchoring its schedule and horizon) is safe.
   client.start();
   scaler.start(client.horizon());
+  exporter.start(client.horizon());
   cluster.run_to_completion();
   scaler.finalize();
+  exporter.finish();
   GFAAS_CHECK(cluster.engine().pending() == 0 && gateway.pending() == 0)
       << "requests stranded behind the gateway";
   GFAAS_CHECK(client.completed() == client.submitted())
       << "client callbacks missing";
 
-  const gateway::GatewayCounters& counters = gateway.counters();
+  const telemetry::MetricsSnapshot& snap = exporter.last();
   RunResult run;
   run.name = policy_kind_name(kind);
   run.load_mult = load_mult;
+  run.snapshot = snap;
   run.offered = client.submitted();
-  run.completed = counters.completed;
-  run.shed = counters.shed;
-  run.expired = counters.expired;
-  run.goodput = run.offered > 0 ? static_cast<double>(counters.slo_met) /
+  run.completed = static_cast<std::int64_t>(snap.value("gateway.completed"));
+  run.shed = static_cast<std::int64_t>(snap.value("gateway.shed"));
+  run.expired = static_cast<std::int64_t>(snap.value("gateway.expired"));
+  run.goodput = run.offered > 0 ? snap.value("gateway.slo_met") /
                                       static_cast<double>(run.offered)
                                 : 0;
-  run.attainment = gateway.slo_attainment();
-  run.shed_rate = run.offered > 0 ? static_cast<double>(counters.shed) /
+  run.attainment = run.completed > 0
+                       ? snap.value("gateway.slo_met") /
+                             static_cast<double>(run.completed)
+                       : 0;
+  run.shed_rate = run.offered > 0 ? static_cast<double>(run.shed) /
                                         static_cast<double>(run.offered)
                                   : 0;
-  const std::vector<double> latencies = bench::sorted_latencies_s(cluster.engine());
-  run.p50_s = bench::percentile(latencies, 0.50);
-  run.p99_s = bench::percentile(latencies, 0.99);
+  run.p50_s = snap.value("gateway.latency_s.p50");
+  run.p99_s = snap.value("gateway.latency_s.p99");
   const SimTime end = cluster.simulator().now();
   run.gpu_seconds = scaler.gpu_seconds(end);
   run.cost = metrics::GpuCostModel{}.cost(run.gpu_seconds);
-  run.cold_starts = scaler.counters().gpus_added;
+  run.cold_starts = static_cast<std::int64_t>(snap.value("autoscale.gpus_added"));
   // GWSLO_DEBUG=1 dumps the per-minute p99/fleet trace — where a policy's
   // tail damage and capacity waste actually sit (how this bench was tuned).
   if (std::getenv("GWSLO_DEBUG") != nullptr) {
@@ -335,6 +366,17 @@ int main(int argc, char** argv) {
       static_cast<long long>(options.peak_rpm), options.burst_prob,
       options.burst_mult, options.window, options.min_gpus, options.max_gpus);
 
+  std::ofstream jsonl_file;
+  std::ostream* jsonl = nullptr;
+  if (!options.telemetry_jsonl.empty()) {
+    jsonl_file.open(options.telemetry_jsonl);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s\n", options.telemetry_jsonl.c_str());
+      return 1;
+    }
+    jsonl = &jsonl_file;
+  }
+
   metrics::Table table({"SLO(s)", "Load", "Policy", "Offered", "Done", "Shed",
                         "Goodput", "Attain", "p50(s)", "p99(s)", "GPU-s", "Cost($)",
                         "Cold"});
@@ -348,7 +390,7 @@ int main(int argc, char** argv) {
       for (const PolicyKind kind :
            {PolicyKind::kReactive, PolicyKind::kPredictive, PolicyKind::kSloAware}) {
         const RunResult run =
-            run_one(options, *registry_source, rates, mult, slo, kind);
+            run_one(options, *registry_source, rates, mult, slo, kind, jsonl);
         if (slo == options.slos.front() && mult == options.load_mults.front()) {
           headline.push_back(run);
         }
@@ -381,5 +423,12 @@ int main(int argc, char** argv) {
               reactive.p99_s, slo_s, reactive_misses ? "PASS" : "FAIL");
   std::printf("ACCEPTANCE slo-aware GPU-seconds <= reactive (%.0f <= %.0f): %s\n",
               slo_aware.gpu_seconds, reactive.gpu_seconds, cheaper ? "PASS" : "FAIL");
-  return (slo_aware_meets && reactive_misses && cheaper) ? 0 : 1;
+  if (!(slo_aware_meets && reactive_misses && cheaper)) {
+    std::fprintf(stderr, "acceptance failed; final telemetry snapshots:\n");
+    for (const RunResult* run : {&reactive, &slo_aware}) {
+      telemetry::dump_snapshot(run->snapshot, stderr);
+    }
+    return 1;
+  }
+  return 0;
 }

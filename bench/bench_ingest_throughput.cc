@@ -50,6 +50,7 @@
 #include "concurrent/callback_executor.h"
 #include "gateway/ingress.h"
 #include "models/zoo.h"
+#include "telemetry/telemetry.h"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter (the satellite "counting guard"): every heap
@@ -106,6 +107,8 @@ struct RunResult {
   double allocs_per_req = 0;
   std::int64_t shed = 0;
   std::int64_t submitted = 0;
+  // Final telemetry state, dumped to stderr on acceptance failure.
+  gfaas::telemetry::MetricsSnapshot snapshot;
 };
 
 struct Options {
@@ -167,11 +170,17 @@ RunResult run_once(const Options& options, int producers, bool mpsc) {
   gconfig.default_slo = 0;  // no deadlines: nothing sheds or expires
   auto gateway = std::make_unique<gateway::Gateway>(cluster.get(), gconfig);
   auto callbacks = std::make_unique<concurrent::CallbackExecutor>();
+  // Telemetry rides along in BOTH modes (symmetric cost), so the bench
+  // measures the instrumented ingestion path — the configuration the
+  // overhead bench certifies — and the failure dump has live counters.
+  auto telemetry = std::make_unique<telemetry::Telemetry>();
+  gateway->set_telemetry(telemetry.get());
   std::unique_ptr<gateway::ConcurrentIngress> ingress;
   if (mpsc) {
     gateway->set_callback_executor(callbacks.get());
     ingress = std::make_unique<gateway::ConcurrentIngress>(
         gateway.get(), &cluster->executor(), options.capacity);
+    ingress->set_telemetry(telemetry.get());
   }
   sim::Executor& executor = cluster->executor();
   gateway::ResultCallback on_done = [](const gateway::GatewayResult& result) {
@@ -270,6 +279,11 @@ RunResult run_once(const Options& options, int producers, bool mpsc) {
   result.allocs_per_req = static_cast<double>(allocs_after - allocs_before) /
                           static_cast<double>(measured);
   result.shed = on_worker([&gateway] { return gateway->counters().shed; });
+  // Snapshot on the worker: the gateway/ingress probes read
+  // worker-thread state.
+  result.snapshot =
+      on_worker([&telemetry] { return telemetry->snapshot_now(0); });
+  result.snapshot.label = mpsc ? "mpsc" : "baseline";
   if (mpsc) {
     GFAAS_CHECK(ingress->drained() ==
                 static_cast<std::uint64_t>(measured))
@@ -299,6 +313,8 @@ int run(const Options& options) {
   int failures = 0;
   double speedup_at_max = 0;
   int max_producers = 0;
+  RunResult last_baseline;
+  RunResult last_mpsc;
   for (int producers : options.producer_counts) {
     const RunResult baseline = run_once(options, producers, /*mpsc=*/false);
     const RunResult mpsc = run_once(options, producers, /*mpsc=*/true);
@@ -321,6 +337,8 @@ int run(const Options& options) {
     if (producers >= max_producers) {
       max_producers = producers;
       speedup_at_max = speedup;
+      last_baseline = baseline;
+      last_mpsc = mpsc;
     }
   }
   const bool floor_met = speedup_at_max >= options.floor;
@@ -328,7 +346,14 @@ int run(const Options& options) {
               max_producers, speedup_at_max, options.floor,
               floor_met ? "PASS" : "FAIL");
   if (!floor_met) ++failures;
-  return failures == 0 ? 0 : 1;
+  if (failures != 0) {
+    std::fprintf(stderr, "acceptance failed; final telemetry snapshots "
+                         "(producers=%d):\n", max_producers);
+    telemetry::dump_snapshot(last_baseline.snapshot, stderr);
+    telemetry::dump_snapshot(last_mpsc.snapshot, stderr);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

@@ -24,6 +24,13 @@
 // decisions as per-request admission:
 //
 //   ./build/bench_seed_digest --via-gateway --batch | diff direct.txt -
+//
+// --telemetry (requires --via-gateway) attaches a live telemetry::
+// Telemetry to every per-cell gateway. The output must STILL be
+// byte-identical — the proof that the instrumentation seam only
+// observes (no RNG consumption, no event reordering):
+//
+//   ./build/bench_seed_digest --via-gateway --telemetry | diff direct.txt -
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +41,7 @@
 #include "bench_common.h"
 #include "common/log.h"
 #include "gateway/gateway.h"
+#include "telemetry/telemetry.h"
 
 namespace gfaas::bench {
 namespace {
@@ -70,13 +78,20 @@ std::uint64_t completion_digest(const std::vector<core::CompletionRecord>& recor
 // Gateway whose admission can never interfere (unbounded window, no SLO
 // stamping), so any digest drift would be a real behavior change in the
 // serving path.
-cluster::IngestFactory gateway_ingest() {
-  return [](cluster::ElasticCluster& cluster) {
+cluster::IngestFactory gateway_ingest(bool with_telemetry) {
+  return [with_telemetry](cluster::ElasticCluster& cluster) {
     gateway::GatewayConfig config;
     config.max_in_flight = std::numeric_limits<std::size_t>::max();
     config.default_slo = 0;  // no deadline stamping
     auto gw = std::make_shared<gateway::Gateway>(&cluster, config);
-    return [gw](core::Request request) {
+    // The telemetry handle's lifetime is tied to the ingest closure
+    // (which outlives the run); the digest must not notice it exists.
+    std::shared_ptr<telemetry::Telemetry> tel;
+    if (with_telemetry) {
+      tel = std::make_shared<telemetry::Telemetry>();
+      gw->set_telemetry(tel.get());
+    }
+    return [gw, tel](core::Request request) {
       gw->submit(std::move(request), [](const gateway::GatewayResult& result) {
         GFAAS_CHECK(result.disposition == gateway::Disposition::kCompleted);
       });
@@ -86,13 +101,18 @@ cluster::IngestFactory gateway_ingest() {
 
 // Bulk twin: same gateway, but each same-arrival burst enters through
 // one submit_batch call (the memoized-admission path under test).
-cluster::BatchIngestFactory gateway_batch_ingest() {
-  return [](cluster::ElasticCluster& cluster) {
+cluster::BatchIngestFactory gateway_batch_ingest(bool with_telemetry) {
+  return [with_telemetry](cluster::ElasticCluster& cluster) {
     gateway::GatewayConfig config;
     config.max_in_flight = std::numeric_limits<std::size_t>::max();
     config.default_slo = 0;  // no deadline stamping
     auto gw = std::make_shared<gateway::Gateway>(&cluster, config);
-    return [gw](std::vector<core::Request> burst) {
+    std::shared_ptr<telemetry::Telemetry> tel;
+    if (with_telemetry) {
+      tel = std::make_shared<telemetry::Telemetry>();
+      gw->set_telemetry(tel.get());
+    }
+    return [gw, tel](std::vector<core::Request> burst) {
       std::vector<gateway::Submission> cells;
       cells.reserve(burst.size());
       for (core::Request& request : burst) {
@@ -106,7 +126,7 @@ cluster::BatchIngestFactory gateway_batch_ingest() {
   };
 }
 
-int run(bool via_gateway, bool batch) {
+int run(bool via_gateway, bool batch, bool with_telemetry) {
   GridOptions options;
   for (std::size_t ws : options.working_sets) {
     trace::WorkloadConfig wconfig;
@@ -122,10 +142,10 @@ int run(bool via_gateway, bool batch) {
       std::vector<core::CompletionRecord> records;
       const auto r =
           batch ? cluster::run_experiment_batched(config, *workload, &records,
-                                                  gateway_batch_ingest())
-                : cluster::run_experiment(
-                      config, *workload, &records,
-                      via_gateway ? gateway_ingest() : cluster::IngestFactory());
+                                                  gateway_batch_ingest(with_telemetry))
+                : cluster::run_experiment(config, *workload, &records,
+                                          via_gateway ? gateway_ingest(with_telemetry)
+                                                      : cluster::IngestFactory());
       std::printf("ws=%zu policy=%s requests=%zu\n", ws, r.policy.c_str(), r.requests);
       std::printf("  avg_latency_s=%a variance=%a p50=%a p95=%a p99=%a\n",
                   r.avg_latency_s, r.latency_variance_s2, r.p50_latency_s,
@@ -148,11 +168,14 @@ int run(bool via_gateway, bool batch) {
 int main(int argc, char** argv) {
   bool via_gateway = false;
   bool batch = false;
+  bool with_telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--via-gateway") == 0) {
       via_gateway = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      with_telemetry = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -162,5 +185,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--batch requires --via-gateway\n");
     return 1;
   }
-  return gfaas::bench::run(via_gateway, batch);
+  if (with_telemetry && !via_gateway) {
+    std::fprintf(stderr, "--telemetry requires --via-gateway\n");
+    return 1;
+  }
+  return gfaas::bench::run(via_gateway, batch, with_telemetry);
 }

@@ -5,8 +5,19 @@
 #include <utility>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace gfaas::autoscale {
+
+// Instrument pointers resolved once at set_telemetry().
+struct Autoscaler::TelemetryHandles {
+  telemetry::Counter* ticks = nullptr;
+  telemetry::Counter* scale_ups = nullptr;
+  telemetry::Counter* scale_downs = nullptr;
+  telemetry::Counter* gpus_added = nullptr;
+  telemetry::Counter* gpus_retired = nullptr;
+  telemetry::Counter* gpus_replaced = nullptr;
+};
 
 std::vector<GpuId> select_drain_victims(const std::vector<GpuId>& idle_hot_first,
                                         const cache::CacheManager& cache,
@@ -73,6 +84,37 @@ Autoscaler::Autoscaler(cluster::ElasticCluster* cluster,
   policy_->bind(config_.evaluation_interval);
 }
 
+Autoscaler::~Autoscaler() = default;
+
+void Autoscaler::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    tel_.reset();
+    return;
+  }
+  auto handles = std::make_unique<TelemetryHandles>();
+  telemetry::MetricRegistry& m = telemetry->metrics();
+  handles->ticks = m.counter("autoscale.ticks");
+  handles->scale_ups = m.counter("autoscale.scale_up_decisions");
+  handles->scale_downs = m.counter("autoscale.scale_down_decisions");
+  handles->gpus_added = m.counter("autoscale.gpus_added");
+  handles->gpus_retired = m.counter("autoscale.gpus_retired");
+  handles->gpus_replaced = m.counter("autoscale.gpus_replaced");
+  tel_ = std::move(handles);
+  // Billed-capacity breakdown, sampled each exporter tick.
+  telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    const double schedulable =
+        static_cast<double>(cluster_->engine().schedulable_gpu_count());
+    reg.gauge("autoscale.fleet.schedulable")->set(schedulable);
+    reg.gauge("autoscale.fleet.provisioning")
+        ->set(static_cast<double>(provisioning_));
+    reg.gauge("autoscale.fleet.draining")
+        ->set(static_cast<double>(draining_.size()));
+    reg.gauge("autoscale.fleet.powered")
+        ->set(schedulable + static_cast<double>(provisioning_) +
+              static_cast<double>(draining_.size()));
+  });
+}
+
 void Autoscaler::start(SimTime horizon) {
   GFAAS_CHECK(!started_) << "autoscaler already started";
   started_ = true;
@@ -95,6 +137,7 @@ void Autoscaler::schedule_tick() {
 
 void Autoscaler::tick() {
   ++counters_.ticks;
+  if (tel_) tel_->ticks->add();
   reap_drained();
 
   // Dead capacity is re-provisioned, not drained: a chaos kill removes
@@ -108,6 +151,7 @@ void Autoscaler::tick() {
     const std::size_t deficit = config_.min_gpus - committed_floor;
     for (std::size_t i = 0; i < deficit; ++i) begin_cold_start();
     counters_.gpus_replaced += static_cast<std::int64_t>(deficit);
+    if (tel_) tel_->gpus_replaced->add(static_cast<std::int64_t>(deficit));
     record_fleet();
   }
 
@@ -151,11 +195,13 @@ void Autoscaler::apply(const ScalingDecision& decision) {
                                  : 0);
   if (add > 0) {
     ++counters_.scale_up_decisions;
+    if (tel_) tel_->scale_ups->add();
     for (std::size_t i = 0; i < add; ++i) begin_cold_start();
     record_fleet();
   }
   if (decision.remove > 0) {
     ++counters_.scale_down_decisions;
+    if (tel_) tel_->scale_downs->add();
     begin_drain(decision.remove);
     reap_drained();  // idle victims with no local work retire immediately
   }
@@ -175,6 +221,7 @@ void Autoscaler::begin_cold_start() {
     --provisioning_;
     cluster_->add_gpu(config_.spec);
     ++counters_.gpus_added;
+    if (tel_) tel_->gpus_added->add();
     record_fleet();
   });
 }
@@ -208,6 +255,7 @@ void Autoscaler::reap_drained() {
     } else if (cluster_->gpu_drained(*it)) {
       cluster_->remove_gpu(*it);
       ++counters_.gpus_retired;
+      if (tel_) tel_->gpus_retired->add();
       it = draining_.erase(it);
       changed = true;
     } else {

@@ -44,6 +44,10 @@
 #include "gpu/gpu_spec.h"
 #include "metrics/fleet.h"
 
+namespace gfaas::telemetry {
+class Telemetry;
+}  // namespace gfaas::telemetry
+
 namespace gfaas::autoscale {
 
 struct AutoscalerConfig {
@@ -93,6 +97,12 @@ class Autoscaler {
   // fleet (its size should match config.min_gpus for a clean ramp).
   Autoscaler(cluster::ElasticCluster* cluster, std::unique_ptr<ScalingPolicy> policy,
              AutoscalerConfig config);
+  ~Autoscaler();
+
+  // Attaches the live-telemetry seam: tick/decision/membership counters
+  // and a pull probe for the powered / schedulable / provisioning /
+  // draining fleet breakdown. Nullable; wire before start().
+  void set_telemetry(telemetry::Telemetry* telemetry);
 
   // Schedules evaluation ticks. Ticks re-arm while time is before
   // `horizon` (the last trace arrival) or work/cold-starts/drains are
@@ -130,6 +140,10 @@ class Autoscaler {
   cluster::ElasticCluster* cluster_;
   std::unique_ptr<ScalingPolicy> policy_;
   AutoscalerConfig config_;
+  // Telemetry instrument handles, resolved once at set_telemetry();
+  // null when detached.
+  struct TelemetryHandles;
+  std::unique_ptr<TelemetryHandles> tel_;
 
   bool started_ = false;
   SimTime horizon_ = 0;

@@ -5,8 +5,20 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace gfaas::chaos {
+
+// Instrument pointers resolved once at set_telemetry().
+struct ChaosInjector::TelemetryHandles {
+  telemetry::Counter* domain_kills = nullptr;
+  telemetry::Counter* kills_skipped = nullptr;
+  telemetry::Counter* gpus_killed = nullptr;
+  telemetry::Counter* stalls_injected = nullptr;
+  telemetry::Counter* stall_time_us = nullptr;
+  telemetry::Counter* degrades = nullptr;
+  telemetry::Counter* degrades_skipped = nullptr;
+};
 
 std::vector<FaultEvent> make_fault_schedule(const FaultScheduleConfig& config) {
   GFAAS_CHECK(config.horizon > 0);
@@ -79,6 +91,23 @@ ChaosInjector::ChaosInjector(cluster::ElasticCluster* cluster,
   }
 }
 
+void ChaosInjector::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    tel_.reset();
+    return;
+  }
+  auto handles = std::make_shared<TelemetryHandles>();
+  telemetry::MetricRegistry& m = telemetry->metrics();
+  handles->domain_kills = m.counter("chaos.domain_kills");
+  handles->kills_skipped = m.counter("chaos.kills_skipped");
+  handles->gpus_killed = m.counter("chaos.gpus_killed");
+  handles->stalls_injected = m.counter("chaos.stalls_injected");
+  handles->stall_time_us = m.counter("chaos.stall_time_us");
+  handles->degrades = m.counter("chaos.degrades");
+  handles->degrades_skipped = m.counter("chaos.degrades_skipped");
+  tel_ = std::move(handles);
+}
+
 void ChaosInjector::arm() {
   GFAAS_CHECK(!armed_) << "injector armed twice";
   armed_ = true;
@@ -121,6 +150,7 @@ void ChaosInjector::fire_kill(const FaultEvent& event) {
       resolve_victim(event.domain_ordinal, min_alive_domains_);
   if (victim == cluster_->domain_count()) {
     ++counters_.kills_skipped;
+    if (tel_) tel_->kills_skipped->add();
     return;
   }
   const cluster::SchedulerEngine& engine = cluster_->engine();
@@ -131,6 +161,10 @@ void ChaosInjector::fire_kill(const FaultEvent& event) {
   cluster_->kill_domain(victim);
   ++counters_.domain_kills;
   counters_.gpus_killed += members;
+  if (tel_) {
+    tel_->domain_kills->add();
+    tel_->gpus_killed->add(members);
+  }
 }
 
 void ChaosInjector::fire_degrade(const FaultEvent& event) {
@@ -140,10 +174,12 @@ void ChaosInjector::fire_degrade(const FaultEvent& event) {
   const std::size_t victim = resolve_victim(event.domain_ordinal, 0);
   if (victim == cluster_->domain_count()) {
     ++counters_.degrades_skipped;
+    if (tel_) tel_->degrades_skipped->add();
     return;
   }
   cluster_->degrade_domain(victim, event.degrade_factor);
   ++counters_.degrades;
+  if (tel_) tel_->degrades->add();
   cluster_->executor().schedule_after(event.degrade_duration, [this, victim] {
     cluster_->degrade_domain(victim, 1.0);
   });
@@ -155,6 +191,10 @@ std::function<SimTime(std::int64_t)> ChaosInjector::cold_start_delay_hook() {
     if (it == stalls_.end()) return SimTime{0};
     ++counters_.stalls_injected;
     counters_.stall_time += it->second;
+    if (tel_) {
+      tel_->stalls_injected->add();
+      tel_->stall_time_us->add(it->second);
+    }
     return it->second;
   };
 }

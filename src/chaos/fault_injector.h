@@ -22,6 +22,10 @@
 #include "cluster/elastic_cluster.h"
 #include "common/time.h"
 
+namespace gfaas::telemetry {
+class Telemetry;
+}  // namespace gfaas::telemetry
+
 namespace gfaas::chaos {
 
 enum class FaultKind {
@@ -100,6 +104,11 @@ class ChaosInjector {
   // Call once, before the run starts.
   void arm();
 
+  // Attaches the live-telemetry seam: kill / stall / degrade counters
+  // mirrored into the registry as faults fire. Nullable; wire before
+  // arm().
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   // Adapter for autoscale::AutoscalerConfig::cold_start_delay_hook:
   // returns the scheduled stall for the index-th cold start (0 if none).
   std::function<SimTime(std::int64_t)> cold_start_delay_hook();
@@ -119,6 +128,9 @@ class ChaosInjector {
   std::vector<FaultEvent> schedule_;
   std::size_t min_alive_domains_;
   bool armed_ = false;
+  // Telemetry instrument handles; null when detached.
+  struct TelemetryHandles;
+  std::shared_ptr<TelemetryHandles> tel_;
   // cold-start ordinal -> injected stall (collisions accumulate).
   std::unordered_map<std::int64_t, SimTime> stalls_;
   ChaosCounters counters_;

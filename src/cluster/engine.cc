@@ -4,8 +4,21 @@
 #include <chrono>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace gfaas::cluster {
+
+// Instrument pointers resolved once at set_telemetry(); every hot-path
+// record is then one null check plus wait-free atomic bumps.
+struct SchedulerEngine::TelemetryHandles {
+  telemetry::SpanRecorder* spans = nullptr;
+  telemetry::Counter* dispatches = nullptr;
+  telemetry::Counter* completions = nullptr;
+  telemetry::Counter* failures = nullptr;
+  telemetry::Counter* cancellations = nullptr;
+  telemetry::Counter* execution_time_us = nullptr;
+  telemetry::Counter* cancelled_execution_time_us = nullptr;
+};
 
 SchedulerEngine::SchedulerEngine(sim::Executor* executor, cache::CacheManager* cache,
                                  const models::LatencyOracle* oracle,
@@ -22,6 +35,42 @@ SchedulerEngine::SchedulerEngine(sim::Executor* executor, cache::CacheManager* c
   GFAAS_CHECK(executor_ && cache_ && oracle_ && policy_);
   GFAAS_CHECK(!gpus_.empty() && !managers_.empty());
   for (const gpu::VirtualGpu* g : gpus_) index_.add_gpu(g->id());
+}
+
+SchedulerEngine::~SchedulerEngine() = default;
+
+void SchedulerEngine::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    tel_.reset();
+    return;
+  }
+  auto handles = std::make_unique<TelemetryHandles>();
+  telemetry::MetricRegistry& m = telemetry->metrics();
+  handles->spans = &telemetry->spans();
+  handles->dispatches = m.counter("engine.dispatches");
+  handles->completions = m.counter("engine.completions");
+  handles->failures = m.counter("engine.failures");
+  handles->cancellations = m.counter("engine.cancellations");
+  handles->execution_time_us = m.counter("engine.execution_time_us");
+  handles->cancelled_execution_time_us =
+      m.counter("engine.cancelled_execution_time_us");
+  tel_ = std::move(handles);
+  // Point-in-time scheduler state the exporter samples each tick.
+  telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    reg.gauge("engine.queue.global")
+        ->set(static_cast<double>(global_queue_.size()));
+    reg.gauge("engine.queue.local")
+        ->set(static_cast<double>(local_queues_.total_pending()));
+    reg.gauge("engine.in_flight")->set(static_cast<double>(in_flight_));
+    reg.gauge("engine.gpus.idle")->set(static_cast<double>(idle_gpu_count()));
+    reg.gauge("engine.gpus.schedulable")
+        ->set(static_cast<double>(schedulable_gpu_count()));
+    const cache::CacheStats& cs = cache_->stats();
+    reg.gauge("cache.hits")->set(static_cast<double>(cs.hits));
+    reg.gauge("cache.misses")->set(static_cast<double>(cs.misses));
+    reg.gauge("cache.evictions")->set(static_cast<double>(cs.evictions));
+    reg.gauge("cache.hit_ratio")->set(1.0 - cs.miss_ratio());
+  });
 }
 
 GpuManager& SchedulerEngine::manager_for(GpuId gpu) {
@@ -159,6 +208,13 @@ void SchedulerEngine::start_execution(core::Request request, GpuId gpu, bool fal
   index_.mark_busy(gpu);
   ++in_flight_;
   executing_[request.id.value()] = gpu;
+  if (tel_) {
+    tel_->dispatches->add();
+    tel_->spans->record(
+        request.id.value(), telemetry::SpanEvent::kDispatch, now(),
+        static_cast<std::int32_t>(gpu.value()),
+        (via_local_queue ? 1 : 0) | (false_miss ? 2 : 0));
+  }
   auto finish = manager_for(gpu).execute(
       request, gpu, false_miss, via_local_queue,
       [this](const core::CompletionRecord& record) { on_completion(record); });
@@ -177,6 +233,19 @@ void SchedulerEngine::on_completion(const core::CompletionRecord& record) {
   completions_.push_back(record);
   latency_series_.add(record.completed, sim_to_seconds(record.latency()));
   if (!record.cache_hit) miss_series_.count(record.completed);
+  if (tel_) {
+    tel_->completions->add();
+    tel_->execution_time_us->add(record.completed - record.dispatched);
+    const std::int32_t gpu = static_cast<std::int32_t>(record.gpu.value());
+    if (!record.cache_hit) {
+      // The cold-load share of the execution, stamped at dispatch time
+      // so the span sequence reads submit..dispatch -> load -> execute.
+      tel_->spans->record(record.id.value(), telemetry::SpanEvent::kModelLoad,
+                          record.dispatched, gpu, load_time(record.model));
+    }
+    tel_->spans->record(record.id.value(), telemetry::SpanEvent::kExecute,
+                        record.completed, gpu, record.cache_hit ? 1 : 0);
+  }
   if (completion_hook_) completion_hook_(record);
   notify_request_hook(record);
   update_duplicates_meter();
@@ -218,6 +287,7 @@ void SchedulerEngine::kill_gpu(GpuId gpu) {
     executing_.erase(aborted->id.value());
     index_.mark_idle(gpu);
     failures_.push_back(*aborted);
+    if (tel_) tel_->failures->add();
     if (completion_hook_) completion_hook_(*aborted);
     notify_request_hook(*aborted);
   }
@@ -274,6 +344,11 @@ bool SchedulerEngine::cancel_request(RequestId id) {
   index_.mark_idle(gpu);
   cancelled_execution_time_ += aborted->completed - aborted->dispatched;
   ++cancellations_;
+  if (tel_) {
+    tel_->cancellations->add();
+    tel_->cancelled_execution_time_us->add(aborted->completed -
+                                           aborted->dispatched);
+  }
   request_hooks_.erase(id.value());
   update_duplicates_meter();
   // Same serve-next chain as a completion: a draining GPU works through

@@ -25,6 +25,10 @@
 #include "metrics/stats.h"
 #include "metrics/timeline.h"
 
+namespace gfaas::telemetry {
+class Telemetry;
+}  // namespace gfaas::telemetry
+
 namespace gfaas::cluster {
 
 class SchedulerEngine final : public core::SchedulingContext {
@@ -34,6 +38,15 @@ class SchedulerEngine final : public core::SchedulingContext {
                   std::vector<gpu::VirtualGpu*> gpus,
                   std::vector<GpuManager*> managers,
                   std::unique_ptr<core::SchedulingPolicy> policy);
+  ~SchedulerEngine();
+
+  // Attaches the live-telemetry seam: dispatch/completion/failure/
+  // cancellation counters, execution-time accumulators, dispatch and
+  // model-load lifecycle spans, and a pull probe for queue depths, idle
+  // and schedulable GPU counts, and the cache hit ratio. Nullable — the
+  // default (detached) hot path records nothing (the
+  // bench_seed_digest guard covers both states).
+  void set_telemetry(telemetry::Telemetry* telemetry);
 
   // Submits an arriving request; invokes the policy.
   void submit(core::Request request);
@@ -186,6 +199,11 @@ class SchedulerEngine final : public core::SchedulingContext {
   // Fires and discards the request's detached completion hook, if any.
   void notify_request_hook(const core::CompletionRecord& record);
   void update_duplicates_meter();
+
+  // Telemetry instrument handles, resolved once at set_telemetry();
+  // null when detached (the hot paths then skip every record).
+  struct TelemetryHandles;
+  std::unique_ptr<TelemetryHandles> tel_;
 
   sim::Executor* executor_;
   cache::CacheManager* cache_;

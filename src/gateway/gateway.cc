@@ -6,8 +6,30 @@
 
 #include "common/log.h"
 #include "concurrent/callback_executor.h"
+#include "telemetry/telemetry.h"
 
 namespace gfaas::gateway {
+
+// Instrument pointers resolved once at set_telemetry(); every hot-path
+// record is then one null check plus wait-free atomic bumps.
+struct Gateway::TelemetryHandles {
+  telemetry::SpanRecorder* spans = nullptr;
+  telemetry::Counter* submitted = nullptr;
+  telemetry::Counter* admitted = nullptr;
+  telemetry::Counter* queued = nullptr;
+  telemetry::Counter* shed = nullptr;
+  telemetry::Counter* expired = nullptr;
+  telemetry::Counter* completed = nullptr;
+  telemetry::Counter* slo_met = nullptr;
+  telemetry::Counter* failed = nullptr;
+  telemetry::Counter* retries = nullptr;
+  telemetry::Counter* hedges = nullptr;
+  telemetry::Counter* hedge_wins = nullptr;
+  telemetry::Histogram* latency_s = nullptr;
+  telemetry::Histogram* wait_s = nullptr;
+  telemetry::Histogram* exec_s = nullptr;
+  telemetry::Histogram* estimate_error_s = nullptr;
+};
 
 const char* disposition_name(Disposition disposition) {
   switch (disposition) {
@@ -35,6 +57,45 @@ Gateway::Gateway(cluster::ElasticCluster* cluster, GatewayConfig config)
   resilient_ = config_.max_retries > 0 || config_.hedge_budget_fraction > 0;
 }
 
+Gateway::~Gateway() = default;
+
+void Gateway::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    tel_.reset();
+    return;
+  }
+  auto handles = std::make_unique<TelemetryHandles>();
+  telemetry::MetricRegistry& m = telemetry->metrics();
+  handles->spans = &telemetry->spans();
+  handles->submitted = m.counter("gateway.submitted");
+  handles->admitted = m.counter("gateway.admitted");
+  handles->queued = m.counter("gateway.queued");
+  handles->shed = m.counter("gateway.shed");
+  handles->expired = m.counter("gateway.expired");
+  handles->completed = m.counter("gateway.completed");
+  handles->slo_met = m.counter("gateway.slo_met");
+  handles->failed = m.counter("gateway.failed");
+  handles->retries = m.counter("gateway.retries");
+  handles->hedges = m.counter("gateway.hedges");
+  handles->hedge_wins = m.counter("gateway.hedge_wins");
+  handles->latency_s = m.histogram("gateway.latency_s");
+  handles->wait_s = m.histogram("gateway.wait_s");
+  handles->exec_s = m.histogram("gateway.exec_s");
+  handles->estimate_error_s = m.histogram("gateway.estimate_error_s");
+  tel_ = std::move(handles);
+  // Point-in-time state the exporter samples each tick: window
+  // occupancy and per-model SLO attainment (model gauges register
+  // lazily as models first complete).
+  telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    reg.gauge("gateway.in_flight")->set(static_cast<double>(in_flight_));
+    reg.gauge("gateway.pending")->set(static_cast<double>(pending_.size()));
+    for (const auto& [model, stats] : model_stats_) {
+      reg.gauge("gateway.model." + std::to_string(model) + ".slo_attainment")
+          ->set(stats.slo_attainment());
+    }
+  });
+}
+
 void Gateway::submit(core::Request request, ResultCallback done) {
   submit_one(std::move(request), std::move(done), nullptr);
 }
@@ -55,6 +116,10 @@ void Gateway::submit_one(core::Request request, ResultCallback done,
     request.deadline = now + config_.default_slo;
   }
   ++counters_.submitted;
+  if (tel_) {
+    tel_->submitted->add();
+    tel_->spans->record(request.id.value(), telemetry::SpanEvent::kSubmit, now);
+  }
 
   // Already stale at the door (a client retransmitted an expired call):
   // answer now rather than spending GPU time on a dead request.
@@ -79,12 +144,22 @@ void Gateway::submit_one(core::Request request, ResultCallback done,
   // estimates say the request can still make its deadline from the back
   // of the backlog; otherwise shedding now is strictly kinder than an
   // expiry later.
-  if (pending_.size() >= config_.max_pending ||
-      estimated_completion_impl(request, memo) > request.deadline) {
+  if (pending_.size() >= config_.max_pending) {
     resolve_locally(request, Disposition::kShed, done);
     return;
   }
-  pending_.push_back(PendingRequest{std::move(request), std::move(done)});
+  const SimTime estimate = estimated_completion_impl(request, memo);
+  if (estimate > request.deadline) {
+    resolve_locally(request, Disposition::kShed, done);
+    return;
+  }
+  if (tel_) {
+    tel_->queued->add();
+    tel_->spans->record(request.id.value(), telemetry::SpanEvent::kQueue, now,
+                        -1, estimate);
+  }
+  pending_.push_back(
+      PendingRequest{std::move(request), std::move(done), estimate});
 }
 
 SimTime Gateway::estimated_completion(const core::Request& request) const {
@@ -149,10 +224,16 @@ SimTime Gateway::estimated_completion_impl(const core::Request& request,
   return static_cast<SimTime>(scan->mean_finish) + service * (1 + rounds);
 }
 
-void Gateway::admit(core::Request request, ResultCallback done) {
+void Gateway::admit(core::Request request, ResultCallback done,
+                    SimTime estimate) {
   ++counters_.admitted;
   ++in_flight_;
   const std::int64_t id = request.id.value();
+  if (tel_) {
+    tel_->admitted->add();
+    tel_->spans->record(id, telemetry::SpanEvent::kAdmit,
+                        cluster_->executor().now());
+  }
   // The hook routes back through route_ so retries (same id) and hedges
   // (fresh id) all land in on_engine_result; the flight keeps a pristine
   // request copy — hook included — to resubmit from. Without resilience
@@ -174,6 +255,7 @@ void Gateway::admit(core::Request request, ResultCallback done) {
     flight.request.deadline = request.deadline;
   }
   flight.done = std::move(done);
+  flight.estimate = estimate;
   auto [it, inserted] = flights_.emplace(id, std::move(flight));
   GFAAS_CHECK(inserted) << "duplicate in-flight gateway request id " << id;
   if (resilient_) route_[id] = id;
@@ -229,6 +311,11 @@ void Gateway::on_hedge_timer(std::int64_t id) {
   flight.hedge_id = hedge_id;
   route_[hedge_id] = id;
   ++counters_.hedges;
+  if (tel_) {
+    tel_->hedges->add();
+    tel_->spans->record(id, telemetry::SpanEvent::kHedge, now,
+                        static_cast<std::int32_t>(gpu.value()));
+  }
 }
 
 void Gateway::resolve_locally(const core::Request& request, Disposition disposition,
@@ -242,10 +329,19 @@ void Gateway::resolve_locally(const core::Request& request, Disposition disposit
     const SimTime now = cluster_->executor().now();
     window_sheds_.push_back(now);
     trim_window(now);
+    if (tel_) {
+      tel_->shed->add();
+      tel_->spans->record(request.id.value(), telemetry::SpanEvent::kShed, now);
+    }
   } else {
     GFAAS_CHECK(disposition == Disposition::kExpired);
     ++counters_.expired;
     ++stats.expired;
+    if (tel_) {
+      tel_->expired->add();
+      tel_->spans->record(request.id.value(), telemetry::SpanEvent::kExpired,
+                          cluster_->executor().now());
+    }
   }
   deliver(std::move(done), result);
 }
@@ -278,7 +374,10 @@ void Gateway::on_engine_result(const core::CompletionRecord& record) {
   if (!record.failed) {
     // A winner. Cancel the losing copy (it may be queued or executing;
     // the engine drops its hook silently either way) before resolving.
-    if (is_hedge) ++counters_.hedge_wins;
+    if (is_hedge) {
+      ++counters_.hedge_wins;
+      if (tel_) tel_->hedge_wins->add();
+    }
     const std::int64_t loser = is_hedge ? id : flight.hedge_id;
     const bool loser_live = is_hedge ? flight.primary_live : flight.hedge_id >= 0;
     if (loser_live) {
@@ -316,6 +415,11 @@ void Gateway::on_engine_result(const core::CompletionRecord& record) {
     ++flight.retries;
     ++counters_.retries;
     ++model_stats_[flight.request.model.value()].retried;
+    if (tel_) {
+      tel_->retries->add();
+      tel_->spans->record(id, telemetry::SpanEvent::kRetry,
+                          cluster_->executor().now());
+    }
     flight.primary_live = true;
     route_[id] = id;
     cluster_->engine().submit(flight.request);
@@ -348,6 +452,12 @@ void Gateway::resolve_flight(FlightMap::iterator it,
     result.disposition = Disposition::kFailed;
     ++counters_.failed;
     ++stats.failed;
+    if (tel_) {
+      tel_->failed->add();
+      tel_->spans->record(record.id.value(), telemetry::SpanEvent::kFail,
+                          record.completed,
+                          static_cast<std::int32_t>(record.gpu.value()));
+    }
   } else {
     result.disposition = Disposition::kCompleted;
     result.slo_met = record.slo_met();
@@ -367,6 +477,23 @@ void Gateway::resolve_flight(FlightMap::iterator it,
     window_latencies_.push_back(
         OutcomeSample{record.completed, record.latency(), deep_wait});
     trim_window(record.completed);
+    if (tel_) {
+      tel_->completed->add();
+      if (result.slo_met) tel_->slo_met->add();
+      tel_->latency_s->record(sim_to_seconds(record.latency()));
+      tel_->wait_s->record(sim_to_seconds(wait));
+      tel_->exec_s->record(sim_to_seconds(record.completed - record.dispatched));
+      if (flight.estimate > 0) {
+        const SimTime error = record.completed > flight.estimate
+                                  ? record.completed - flight.estimate
+                                  : flight.estimate - record.completed;
+        tel_->estimate_error_s->record(sim_to_seconds(error));
+      }
+      tel_->spans->record(record.id.value(), telemetry::SpanEvent::kComplete,
+                          record.completed,
+                          static_cast<std::int32_t>(record.gpu.value()),
+                          record.latency());
+    }
   }
   // Admit from the pending queue before resolving the callback: a client
   // that synchronously resubmits from its callback must line up behind
@@ -384,7 +511,7 @@ void Gateway::drain_pending() {
       resolve_locally(next.request, Disposition::kExpired, next.done);
       continue;
     }
-    admit(std::move(next.request), std::move(next.done));
+    admit(std::move(next.request), std::move(next.done), next.estimate);
   }
 }
 

@@ -52,6 +52,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,6 +64,10 @@
 namespace gfaas::concurrent {
 class CallbackExecutor;
 }  // namespace gfaas::concurrent
+
+namespace gfaas::telemetry {
+class Telemetry;
+}  // namespace gfaas::telemetry
 
 namespace gfaas::gateway {
 
@@ -202,9 +207,19 @@ class Gateway {
   // engine's per-request completion routing for everything it submits;
   // other submitters may still feed the engine directly.
   Gateway(cluster::ElasticCluster* cluster, GatewayConfig config = {});
+  ~Gateway();
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
+
+  // Attaches the live-telemetry seam: serving counters, latency / wait /
+  // admission-estimate-error histograms, per-request lifecycle spans,
+  // and a pull probe for queue depths and per-model SLO attainment.
+  // Nullable — the default (detached) serving path records nothing and
+  // stays byte-identical to the uninstrumented build. Wire before the
+  // first submission; `telemetry` must outlive the gateway's last
+  // resolution and the exporter's last tick.
+  void set_telemetry(telemetry::Telemetry* telemetry);
 
   // Submits one request for serving. Stamps request.arrival = now and,
   // when the request carries no deadline, deadline = now + default_slo.
@@ -252,6 +267,10 @@ class Gateway {
   struct PendingRequest {
     core::Request request;
     ResultCallback done;
+    // Completion estimate from the shed-vs-queue decision (0 when the
+    // request was admitted without one); telemetry scores the admission
+    // estimator against it at resolution.
+    SimTime estimate = 0;
   };
 
   // One admitted request until its callback resolves. The gateway may
@@ -273,6 +292,8 @@ class Gateway {
     // last doomed duplicate hit).
     core::CompletionRecord first_failure;
     bool failed_before = false;
+    // See PendingRequest::estimate.
+    SimTime estimate = 0;
   };
   using FlightMap = std::unordered_map<std::int64_t, Flight>;
 
@@ -293,7 +314,7 @@ class Gateway {
   void submit_one(core::Request request, ResultCallback done, BatchMemo* memo);
   SimTime estimated_completion_impl(const core::Request& request,
                                     BatchMemo* memo) const;
-  void admit(core::Request request, ResultCallback done);
+  void admit(core::Request request, ResultCallback done, SimTime estimate = 0);
   void resolve_locally(const core::Request& request, Disposition disposition,
                        ResultCallback& done);
   // Invokes `done` with `result` — inline, or posted to the callback
@@ -325,6 +346,10 @@ class Gateway {
   // serving path), both per-submission costs are skipped.
   bool resilient_ = false;
   concurrent::CallbackExecutor* callbacks_ = nullptr;
+  // Telemetry instrument handles, resolved once at set_telemetry();
+  // null when detached (the hot paths then skip every record).
+  struct TelemetryHandles;
+  std::unique_ptr<TelemetryHandles> tel_;
 
   std::size_t in_flight_ = 0;
   std::deque<PendingRequest> pending_;

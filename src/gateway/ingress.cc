@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
 namespace gfaas::gateway {
 
@@ -11,6 +12,18 @@ ConcurrentIngress::ConcurrentIngress(Gateway* gateway, sim::Executor* executor,
                                      std::size_t capacity)
     : gateway_(gateway), executor_(executor), queue_(capacity) {
   GFAAS_CHECK(gateway_ != nullptr && executor_ != nullptr);
+}
+
+void ConcurrentIngress::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) return;
+  telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    reg.gauge("ingress.accepted")->set(static_cast<double>(accepted()));
+    reg.gauge("ingress.rejected")->set(static_cast<double>(rejected()));
+    reg.gauge("ingress.drained")->set(static_cast<double>(drained()));
+    reg.gauge("ingress.drains")->set(static_cast<double>(drains()));
+    reg.gauge("ingress.max_batch")->set(static_cast<double>(max_batch()));
+    reg.gauge("ingress.backlog")->set(static_cast<double>(backlog()));
+  });
 }
 
 bool ConcurrentIngress::try_submit(Submission& cell) {

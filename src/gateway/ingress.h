@@ -44,6 +44,12 @@ class ConcurrentIngress {
   // the cell.
   bool try_submit(Submission& cell);
 
+  // Registers a pull probe mirroring the ingress counters and backlog
+  // into gauges each exporter tick. The producer path already keeps its
+  // own relaxed atomics, so instrumentation costs it nothing — the
+  // probe reads them from the exporter's thread.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   // --- counters (relaxed; exact once producers are quiescent) ---
   std::uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
   std::uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "telemetry/csv.h"
 
 namespace gfaas::metrics {
 
@@ -56,12 +57,14 @@ double StepTimeline::time_weighted_mean(SimTime until) const {
 }
 
 std::string StepTimeline::to_csv() const {
-  std::ostringstream out;
-  out << "time_s,value\n";
+  // Shared CSV dialect (telemetry::CsvWriter): same header convention,
+  // escaping, and double rendering as the telemetry exporter's series.
+  telemetry::CsvWriter csv({"time_s", "value"});
   for (const auto& [start, v] : steps_) {
-    out << sim_to_seconds(start) << "," << v << "\n";
+    csv.add_row({telemetry::CsvWriter::field(sim_to_seconds(start)),
+                 telemetry::CsvWriter::field(v)});
   }
-  return out.str();
+  return csv.str();
 }
 
 }  // namespace gfaas::metrics

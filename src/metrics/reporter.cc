@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "telemetry/csv.h"
 
 namespace gfaas::metrics {
 
@@ -55,17 +56,12 @@ std::string Table::to_string() const {
 }
 
 std::string Table::to_csv() const {
-  std::ostringstream out;
-  auto emit = [&](const std::vector<std::string>& row) {
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (c) out << ',';
-      out << row[c];
-    }
-    out << '\n';
-  };
-  emit(headers_);
-  for (const auto& row : rows_) emit(row);
-  return out.str();
+  // Shared CSV dialect (telemetry::CsvWriter): cells containing commas,
+  // quotes, or newlines are now properly quoted instead of corrupting
+  // the row, and the column-count check rides on the writer.
+  telemetry::CsvWriter csv(headers_);
+  for (const auto& row : rows_) csv.add_row(row);
+  return csv.str();
 }
 
 }  // namespace gfaas::metrics

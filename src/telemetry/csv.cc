@@ -1,0 +1,54 @@
+#include "telemetry/csv.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace gfaas::telemetry {
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  GFAAS_CHECK(!columns_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  GFAAS_CHECK(cells.size() == columns_.size())
+      << "csv row has " << cells.size() << " cells, header has "
+      << columns_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string CsvWriter::field(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace gfaas::telemetry

@@ -1,0 +1,41 @@
+// One CSV dialect for every emitter in the tree.
+//
+// metrics::StepTimeline, metrics::Table, and the TelemetryExporter all
+// used to hand-roll their own comma joins (with diverging quoting and
+// header conventions); they now all funnel through CsvWriter so
+// downstream tooling parses a single format: a header row always
+// present, RFC-4180 quoting (fields containing comma/quote/newline are
+// quoted, embedded quotes doubled), and doubles rendered with %.10g.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gfaas::telemetry {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  // Cell count must match the header (checked).
+  void add_row(std::vector<std::string> cells);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Header + rows, each field escaped.
+  std::string str() const;
+
+  // Canonical double rendering for CSV cells (%.10g: round-trips every
+  // value the exporters emit without trailing-zero noise).
+  static std::string field(double value);
+  // RFC-4180 escaping: quotes the field when it contains a comma, quote,
+  // or newline; embedded quotes are doubled.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gfaas::telemetry

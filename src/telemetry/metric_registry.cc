@@ -1,0 +1,161 @@
+#include "telemetry/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gfaas::telemetry {
+
+std::size_t thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options), log_min_(std::log10(options.min_value)) {
+  GFAAS_CHECK(options.min_value > 0 && options.max_value > options.min_value &&
+              options.bins_per_decade > 0);
+  const double decades = std::log10(options.max_value) - log_min_;
+  buckets_ = static_cast<std::size_t>(
+      std::ceil(decades * options.bins_per_decade) + 1);
+  cells_ = std::vector<std::atomic<std::int64_t>>(kMetricShards * buckets_);
+}
+
+int Histogram::bucket_for(double x) const {
+  if (!(x > options_.min_value)) return 0;  // also catches NaN
+  const double b = (std::log10(x) - log_min_) * options_.bins_per_decade;
+  const int bi = static_cast<int>(b);
+  return std::min(bi, static_cast<int>(buckets_) - 1);
+}
+
+double Histogram::bucket_lower(int b) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(b) / options_.bins_per_decade);
+}
+
+double Histogram::bucket_upper(int b) const {
+  return std::pow(10.0,
+                  log_min_ + static_cast<double>(b + 1) / options_.bins_per_decade);
+}
+
+std::vector<std::int64_t> Histogram::aggregate() const {
+  std::vector<std::int64_t> buckets(buckets_, 0);
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+    const std::size_t base = shard * buckets_;
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      buckets[b] += cells_[base + b].load(std::memory_order_relaxed);
+    }
+  }
+  return buckets;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::quantile(double q) const {
+  GFAAS_CHECK(q >= 0.0 && q <= 1.0);
+  const std::vector<std::int64_t> buckets = aggregate();
+  std::int64_t total = 0;
+  for (std::int64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total))));
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      const double within = static_cast<double>(rank - seen) /
+                            static_cast<double>(buckets[b]);
+      const int bi = static_cast<int>(b);
+      const double lo = bucket_lower(bi);
+      const double hi = std::min(bucket_upper(bi), options_.max_value);
+      return lo + within * (hi - lo);
+    }
+    seen += buckets[b];
+  }
+  return options_.max_value;
+}
+
+double MetricsSnapshot::value(std::string_view name, double fallback) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const std::pair<std::string, double>& v, std::string_view n) {
+        return v.first < n;
+      });
+  if (it != values.end() && it->first == name) return it->second;
+  return fallback;
+}
+
+bool MetricsSnapshot::has(std::string_view name) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const std::pair<std::string, double>& v, std::string_view n) {
+        return v.first < n;
+      });
+  return it != values.end() && it->first == name;
+}
+
+void dump_snapshot(const MetricsSnapshot& snapshot, std::FILE* out) {
+  std::fprintf(out, "telemetry snapshot%s%s at t=%.3fs (%zu metrics)\n",
+               snapshot.label.empty() ? "" : " ", snapshot.label.c_str(),
+               sim_to_seconds(snapshot.at), snapshot.values.size());
+  for (const auto& [name, value] : snapshot.values) {
+    std::fprintf(out, "  %s=%.6g\n", name.c_str(), value);
+  }
+}
+
+Counter* MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return it->second;
+  counters_.emplace_back();
+  return counter_names_.emplace(name, &counters_.back()).first->second;
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return it->second;
+  gauges_.emplace_back();
+  return gauge_names_.emplace(name, &gauges_.back()).first->second;
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name,
+                                     HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) return it->second;
+  histograms_.emplace_back(options);
+  return histogram_names_.emplace(name, &histograms_.back()).first->second;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.values.reserve(counter_names_.size() + gauge_names_.size() +
+                      4 * histogram_names_.size());
+  // std::map iteration is name-ordered; the three instrument families are
+  // merged afterwards with one sort to keep `values` globally name-sorted.
+  for (const auto& [name, counter] : counter_names_) {
+    snap.values.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauge_names_) {
+    snap.values.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histogram_names_) {
+    snap.values.emplace_back(name + ".count",
+                             static_cast<double>(histogram->count()));
+    snap.values.emplace_back(name + ".p50", histogram->quantile(0.50));
+    snap.values.emplace_back(name + ".p95", histogram->quantile(0.95));
+    snap.values.emplace_back(name + ".p99", histogram->quantile(0.99));
+  }
+  std::sort(snap.values.begin(), snap.values.end());
+  return snap;
+}
+
+}  // namespace gfaas::telemetry

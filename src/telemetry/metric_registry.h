@@ -1,0 +1,161 @@
+// Lock-free metrics registry: named counters, gauges, and log-bucketed
+// histograms whose hot-path record is wait-free.
+//
+// Every instrument is sharded: each recording thread hashes to one of
+// kMetricShards cache-line-isolated cells and bumps a relaxed atomic, so
+// producer threads, the scheduler loop, and the CallbackExecutor can all
+// record without contending on a shared line (and without ever taking a
+// lock or allocating). Reads aggregate across shards at snapshot time —
+// they are linearizable per-cell but not across cells, which is exactly
+// the consistency a periodic exporter needs and no more.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and may
+// allocate; callers are expected to resolve instruments once at wiring
+// time and hold raw pointers. Instrument pointers stay valid for the
+// lifetime of the registry (deque storage, no reallocation).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gfaas::telemetry {
+
+// Number of independent per-thread cells per instrument. Threads are
+// assigned round-robin at first record; collisions are correct (relaxed
+// fetch_add), just slightly contended.
+inline constexpr std::size_t kMetricShards = 16;
+
+// Round-robin shard slot for the calling thread (stable per thread).
+std::size_t thread_shard();
+
+// Monotonic event count. add() is wait-free and allocation-free.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    shards_[thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Last-write-wins double. Typically set from exporter probes, not hot
+// paths, but set() is still wait-free (atomic bit store).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  double value() const { return unpack(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static std::uint64_t pack(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double unpack(std::uint64_t bits) {
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  // Bit pattern of 0.0 is 0, so default-init reads as 0.0.
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct HistogramOptions {
+  // Log-bucketed range; values below/above clamp to the edge buckets.
+  double min_value = 1e-6;
+  double max_value = 1e6;
+  int bins_per_decade = 50;
+};
+
+// Fixed-size log-bucketed histogram (same binning scheme as
+// metrics::Histogram, ~2% relative quantile error at 50 bins/decade) with
+// per-thread shards of relaxed atomic buckets. record() is wait-free and
+// allocation-free; quantile()/count() aggregate across shards.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void record(double x) {
+    const std::size_t b = static_cast<std::size_t>(bucket_for(x));
+    cells_[thread_shard() * buckets_ + b].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::int64_t count() const;
+  // Nearest-rank with linear interpolation inside the bucket. q in [0,1].
+  // Returns 0 when empty.
+  double quantile(double q) const;
+
+  int bucket_count() const { return static_cast<int>(buckets_); }
+  const HistogramOptions& options() const { return options_; }
+
+ private:
+  int bucket_for(double x) const;
+  double bucket_lower(int b) const;
+  double bucket_upper(int b) const;
+  // Sums shards into a per-bucket vector.
+  std::vector<std::int64_t> aggregate() const;
+
+  HistogramOptions options_;
+  double log_min_;
+  std::size_t buckets_;
+  // kMetricShards contiguous regions of `buckets_` cells each.
+  std::vector<std::atomic<std::int64_t>> cells_;
+};
+
+// One flattened (name, value) view of every instrument, taken at a tick.
+// Histograms expand to <name>.count/.p50/.p95/.p99.
+struct MetricsSnapshot {
+  SimTime at = 0;
+  std::string label;
+  // Name-sorted.
+  std::vector<std::pair<std::string, double>> values;
+
+  // Value by exact name; `fallback` when absent.
+  double value(std::string_view name, double fallback = 0.0) const;
+  bool has(std::string_view name) const;
+};
+
+// Writes a snapshot as "name=value" lines (used by bench failure dumps).
+void dump_snapshot(const MetricsSnapshot& snapshot, std::FILE* out);
+
+// Named instrument registry. Lookup-or-create is mutex-guarded; returned
+// pointers are stable for the registry's lifetime.
+class MetricRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, HistogramOptions options = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*> counter_names_;
+  std::map<std::string, Gauge*> gauge_names_;
+  std::map<std::string, Histogram*> histogram_names_;
+};
+
+}  // namespace gfaas::telemetry

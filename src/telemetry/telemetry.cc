@@ -1,0 +1,24 @@
+#include "telemetry/telemetry.h"
+
+namespace gfaas::telemetry {
+
+Telemetry::Telemetry(TelemetryConfig config) : spans_(config.spans) {}
+
+void Telemetry::add_probe(std::function<void(MetricRegistry&)> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.push_back(std::move(probe));
+}
+
+void Telemetry::run_probes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& probe : probes_) probe(metrics_);
+}
+
+MetricsSnapshot Telemetry::snapshot_now(SimTime at) {
+  run_probes();
+  MetricsSnapshot snap = metrics_.snapshot();
+  snap.at = at;
+  return snap;
+}
+
+}  // namespace gfaas::telemetry

@@ -1,0 +1,58 @@
+// Umbrella handle the serving layers instrument against.
+//
+// One Telemetry object per run bundles the metric registry, the span
+// recorder, and the probe list. Layers accept a nullable `Telemetry*`
+// via set_telemetry(); when it is null (the default) they record
+// nothing and the hot paths stay byte-identical to the uninstrumented
+// build — the digest guard in bench_telemetry_overhead and
+// telemetry_test proves the enabled path is also behavior-preserving
+// (telemetry only observes, never consumes RNG or schedules ahead of
+// workload events).
+//
+// Probes are pull-style gauges: callbacks registered at wiring time and
+// run by the exporter at each tick (on the executor worker thread), so
+// point-in-time state — queue depths, fleet size, cache hit ratio, SLO
+// attainment — is sampled without any hot-path cost. A probe must not
+// outlive the layer whose state it reads: benches call
+// TelemetryExporter::finish() before tearing down the stack.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_span.h"
+
+namespace gfaas::telemetry {
+
+struct TelemetryConfig {
+  SpanRecorderConfig spans;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
+
+  // Registers a pull-style gauge probe (wiring time, mutex-guarded).
+  void add_probe(std::function<void(MetricRegistry&)> probe);
+
+  // Runs every probe (exporter tick / final snapshot; worker thread).
+  void run_probes();
+
+  // run_probes() + registry snapshot, in one call.
+  MetricsSnapshot snapshot_now(SimTime at);
+
+ private:
+  MetricRegistry metrics_;
+  SpanRecorder spans_;
+  std::mutex mu_;
+  std::vector<std::function<void(MetricRegistry&)>> probes_;
+};
+
+}  // namespace gfaas::telemetry

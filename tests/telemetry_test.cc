@@ -1,0 +1,479 @@
+// Tests for the live-telemetry layer: metric registry accuracy and
+// thread-safety, span sampling determinism, exporter tick alignment
+// across executors, the shared CSV dialect, and the digest guard that
+// proves instrumentation is behavior-preserving.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "cluster/realtime.h"
+#include "common/rng.h"
+#include "gateway/gateway.h"
+#include "sim/simulator.h"
+#include "telemetry/csv.h"
+#include "telemetry/exporter.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_span.h"
+#include "trace/workload.h"
+
+namespace gfaas::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles vs a sorted-vector oracle.
+// ---------------------------------------------------------------------------
+
+// Nearest-rank quantile of a sorted sample (the oracle the log-bucketed
+// histogram approximates).
+double oracle_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<std::int64_t>(sorted.size());
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n))));
+  return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+void check_quantiles(const std::vector<double>& samples, const char* name) {
+  Histogram hist;
+  std::vector<double> clamped;
+  clamped.reserve(samples.size());
+  for (double x : samples) {
+    hist.record(x);
+    // The oracle sees what the histogram can represent: values outside
+    // the bucket range clamp to the edges.
+    clamped.push_back(std::min(std::max(x, 1e-6), 1e6));
+  }
+  ASSERT_EQ(hist.count(), static_cast<std::int64_t>(samples.size()));
+  for (double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double oracle = oracle_quantile(clamped, q);
+    const double approx = hist.quantile(q);
+    // 50 bins/decade gives ~4.7% bucket width; interpolation keeps the
+    // error well inside one bucket.
+    EXPECT_NEAR(approx, oracle, 0.08 * oracle)
+        << name << " q=" << q << " oracle=" << oracle << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, UniformQuantilesMatchOracle) {
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.uniform(0.001, 100.0));
+  check_quantiles(samples, "uniform");
+}
+
+TEST(HistogramTest, ExponentialQuantilesMatchOracle) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.exponential(0.5));
+  check_quantiles(samples, "exponential");
+}
+
+TEST(HistogramTest, LognormalQuantilesMatchOracle) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(std::exp(rng.normal(0.0, 1.5)));
+  check_quantiles(samples, "lognormal");
+}
+
+TEST(HistogramTest, ClampsOutOfRangeToEdgeBuckets) {
+  Histogram hist;
+  hist.record(1e-12);
+  hist.record(1e12);
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_GE(hist.quantile(0.01), 0.0);
+  EXPECT_LE(hist.quantile(0.99), 1e6);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.quantile(0.99), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent shard aggregation (the TSan target: 8 recording threads
+// against one registry, reads racing the writes).
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, ConcurrentRecordingAggregatesExactly) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Registration races on purpose: lookup-or-create is mutex-guarded
+      // and every thread must resolve the same instruments.
+      Counter* counter = registry.counter("test.events");
+      Histogram* hist = registry.histogram("test.latency");
+      Gauge* gauge = registry.gauge("test.level");
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        counter->add();
+        hist->record(0.001 * static_cast<double>(1 + (i % 100)));
+        if ((i & 1023) == 0) gauge->set(static_cast<double>(t));
+      }
+    });
+  }
+  // Snapshot while the writers are live: values are racy-but-coherent
+  // (relaxed per-cell), and TSan must stay quiet.
+  (void)registry.snapshot();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("test.events")->value(), kThreads * kPerThread);
+  EXPECT_EQ(registry.histogram("test.latency")->count(), kThreads * kPerThread);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("test.events"), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(snap.value("test.latency.count"),
+            static_cast<double>(kThreads * kPerThread));
+  EXPECT_TRUE(snap.has("test.level"));
+  EXPECT_FALSE(snap.has("test.missing"));
+  EXPECT_EQ(snap.value("test.missing", -1.0), -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Span sampling determinism and ring-buffer bounds.
+// ---------------------------------------------------------------------------
+
+TEST(SpanRecorderTest, SamplingIsDeterministicUnderPinnedSeed) {
+  SpanRecorderConfig config;
+  config.sample_rate = 0.25;
+  config.seed = 42;
+  const SpanRecorder a(config);
+  const SpanRecorder b(config);
+  int sampled = 0;
+  for (std::int64_t id = 0; id < 10000; ++id) {
+    EXPECT_EQ(a.sampled(id), b.sampled(id)) << "id " << id;
+    if (a.sampled(id)) ++sampled;
+  }
+  // The decision is a pure hash of (id, seed): the realized fraction
+  // must sit near the configured rate.
+  EXPECT_GT(sampled, 2200);
+  EXPECT_LT(sampled, 2800);
+
+  // A different seed samples a different id subset.
+  config.seed = 43;
+  const SpanRecorder c(config);
+  int differs = 0;
+  for (std::int64_t id = 0; id < 10000; ++id) {
+    if (a.sampled(id) != c.sampled(id)) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(SpanRecorderTest, IdenticalRunsProduceIdenticalSnapshots) {
+  SpanRecorderConfig config;
+  config.capacity = 64;
+  config.sample_rate = 0.5;
+  config.seed = 7;
+  SpanRecorder a(config);
+  SpanRecorder b(config);
+  for (std::int64_t id = 0; id < 200; ++id) {
+    a.record(id, SpanEvent::kSubmit, usec(id), -1, id);
+    b.record(id, SpanEvent::kSubmit, usec(id), -1, id);
+  }
+  const std::vector<SpanRecord> sa = a.snapshot();
+  const std::vector<SpanRecord> sb = b.snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].request, sb[i].request);
+    EXPECT_EQ(sa[i].at, sb[i].at);
+    EXPECT_EQ(sa[i].event, sb[i].event);
+    EXPECT_EQ(sa[i].detail, sb[i].detail);
+  }
+}
+
+TEST(SpanRecorderTest, RingOverwritesOldestAndStaysBounded) {
+  SpanRecorderConfig config;
+  config.capacity = 8;
+  config.sample_rate = 1.0;  // record everything
+  SpanRecorder recorder(config);
+  for (std::int64_t id = 0; id < 20; ++id) {
+    recorder.record(id, SpanEvent::kSubmit, usec(id));
+  }
+  EXPECT_EQ(recorder.recorded(), 20);
+  EXPECT_EQ(recorder.overwritten(), 12);
+  const std::vector<SpanRecord> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].request, static_cast<std::int64_t>(12 + i))
+        << "oldest-first order";
+  }
+}
+
+TEST(SpanRecorderTest, SinkSeesEverySampledEvent) {
+  SpanRecorderConfig config;
+  config.sample_rate = 0.25;
+  config.seed = 5;
+  SpanRecorder recorder(config);
+  std::vector<std::int64_t> seen;
+  recorder.set_sink([&seen](const SpanRecord& span) {
+    seen.push_back(span.request);
+  });
+  std::vector<std::int64_t> expected;
+  for (std::int64_t id = 0; id < 1000; ++id) {
+    recorder.record(id, SpanEvent::kComplete, usec(id));
+    if (recorder.sampled(id)) expected.push_back(id);
+  }
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(recorder.recorded(), static_cast<std::int64_t>(expected.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Exporter tick alignment: identical nominal rows on the simulator and
+// the wall-clock executor.
+// ---------------------------------------------------------------------------
+
+// Drives one exporter run: a counter bumped before the start row, a
+// second bump between two ticks, horizon = 4 intervals. Returns the
+// full CSV (timestamps + values).
+std::string run_export(sim::Executor& executor, bool realtime) {
+  Telemetry telemetry;
+  Counter* events = telemetry.metrics().counter("run.events");
+  events->add(3);
+  TelemetryExporterConfig config;
+  config.interval = msec(50);
+  config.label = "align";
+  TelemetryExporter exporter(&executor, &telemetry, config);
+  const SimTime horizon = msec(200);
+  // The mid-run bump lands between the t=100ms and t=150ms rows (well
+  // clear of tick boundaries, so sim and realtime agree on which rows
+  // see it).
+  executor.schedule_after(msec(125), [events] { events->add(4); });
+  exporter.start(horizon);
+  if (realtime) {
+    static_cast<cluster::RealTimeExecutor&>(executor).drain();
+  } else {
+    static_cast<sim::Simulator&>(executor).run();
+  }
+  exporter.finish();
+  // Rows: snapped start (t=0) + ticks at 50/100/150/200ms + finish row
+  // at the next nominal boundary (250ms).
+  EXPECT_EQ(exporter.series().size(), 6u);
+  EXPECT_EQ(exporter.series().front().at, 0);
+  EXPECT_EQ(exporter.last().at, msec(250));
+  EXPECT_EQ(exporter.series()[2].value("run.events"), 3.0);
+  EXPECT_EQ(exporter.series()[3].value("run.events"), 7.0);
+  return exporter.to_csv();
+}
+
+TEST(TelemetryExporterTest, SimAndRealtimeRowsAreByteIdentical) {
+  sim::Simulator simulator;
+  const std::string sim_csv = run_export(simulator, /*realtime=*/false);
+
+  cluster::RealTimeExecutor wall(/*time_scale=*/1.0);
+  const std::string wall_csv = run_export(wall, /*realtime=*/true);
+
+  // Nominal stamping + grid-snapped start: the two series agree to the
+  // byte even though the wall-clock ticks fired with real jitter.
+  EXPECT_EQ(sim_csv, wall_csv);
+}
+
+TEST(TelemetryExporterTest, JsonlStreamsOneLinePerRow) {
+  sim::Simulator simulator;
+  Telemetry telemetry;
+  telemetry.metrics().counter("j.count")->add(2);
+  std::ostringstream jsonl;
+  TelemetryExporterConfig config;
+  config.interval = sec(1);
+  config.label = "jsonl \"quoted\"";
+  config.jsonl = &jsonl;
+  TelemetryExporter exporter(&simulator, &telemetry, config);
+  exporter.start(sec(2));
+  simulator.run();
+  exporter.finish();
+  const std::string text = jsonl.str();
+  // start + 2 ticks + finish = 4 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("\"run\":\"jsonl \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("\"j.count\":2"), std::string::npos);
+}
+
+TEST(TelemetryExporterTest, ProbesRunAtEveryTick) {
+  sim::Simulator simulator;
+  Telemetry telemetry;
+  int probe_runs = 0;
+  telemetry.add_probe([&probe_runs](MetricRegistry& registry) {
+    ++probe_runs;
+    registry.gauge("probe.runs")->set(static_cast<double>(probe_runs));
+  });
+  TelemetryExporterConfig config;
+  config.interval = sec(5);
+  TelemetryExporter exporter(&simulator, &telemetry, config);
+  exporter.start(sec(10));
+  simulator.run();
+  exporter.finish();
+  ASSERT_EQ(exporter.series().size(), 4u);
+  EXPECT_EQ(probe_runs, 4);
+  EXPECT_EQ(exporter.last().value("probe.runs"), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Shared CSV dialect.
+// ---------------------------------------------------------------------------
+
+TEST(CsvWriterTest, EscapesRfc4180) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"quo\"te", "line\nbreak"});
+  EXPECT_EQ(csv.str(),
+            "name,note\n"
+            "plain,\"with,comma\"\n"
+            "\"quo\"\"te\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, FieldRendersDoublesCompactly) {
+  EXPECT_EQ(CsvWriter::field(2.0), "2");
+  EXPECT_EQ(CsvWriter::field(0.25), "0.25");
+  EXPECT_EQ(CsvWriter::field(1.0 / 3.0), "0.3333333333");
+}
+
+// ---------------------------------------------------------------------------
+// Digest guard: one seed-grid cell, batched through the gateway, with
+// and without telemetry attached — every reported metric and the full
+// completion-record digest must match exactly.
+// ---------------------------------------------------------------------------
+
+std::uint64_t completion_digest(const std::vector<core::CompletionRecord>& records) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& r : records) {
+    mix(static_cast<std::uint64_t>(r.id.value()));
+    mix(static_cast<std::uint64_t>(r.gpu.value()));
+    mix(static_cast<std::uint64_t>(r.arrival));
+    mix(static_cast<std::uint64_t>(r.dispatched));
+    mix(static_cast<std::uint64_t>(r.completed));
+    mix((r.cache_hit ? 1u : 0u) | (r.false_miss ? 2u : 0u) |
+        (r.via_local_queue ? 4u : 0u));
+  }
+  return hash;
+}
+
+cluster::BatchIngestFactory digest_ingest(bool with_telemetry) {
+  return [with_telemetry](cluster::ElasticCluster& cluster) {
+    gateway::GatewayConfig config;
+    config.max_in_flight = std::numeric_limits<std::size_t>::max();
+    config.default_slo = 0;
+    auto gw = std::make_shared<gateway::Gateway>(&cluster, config);
+    std::shared_ptr<Telemetry> tel;
+    if (with_telemetry) {
+      tel = std::make_shared<Telemetry>();
+      gw->set_telemetry(tel.get());
+    }
+    return [gw, tel](std::vector<core::Request> burst) {
+      std::vector<gateway::Submission> cells;
+      cells.reserve(burst.size());
+      for (core::Request& request : burst) {
+        cells.push_back(gateway::Submission{
+            std::move(request), [](const gateway::GatewayResult&) {}});
+      }
+      gw->submit_batch(std::move(cells));
+    };
+  };
+}
+
+TEST(TelemetryDigestTest, EnabledTelemetryIsByteIdentical) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 15;
+  wconfig.seed = 7;
+  auto workload = trace::build_standard_workload(wconfig, /*trace_seed=*/42);
+  ASSERT_TRUE(workload.ok()) << workload.status().to_string();
+  cluster::ClusterConfig config;
+  config.policy = core::PolicyName::kLalbO3;
+  config.o3_limit = 25;
+
+  std::vector<core::CompletionRecord> plain_records;
+  const auto plain = cluster::run_experiment_batched(
+      config, *workload, &plain_records, digest_ingest(/*with_telemetry=*/false));
+  std::vector<core::CompletionRecord> instr_records;
+  const auto instr = cluster::run_experiment_batched(
+      config, *workload, &instr_records, digest_ingest(/*with_telemetry=*/true));
+
+  // Exact equality, not tolerance: telemetry must be invisible.
+  EXPECT_EQ(plain.requests, instr.requests);
+  EXPECT_EQ(plain.avg_latency_s, instr.avg_latency_s);
+  EXPECT_EQ(plain.p99_latency_s, instr.p99_latency_s);
+  EXPECT_EQ(plain.miss_ratio, instr.miss_ratio);
+  EXPECT_EQ(plain.false_miss_ratio, instr.false_miss_ratio);
+  EXPECT_EQ(plain.sm_utilization, instr.sm_utilization);
+  EXPECT_EQ(completion_digest(plain_records), completion_digest(instr_records));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end instrumentation: a small simulated run must populate the
+// gateway/engine metric families consistently.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryIntegrationTest, InstrumentedRunPopulatesMetricFamilies) {
+  trace::WorkloadConfig wconfig;
+  wconfig.working_set_size = 15;
+  wconfig.seed = 7;
+  auto workload = trace::build_standard_workload(wconfig, /*trace_seed=*/42);
+  ASSERT_TRUE(workload.ok());
+
+  cluster::SimCluster cluster(cluster::ClusterConfig{}, workload->registry);
+  gateway::GatewayConfig gconfig;
+  gconfig.max_in_flight = std::numeric_limits<std::size_t>::max();
+  gconfig.default_slo = 0;
+  gateway::Gateway gateway(&cluster, gconfig);
+  Telemetry telemetry;
+  gateway.set_telemetry(&telemetry);
+  cluster.engine().set_telemetry(&telemetry);
+  TelemetryExporterConfig econfig;
+  econfig.interval = sec(10);
+  TelemetryExporter exporter(&cluster.executor(), &telemetry, econfig);
+
+  SimTime horizon = 0;
+  std::int64_t completions = 0;
+  for (const core::Request& request : workload->requests) {
+    horizon = std::max(horizon, request.arrival);
+    core::Request copy = request;
+    cluster.executor().schedule_after(request.arrival, [&gateway, copy,
+                                                       &completions]() mutable {
+      gateway.submit(std::move(copy),
+                     [&completions](const gateway::GatewayResult&) {
+                       ++completions;
+                     });
+    });
+  }
+  exporter.start(horizon);
+  cluster.run_to_completion();
+  exporter.finish();
+
+  const MetricsSnapshot& snap = exporter.last();
+  const auto total = static_cast<double>(workload->requests.size());
+  EXPECT_EQ(snap.value("gateway.submitted"), total);
+  EXPECT_EQ(snap.value("gateway.admitted"), total);
+  EXPECT_EQ(snap.value("gateway.completed"), total);
+  EXPECT_EQ(snap.value("gateway.completed"), static_cast<double>(completions));
+  EXPECT_EQ(snap.value("engine.dispatches"), total);
+  EXPECT_EQ(snap.value("engine.completions"), total);
+  EXPECT_EQ(snap.value("gateway.latency_s.count"), total);
+  EXPECT_GT(snap.value("gateway.latency_s.p50"), 0.0);
+  EXPECT_GT(snap.value("engine.execution_time_us"), 0.0);
+  EXPECT_GT(snap.value("cache.hit_ratio"), 0.0);
+  // Sampled span ring holds a consistent request lifecycle: every
+  // sampled id opens with kSubmit at its arrival.
+  const SpanRecorder& spans = telemetry.spans();
+  EXPECT_GT(spans.recorded(), 0);
+  for (const SpanRecord& span : spans.snapshot()) {
+    EXPECT_TRUE(spans.sampled(span.request));
+  }
+}
+
+}  // namespace
+}  // namespace gfaas::telemetry
