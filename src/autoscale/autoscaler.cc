@@ -102,6 +102,7 @@ void Autoscaler::set_telemetry(telemetry::Telemetry* telemetry) {
   tel_ = std::move(handles);
   // Billed-capacity breakdown, sampled each exporter tick.
   telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    serial_.AssertHeld();  // probes run on the executor worker thread
     const double schedulable =
         static_cast<double>(cluster_->engine().schedulable_gpu_count());
     reg.gauge("autoscale.fleet.schedulable")->set(schedulable);
@@ -116,6 +117,7 @@ void Autoscaler::set_telemetry(telemetry::Telemetry* telemetry) {
 }
 
 void Autoscaler::start(SimTime horizon) {
+  serial_.AssertHeld();
   GFAAS_CHECK(!started_) << "autoscaler already started";
   started_ = true;
   horizon_ = horizon;
@@ -125,6 +127,7 @@ void Autoscaler::start(SimTime horizon) {
 }
 
 void Autoscaler::finalize() {
+  serial_.AssertHeld();
   reap_drained();
   record_fleet();
   GFAAS_CHECK(provisioning_ == 0 && draining_.empty())
@@ -132,7 +135,10 @@ void Autoscaler::finalize() {
 }
 
 void Autoscaler::schedule_tick() {
-  cluster_->executor().schedule_after(config_.evaluation_interval, [this] { tick(); });
+  cluster_->executor().schedule_after(config_.evaluation_interval, [this] {
+    serial_.AssertHeld();  // timer callbacks fire on the worker thread
+    tick();
+  });
 }
 
 void Autoscaler::tick() {
@@ -217,6 +223,7 @@ void Autoscaler::begin_cold_start() {
   }
   ++cold_starts_begun_;
   cluster_->executor().schedule_after(delay, [this] {
+    serial_.AssertHeld();  // timer callbacks fire on the worker thread
     GFAAS_CHECK(provisioning_ > 0);
     --provisioning_;
     cluster_->add_gpu(config_.spec);

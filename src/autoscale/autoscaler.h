@@ -41,6 +41,7 @@
 
 #include "autoscale/policy.h"
 #include "cluster/elastic_cluster.h"
+#include "common/thread_annotations.h"
 #include "gpu/gpu_spec.h"
 #include "metrics/fleet.h"
 
@@ -116,26 +117,44 @@ class Autoscaler {
 
   const ScalingPolicy& policy() const { return *policy_; }
   const AutoscalerConfig& config() const { return config_; }
-  const AutoscalerCounters& counters() const { return counters_; }
+  const AutoscalerCounters& counters() const {
+    serial_.AssertHeld();
+    return counters_;
+  }
 
   // Powered = schedulable + provisioning + draining (billed capacity).
-  const metrics::StepTimeline& powered_timeline() const { return powered_; }
-  const metrics::StepTimeline& schedulable_timeline() const { return schedulable_; }
-  double gpu_seconds(SimTime end) const { return powered_.value_seconds(end); }
+  const metrics::StepTimeline& powered_timeline() const {
+    serial_.AssertHeld();
+    return powered_;
+  }
+  const metrics::StepTimeline& schedulable_timeline() const {
+    serial_.AssertHeld();
+    return schedulable_;
+  }
+  double gpu_seconds(SimTime end) const {
+    serial_.AssertHeld();
+    return powered_.value_seconds(end);
+  }
 
-  std::size_t provisioning_count() const { return provisioning_; }
-  std::size_t draining_count() const { return draining_.size(); }
+  std::size_t provisioning_count() const {
+    serial_.AssertHeld();
+    return provisioning_;
+  }
+  std::size_t draining_count() const {
+    serial_.AssertHeld();
+    return draining_.size();
+  }
 
  private:
-  void schedule_tick();
-  void tick();
-  FleetView snapshot() const;
-  void apply(const ScalingDecision& decision);
-  void begin_cold_start();
-  void begin_drain(std::size_t count);
+  void schedule_tick() REQUIRES(serial_);
+  void tick() REQUIRES(serial_);
+  FleetView snapshot() const REQUIRES(serial_);
+  void apply(const ScalingDecision& decision) REQUIRES(serial_);
+  void begin_cold_start() REQUIRES(serial_);
+  void begin_drain(std::size_t count) REQUIRES(serial_);
   // Removes fenced GPUs whose committed work has finished.
-  void reap_drained();
-  void record_fleet();
+  void reap_drained() REQUIRES(serial_);
+  void record_fleet() REQUIRES(serial_);
 
   cluster::ElasticCluster* cluster_;
   std::unique_ptr<ScalingPolicy> policy_;
@@ -145,15 +164,22 @@ class Autoscaler {
   struct TelemetryHandles;
   std::unique_ptr<TelemetryHandles> tel_;
 
-  bool started_ = false;
-  SimTime horizon_ = 0;
-  std::size_t provisioning_ = 0;
-  std::int64_t cold_starts_begun_ = 0;  // feeds cold_start_delay_hook
-  std::vector<GpuId> draining_;
+  // Thread-affinity capability: the controller is single-threaded by
+  // contract (see "Threading" above) — ticks, cold-start completions and
+  // drain reaps all run on the executor worker thread, and post-run reads
+  // happen after run_to_completion()'s join.
+  common::ExecutorAffinity serial_;
 
-  metrics::StepTimeline powered_;
-  metrics::StepTimeline schedulable_;
-  AutoscalerCounters counters_;
+  bool started_ GUARDED_BY(serial_) = false;
+  SimTime horizon_ GUARDED_BY(serial_) = 0;
+  std::size_t provisioning_ GUARDED_BY(serial_) = 0;
+  // Feeds cold_start_delay_hook.
+  std::int64_t cold_starts_begun_ GUARDED_BY(serial_) = 0;
+  std::vector<GpuId> draining_ GUARDED_BY(serial_);
+
+  metrics::StepTimeline powered_ GUARDED_BY(serial_);
+  metrics::StepTimeline schedulable_ GUARDED_BY(serial_);
+  AutoscalerCounters counters_ GUARDED_BY(serial_);
 };
 
 }  // namespace gfaas::autoscale

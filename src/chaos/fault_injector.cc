@@ -117,6 +117,7 @@ void ChaosInjector::arm() {
     FaultEvent copy = event;
     cluster_->executor().schedule_after(
         std::max<SimTime>(0, event.at - now), [this, copy] {
+          serial_.AssertHeld();  // fault events fire on the worker thread
           if (copy.kind == FaultKind::kKillDomain) {
             fire_kill(copy);
           } else {
@@ -187,6 +188,8 @@ void ChaosInjector::fire_degrade(const FaultEvent& event) {
 
 std::function<SimTime(std::int64_t)> ChaosInjector::cold_start_delay_hook() {
   return [this](std::int64_t index) {
+    // Invoked from Autoscaler::begin_cold_start on the worker thread.
+    serial_.AssertHeld();
     auto it = stalls_.find(index);
     if (it == stalls_.end()) return SimTime{0};
     ++counters_.stalls_injected;

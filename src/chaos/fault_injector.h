@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/elastic_cluster.h"
+#include "common/thread_annotations.h"
 #include "common/time.h"
 
 namespace gfaas::telemetry {
@@ -114,11 +115,14 @@ class ChaosInjector {
   std::function<SimTime(std::int64_t)> cold_start_delay_hook();
 
   const std::vector<FaultEvent>& schedule() const { return schedule_; }
-  const ChaosCounters& counters() const { return counters_; }
+  const ChaosCounters& counters() const {
+    serial_.AssertHeld();
+    return counters_;
+  }
 
  private:
-  void fire_kill(const FaultEvent& event);
-  void fire_degrade(const FaultEvent& event);
+  void fire_kill(const FaultEvent& event) REQUIRES(serial_);
+  void fire_degrade(const FaultEvent& event) REQUIRES(serial_);
   // Victim selection shared by kills and degrades: the event ordinal
   // resolved against the domains with >= 1 registered member right now.
   // Returns domain_count() when none qualify.
@@ -127,13 +131,16 @@ class ChaosInjector {
   cluster::ElasticCluster* cluster_;
   std::vector<FaultEvent> schedule_;
   std::size_t min_alive_domains_;
+  // Thread-affinity capability: fault events and the cold-start hook all
+  // fire on the executor worker thread; counters are read post-run.
+  common::ExecutorAffinity serial_;
   bool armed_ = false;
   // Telemetry instrument handles; null when detached.
   struct TelemetryHandles;
   std::shared_ptr<TelemetryHandles> tel_;
   // cold-start ordinal -> injected stall (collisions accumulate).
   std::unordered_map<std::int64_t, SimTime> stalls_;
-  ChaosCounters counters_;
+  ChaosCounters counters_ GUARDED_BY(serial_);
 };
 
 }  // namespace gfaas::chaos

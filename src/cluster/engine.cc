@@ -57,6 +57,7 @@ void SchedulerEngine::set_telemetry(telemetry::Telemetry* telemetry) {
   tel_ = std::move(handles);
   // Point-in-time scheduler state the exporter samples each tick.
   telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    serial_.AssertHeld();  // probes run on the executor worker thread
     reg.gauge("engine.queue.global")
         ->set(static_cast<double>(global_queue_.size()));
     reg.gauge("engine.queue.local")
@@ -95,12 +96,14 @@ void SchedulerEngine::detach_hook(core::Request& request) {
 }
 
 void SchedulerEngine::submit(core::Request request) {
+  serial_.AssertHeld();
   detach_hook(request);
   global_queue_.push(std::move(request));
   run_policy();
 }
 
 void SchedulerEngine::add_gpu(gpu::VirtualGpu* gpu, GpuManager* manager) {
+  serial_.AssertHeld();
   GFAAS_CHECK(gpu != nullptr && manager != nullptr && manager->manages(gpu->id()));
   gpus_.push_back(gpu);
   if (std::find(managers_.begin(), managers_.end(), manager) == managers_.end()) {
@@ -113,6 +116,7 @@ void SchedulerEngine::add_gpu(gpu::VirtualGpu* gpu, GpuManager* manager) {
 }
 
 void SchedulerEngine::fence_gpu(GpuId gpu) {
+  serial_.AssertHeld();
   index_.fence(gpu);
   cache_->fence_gpu(gpu);
   // If the GPU is sitting idle over a non-empty local queue (fenced
@@ -124,12 +128,14 @@ void SchedulerEngine::fence_gpu(GpuId gpu) {
 }
 
 void SchedulerEngine::unfence_gpu(GpuId gpu) {
+  serial_.AssertHeld();
   cache_->unfence_gpu(gpu);
   index_.unfence(gpu);
   run_policy();
 }
 
 void SchedulerEngine::remove_gpu(GpuId gpu) {
+  serial_.AssertHeld();
   GFAAS_CHECK(drained(gpu)) << "gpu " << gpu.value() << " removed before draining";
   index_.remove_gpu(gpu);
   cache_->remove_gpu(gpu);
@@ -138,6 +144,7 @@ void SchedulerEngine::remove_gpu(GpuId gpu) {
 SimTime SchedulerEngine::now() const { return executor_->now(); }
 
 std::vector<GpuId> SchedulerEngine::idle_gpus() const {
+  serial_.AssertHeld();
   // "Sorted by frequency": most-dispatched first (hot GPUs hold hot
   // models); ties by id for determinism. LB picks from the back, i.e. the
   // least-used idle GPU, which is classic load balancing. The index keeps
@@ -145,9 +152,13 @@ std::vector<GpuId> SchedulerEngine::idle_gpus() const {
   return index_.idle_gpus();
 }
 
-std::vector<GpuId> SchedulerEngine::busy_gpus() const { return index_.busy_gpus(); }
+std::vector<GpuId> SchedulerEngine::busy_gpus() const {
+  serial_.AssertHeld();
+  return index_.busy_gpus();
+}
 
 SimTime SchedulerEngine::estimated_finish_time(GpuId gpu) const {
+  serial_.AssertHeld();
   // In-flight work (committed at dispatch: load + inference), plus every
   // request already waiting in the local queue (§IV-A "and requests
   // already queued in its local queue"). Local-queue requests are cache
@@ -170,6 +181,7 @@ SimTime SchedulerEngine::infer_time(ModelId model, std::int64_t batch) const {
 
 void SchedulerEngine::dispatch_from_global(RequestId request, GpuId gpu,
                                            bool false_miss) {
+  serial_.AssertHeld();
   auto req = global_queue_.take(request);
   GFAAS_CHECK(req.ok()) << req.status().to_string();
   if (false_miss) ++false_misses_;
@@ -177,6 +189,7 @@ void SchedulerEngine::dispatch_from_global(RequestId request, GpuId gpu,
 }
 
 void SchedulerEngine::dispatch_from_local(GpuId gpu) {
+  serial_.AssertHeld();
   auto req = local_queues_.pop_head(gpu);
   GFAAS_CHECK(req.has_value()) << "local queue of gpu " << gpu.value() << " empty";
   index_.add_local_work(gpu, -infer_time(req->model, req->batch));
@@ -187,6 +200,7 @@ void SchedulerEngine::dispatch_from_local(GpuId gpu) {
 }
 
 void SchedulerEngine::move_to_local(RequestId request, GpuId gpu) {
+  serial_.AssertHeld();
   auto req = global_queue_.take(request);
   GFAAS_CHECK(req.ok()) << req.status().to_string();
   // Pin so the model cannot be evicted while the request waits; the local
@@ -217,7 +231,12 @@ void SchedulerEngine::start_execution(core::Request request, GpuId gpu, bool fal
   }
   auto finish = manager_for(gpu).execute(
       request, gpu, false_miss, via_local_queue,
-      [this](const core::CompletionRecord& record) { on_completion(record); });
+      [this](const core::CompletionRecord& record) {
+        // Completions fire on the worker thread (directly under the
+        // simulated executor, via the callback pool's re-post otherwise).
+        serial_.AssertHeld();
+        on_completion(record);
+      });
   GFAAS_CHECK(finish.ok()) << "execute failed: " << finish.status().to_string();
   index_.set_committed_finish(gpu, *finish);
   update_duplicates_meter();
@@ -269,6 +288,7 @@ void SchedulerEngine::notify_request_hook(const core::CompletionRecord& record) 
 }
 
 void SchedulerEngine::kill_gpu(GpuId gpu) {
+  serial_.AssertHeld();
   GFAAS_CHECK(index_.is_registered(gpu)) << "kill of unknown gpu " << gpu.value();
   // Fence first: the dead GPU leaves the idle/location indexes, so the
   // policy re-runs below cannot target it. Unlike fence_gpu() this never
@@ -308,6 +328,7 @@ void SchedulerEngine::kill_gpu(GpuId gpu) {
 }
 
 bool SchedulerEngine::cancel_request(RequestId id) {
+  serial_.AssertHeld();
   GFAAS_CHECK(id.valid());
   // (1) Waiting in the global queue: drop it before any GPU commits.
   if (global_queue_.find(id) != nullptr) {
@@ -361,6 +382,7 @@ bool SchedulerEngine::cancel_request(RequestId id) {
 }
 
 bool SchedulerEngine::request_waiting(RequestId id) const {
+  serial_.AssertHeld();
   if (global_queue_.find(id) != nullptr) return true;
   for (std::size_t i = 0; i < index_.gpu_count(); ++i) {
     const GpuId gpu(static_cast<std::int64_t>(i));
@@ -373,6 +395,7 @@ bool SchedulerEngine::request_waiting(RequestId id) const {
 }
 
 GpuId SchedulerEngine::hedge_dispatch(core::Request request, RequestId primary) {
+  serial_.AssertHeld();
   GpuId target;
   bool target_cached = false;
   for (const GpuId gpu : cache_->locations(request.model)) {

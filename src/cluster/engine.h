@@ -19,6 +19,7 @@
 
 #include "cache/cache_manager.h"
 #include "cluster/cluster_state_index.h"
+#include "common/thread_annotations.h"
 #include "cluster/gpu_manager.h"
 #include "core/queues.h"
 #include "core/scheduler.h"
@@ -73,18 +74,31 @@ class SchedulerEngine final : public core::SchedulingContext {
   // GPU is fenced and removed in one step. Must run strictly before the
   // in-flight request's completion instant.
   void kill_gpu(GpuId gpu);
-  bool is_fenced(GpuId gpu) const { return index_.is_fenced(gpu); }
+  bool is_fenced(GpuId gpu) const {
+    serial_.AssertHeld();
+    return index_.is_fenced(gpu);
+  }
   // Whether the GPU is currently part of the cluster (false once removed
   // or killed; ids are never reused).
-  bool is_registered(GpuId gpu) const { return index_.is_registered(gpu); }
+  bool is_registered(GpuId gpu) const {
+    serial_.AssertHeld();
+    return index_.is_registered(gpu);
+  }
   // Whether a fenced GPU has finished all committed work and can be removed.
   bool drained(GpuId gpu) const {
+    serial_.AssertHeld();
     return index_.is_fenced(gpu) && index_.is_idle(gpu) &&
            index_.local_pending(gpu) == 0;
   }
   // GPUs the policy may currently target (registered and not fenced).
-  std::size_t schedulable_gpu_count() const { return index_.schedulable_count(); }
-  std::size_t idle_gpu_count() const { return index_.idle_count(); }
+  std::size_t schedulable_gpu_count() const {
+    serial_.AssertHeld();
+    return index_.schedulable_count();
+  }
+  std::size_t idle_gpu_count() const {
+    serial_.AssertHeld();
+    return index_.idle_count();
+  }
 
   // --- retry / hedging support (src/gateway) ---
   // Cancels a not-yet-completed request wherever it sits: waiting in the
@@ -101,6 +115,7 @@ class SchedulerEngine final : public core::SchedulingContext {
   bool request_waiting(RequestId id) const;
   // Whether the request is currently executing on some GPU.
   bool request_executing(RequestId id) const {
+    serial_.AssertHeld();
     return executing_.count(id.value()) > 0;
   }
   // Dispatches a hedge duplicate directly onto an idle schedulable GPU,
@@ -122,8 +137,14 @@ class SchedulerEngine final : public core::SchedulingContext {
   }
   // GPU-time thrown away by cancel_request() aborts — the duplicate-work
   // overhead hedging pays for its p99 win — and the cancellation count.
-  SimTime cancelled_execution_time() const { return cancelled_execution_time_; }
-  std::int64_t cancellations() const { return cancellations_; }
+  SimTime cancelled_execution_time() const {
+    serial_.AssertHeld();
+    return cancelled_execution_time_;
+  }
+  std::int64_t cancellations() const {
+    serial_.AssertHeld();
+    return cancellations_;
+  }
 
   // Optional per-completion hook (e.g. the Gateway resolving a future).
   void set_completion_hook(std::function<void(const core::CompletionRecord&)> hook) {
@@ -134,33 +155,65 @@ class SchedulerEngine final : public core::SchedulingContext {
   void track_duplicates_of(ModelId model) { tracked_model_ = model; }
 
   // --- results ---
-  const std::vector<core::CompletionRecord>& completions() const { return completions_; }
+  const std::vector<core::CompletionRecord>& completions() const {
+    serial_.AssertHeld();
+    return completions_;
+  }
   // Requests that died with their GPU (kill_gpu); disjoint from
   // completions() and excluded from every latency/miss metric.
-  const std::vector<core::CompletionRecord>& failures() const { return failures_; }
+  const std::vector<core::CompletionRecord>& failures() const {
+    serial_.AssertHeld();
+    return failures_;
+  }
   std::size_t pending() const {
+    serial_.AssertHeld();
     return global_queue_.size() + local_queues_.total_pending() + in_flight_;
   }
-  std::size_t in_flight() const { return in_flight_; }
-  std::int64_t false_misses() const { return false_misses_; }
+  std::size_t in_flight() const {
+    serial_.AssertHeld();
+    return in_flight_;
+  }
+  std::int64_t false_misses() const {
+    serial_.AssertHeld();
+    return false_misses_;
+  }
   double average_top_duplicates(SimTime now) const {
+    serial_.AssertHeld();
     return duplicates_meter_.average(now);
   }
   const core::SchedulingPolicy& policy() const { return *policy_; }
 
   // Per-minute evolution of the run: completion latency samples (seconds)
   // and miss counts, bucketed by completion time.
-  const metrics::TimeSeries& latency_series() const { return latency_series_; }
-  const metrics::TimeSeries& miss_series() const { return miss_series_; }
+  const metrics::TimeSeries& latency_series() const {
+    serial_.AssertHeld();
+    return latency_series_;
+  }
+  const metrics::TimeSeries& miss_series() const {
+    serial_.AssertHeld();
+    return miss_series_;
+  }
 
   // Policy-invocation cost counters (bench_cluster_scale): number of times
   // the policy actually ran, cumulative wall-clock spent inside it, and the
   // global-queue length observed at each invocation. Wall timing never
   // feeds back into simulated time, so determinism is unaffected.
-  std::uint64_t policy_invocations() const { return policy_invocations_; }
-  std::uint64_t policy_wall_ns() const { return policy_wall_ns_; }
-  std::uint64_t policy_queue_len_sum() const { return policy_queue_len_sum_; }
-  std::size_t policy_queue_len_max() const { return policy_queue_len_max_; }
+  std::uint64_t policy_invocations() const {
+    serial_.AssertHeld();
+    return policy_invocations_;
+  }
+  std::uint64_t policy_wall_ns() const {
+    serial_.AssertHeld();
+    return policy_wall_ns_;
+  }
+  std::uint64_t policy_queue_len_sum() const {
+    serial_.AssertHeld();
+    return policy_queue_len_sum_;
+  }
+  std::size_t policy_queue_len_max() const {
+    serial_.AssertHeld();
+    return policy_queue_len_max_;
+  }
 
   // --- core::SchedulingContext ---
   SimTime now() const override;
@@ -169,17 +222,29 @@ class SchedulerEngine final : public core::SchedulingContext {
   // Fenced GPUs report busy to the policies: they must not be targeted
   // while draining even if physically idle between local-queue requests.
   bool is_idle(GpuId gpu) const override {
+    serial_.AssertHeld();
     return index_.is_idle(gpu) && !index_.is_fenced(gpu);
   }
   std::int64_t dispatch_count(GpuId gpu) const override {
+    serial_.AssertHeld();
     return index_.dispatch_count(gpu);
   }
   GpuId first_idle_with_local_work() const override {
+    serial_.AssertHeld();
     return index_.first_idle_with_local_work();
   }
-  const core::GlobalQueue& global_queue() const override { return global_queue_; }
-  core::GlobalQueue& mutable_global_queue() override { return global_queue_; }
-  const core::LocalQueues& local_queues() const override { return local_queues_; }
+  const core::GlobalQueue& global_queue() const override {
+    serial_.AssertHeld();
+    return global_queue_;
+  }
+  core::GlobalQueue& mutable_global_queue() override {
+    serial_.AssertHeld();
+    return global_queue_;
+  }
+  const core::LocalQueues& local_queues() const override {
+    serial_.AssertHeld();
+    return local_queues_;
+  }
   const cache::CacheManager& cache() const override { return *cache_; }
   SimTime estimated_finish_time(GpuId gpu) const override;
   SimTime load_time(ModelId model) const override;
@@ -191,14 +256,15 @@ class SchedulerEngine final : public core::SchedulingContext {
  private:
   GpuManager& manager_for(GpuId gpu);
   // Moves request.on_complete into request_hooks_ (submit/hedge paths).
-  void detach_hook(core::Request& request);
-  void run_policy();
+  void detach_hook(core::Request& request) REQUIRES(serial_);
+  void run_policy() REQUIRES(serial_);
   void start_execution(core::Request request, GpuId gpu, bool false_miss,
-                       bool via_local_queue);
-  void on_completion(const core::CompletionRecord& record);
+                       bool via_local_queue) REQUIRES(serial_);
+  void on_completion(const core::CompletionRecord& record) REQUIRES(serial_);
   // Fires and discards the request's detached completion hook, if any.
-  void notify_request_hook(const core::CompletionRecord& record);
-  void update_duplicates_meter();
+  void notify_request_hook(const core::CompletionRecord& record)
+      REQUIRES(serial_);
+  void update_duplicates_meter() REQUIRES(serial_);
 
   // Telemetry instrument handles, resolved once at set_telemetry();
   // null when detached (the hot paths then skip every record).
@@ -212,36 +278,44 @@ class SchedulerEngine final : public core::SchedulingContext {
   std::vector<GpuManager*> managers_;
   std::unique_ptr<core::SchedulingPolicy> policy_;
 
-  core::GlobalQueue global_queue_;
-  core::LocalQueues local_queues_;
+  // Thread-affinity capability: the engine is a single event-loop by
+  // contract (Fig. 3) — every method below runs on the executor worker
+  // thread. The scheduler state is GUARDED_BY(serial_) so a code path
+  // that reaches it without passing an asserted entry point fails the
+  // thread-safety analysis.
+  common::ExecutorAffinity serial_;
+
+  core::GlobalQueue global_queue_ GUARDED_BY(serial_);
+  core::LocalQueues local_queues_ GUARDED_BY(serial_);
   // Idle/busy sets, dispatch frequencies, committed finish times and
   // local-queue work aggregates, maintained incrementally at dispatch,
   // completion and local-queue push/pop.
-  ClusterStateIndex index_;
-  std::size_t in_flight_ = 0;
-  bool policy_running_ = false;
-  std::int64_t false_misses_ = 0;
-  std::uint64_t policy_invocations_ = 0;
-  std::uint64_t policy_wall_ns_ = 0;
-  std::uint64_t policy_queue_len_sum_ = 0;
-  std::size_t policy_queue_len_max_ = 0;
+  ClusterStateIndex index_ GUARDED_BY(serial_);
+  std::size_t in_flight_ GUARDED_BY(serial_) = 0;
+  bool policy_running_ GUARDED_BY(serial_) = false;
+  std::int64_t false_misses_ GUARDED_BY(serial_) = 0;
+  std::uint64_t policy_invocations_ GUARDED_BY(serial_) = 0;
+  std::uint64_t policy_wall_ns_ GUARDED_BY(serial_) = 0;
+  std::uint64_t policy_queue_len_sum_ GUARDED_BY(serial_) = 0;
+  std::size_t policy_queue_len_max_ GUARDED_BY(serial_) = 0;
 
-  std::vector<core::CompletionRecord> completions_;
-  std::vector<core::CompletionRecord> failures_;
+  std::vector<core::CompletionRecord> completions_ GUARDED_BY(serial_);
+  std::vector<core::CompletionRecord> failures_ GUARDED_BY(serial_);
   std::function<void(const core::CompletionRecord&)> completion_hook_;
   // Per-request hooks, detached from the Request at submit() so they ride
   // by id instead of being copied through the queues and GPU Managers.
-  std::unordered_map<std::int64_t, core::CompletionHook> request_hooks_;
+  std::unordered_map<std::int64_t, core::CompletionHook> request_hooks_
+      GUARDED_BY(serial_);
   // Where each executing request runs (request id -> GPU), maintained at
   // dispatch/completion/abort so cancel_request() can find its target
   // without a fleet scan.
-  std::unordered_map<std::int64_t, GpuId> executing_;
-  SimTime cancelled_execution_time_ = 0;
-  std::int64_t cancellations_ = 0;
+  std::unordered_map<std::int64_t, GpuId> executing_ GUARDED_BY(serial_);
+  SimTime cancelled_execution_time_ GUARDED_BY(serial_) = 0;
+  std::int64_t cancellations_ GUARDED_BY(serial_) = 0;
   ModelId tracked_model_;
-  metrics::TimeWeightedAverage duplicates_meter_;
-  metrics::TimeSeries latency_series_{minutes(1)};
-  metrics::TimeSeries miss_series_{minutes(1)};
+  metrics::TimeWeightedAverage duplicates_meter_ GUARDED_BY(serial_);
+  metrics::TimeSeries latency_series_ GUARDED_BY(serial_){minutes(1)};
+  metrics::TimeSeries miss_series_ GUARDED_BY(serial_){minutes(1)};
 };
 
 }  // namespace gfaas::cluster

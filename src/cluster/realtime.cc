@@ -12,7 +12,7 @@ RealTimeExecutor::RealTimeExecutor(double time_scale)
 
 RealTimeExecutor::~RealTimeExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -36,7 +36,7 @@ std::chrono::steady_clock::time_point RealTimeExecutor::deadline_for(
 std::uint64_t RealTimeExecutor::schedule_after(SimTime delay, std::function<void()> fn) {
   GFAAS_CHECK(delay >= 0);
   GFAAS_CHECK(fn != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const SimTime when = now() + delay;
   const std::uint64_t id = next_id_++;
   const auto key = std::make_pair(when, next_seq_++);
@@ -48,7 +48,7 @@ std::uint64_t RealTimeExecutor::schedule_after(SimTime delay, std::function<void
 
 std::uint64_t RealTimeExecutor::post(std::function<void()> fn) {
   GFAAS_CHECK(fn != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const std::uint64_t id = next_id_++;
   ready_.push_back(Ready{id, now(), next_seq_++, std::move(fn)});
   ready_live_.insert(id);
@@ -57,7 +57,7 @@ std::uint64_t RealTimeExecutor::post(std::function<void()> fn) {
 }
 
 bool RealTimeExecutor::cancel(std::uint64_t event_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = by_id_.find(event_id);
   if (it != by_id_.end()) {
     events_.erase(it->second);
@@ -80,29 +80,31 @@ bool RealTimeExecutor::cancel(std::uint64_t event_id) {
 }
 
 std::size_t RealTimeExecutor::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return events_.size() + ready_live_.size() + (running_ ? 1 : 0);
 }
 
 std::uint64_t RealTimeExecutor::fired_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return fired_;
 }
 
 std::uint64_t RealTimeExecutor::cancelled_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return cancelled_;
 }
 
 void RealTimeExecutor::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] {
-    return events_.empty() && ready_live_.empty() && !running_;
-  });
+  common::MutexLock lock(&mu_);
+  // Explicit predicate loop (not the lambda-predicate overload) so the
+  // guarded reads stay inside this annotated scope.
+  while (!(events_.empty() && ready_live_.empty() && !running_)) {
+    drained_cv_.wait(lock);
+  }
 }
 
 void RealTimeExecutor::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   while (!stop_) {
     // Scrub cancelled ready tombstones so their closures are released
     // promptly and the emptiness checks below see the true state.
@@ -111,9 +113,9 @@ void RealTimeExecutor::worker_loop() {
     }
     if (events_.empty() && ready_.empty()) {
       drained_cv_.notify_all();
-      cv_.wait(lock, [this] {
-        return stop_ || !events_.empty() || !ready_.empty();
-      });
+      while (!(stop_ || !events_.empty() || !ready_.empty())) {
+        cv_.wait(lock);
+      }
       continue;
     }
     // Pick the earlier of the ready head and the timed head by
@@ -145,9 +147,9 @@ void RealTimeExecutor::worker_loop() {
     }
     ++fired_;
     running_ = true;
-    lock.unlock();
+    lock.Unlock();
     fn();
-    lock.lock();
+    lock.Lock();
     running_ = false;
     if (events_.empty() && ready_live_.empty()) drained_cv_.notify_all();
   }

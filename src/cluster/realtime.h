@@ -15,15 +15,14 @@
 // exact fired/cancelled accounting.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
+#include "common/thread_annotations.h"
 #include "sim/simulator.h"
 
 namespace gfaas::cluster {
@@ -64,6 +63,11 @@ class RealTimeExecutor final : public sim::Executor {
   std::uint64_t cancelled_count() const;
 
  private:
+  // Seam for tests/negative_compile: the probe reads guarded members
+  // WITHOUT holding mu_ and must fail thread-safety analysis — which
+  // proves the GUARDED_BY annotations below are actually present.
+  friend class ThreadSafetyProbe;
+
   // Callback plus the schedule_after id it was registered under, so the
   // worker can erase the by_id_ entry with an O(log n) keyed lookup when
   // the event fires (erasing by value would be an O(n) scan per fire —
@@ -88,23 +92,24 @@ class RealTimeExecutor final : public sim::Executor {
 
   double time_scale_;
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  common::CondVar drained_cv_;
   // (fire time in scaled µs, sequence) -> scheduled callback.
-  std::map<std::pair<SimTime, std::uint64_t>, Scheduled> events_;
-  std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> by_id_;
+  std::map<std::pair<SimTime, std::uint64_t>, Scheduled> events_ GUARDED_BY(mu_);
+  std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> by_id_
+      GUARDED_BY(mu_);
   // post() fast path: FIFO deque of ready work plus the live-id set that
   // makes cancel O(1) (a cancelled entry stays in the deque as a
   // tombstone the worker scrubs; ready_live_.size() is the true count).
-  std::deque<Ready> ready_;
-  std::unordered_set<std::uint64_t> ready_live_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t fired_ = 0;
-  std::uint64_t cancelled_ = 0;
-  bool running_ = false;  // a callback is executing
-  bool stop_ = false;
+  std::deque<Ready> ready_ GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> ready_live_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fired_ GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ GUARDED_BY(mu_) = 0;
+  bool running_ GUARDED_BY(mu_) = false;  // a callback is executing
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

@@ -13,7 +13,7 @@ CallbackExecutor::CallbackExecutor() {
 
 CallbackExecutor::~CallbackExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -23,7 +23,7 @@ CallbackExecutor::~CallbackExecutor() {
 void CallbackExecutor::post(std::function<void()> fn) {
   GFAAS_CHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     GFAAS_CHECK(!stop_) << "post() on a stopping CallbackExecutor";
     queue_.push_back(std::move(fn));
   }
@@ -31,28 +31,29 @@ void CallbackExecutor::post(std::function<void()> fn) {
 }
 
 void CallbackExecutor::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+  common::MutexLock lock(&mu_);
+  // Explicit predicate loop so the guarded reads stay in this scope.
+  while (!(queue_.empty() && !running_)) drained_cv_.wait(lock);
 }
 
 std::uint64_t CallbackExecutor::executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return executed_;
 }
 
 std::size_t CallbackExecutor::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return queue_.size() + (running_ ? 1 : 0);
 }
 
 void CallbackExecutor::loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::function<void()>> batch;
   for (;;) {
     if (queue_.empty()) {
       drained_cv_.notify_all();
       if (stop_) return;  // queue drained before exit, nothing dropped
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      while (!(stop_ || !queue_.empty())) cv_.wait(lock);
       continue;
     }
     // Swap the whole backlog out: one lock per pass, FIFO preserved.
@@ -60,11 +61,11 @@ void CallbackExecutor::loop() {
                  std::make_move_iterator(queue_.end()));
     queue_.clear();
     running_ = true;
-    lock.unlock();
+    lock.Unlock();
     for (std::function<void()>& fn : batch) fn();
     const std::uint64_t ran = batch.size();
     batch.clear();
-    lock.lock();
+    lock.Lock();
     running_ = false;
     executed_ += ran;
   }

@@ -20,12 +20,12 @@
 // Destruction runs every callback already posted, then joins the thread.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.h"
 
 namespace gfaas::concurrent {
 
@@ -51,13 +51,14 @@ class CallbackExecutor {
  private:
   void loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::uint64_t executed_ = 0;
-  bool running_ = false;  // a batch of callbacks is executing
-  bool stop_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  common::CondVar drained_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::uint64_t executed_ GUARDED_BY(mu_) = 0;
+  // A batch of callbacks is executing.
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

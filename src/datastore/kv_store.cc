@@ -50,7 +50,7 @@ void KvStore::notify_locked(const WatchEvent& event) {
 }
 
 Revision KvStore::put(const std::string& key, const std::string& value, LeaseId lease) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (lease != 0) {
     GFAAS_CHECK(leases_.count(lease) > 0) << "put with unknown lease " << lease;
   }
@@ -58,14 +58,14 @@ Revision KvStore::put(const std::string& key, const std::string& value, LeaseId 
 }
 
 StatusOr<KeyValue> KvStore::get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = data_.find(key);
   if (it == data_.end()) return Status::NotFound("no such key: " + key);
   return it->second;
 }
 
 std::vector<KeyValue> KvStore::range(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<KeyValue> out;
   for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
     if (!has_prefix(it->first, prefix)) break;
@@ -75,12 +75,12 @@ std::vector<KeyValue> KvStore::range(const std::string& prefix) const {
 }
 
 bool KvStore::erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return apply_erase_locked(key);
 }
 
 std::size_t KvStore::erase_prefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> keys;
   for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
     if (!has_prefix(it->first, prefix)) break;
@@ -91,12 +91,12 @@ std::size_t KvStore::erase_prefix(const std::string& prefix) {
 }
 
 std::size_t KvStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return data_.size();
 }
 
 Revision KvStore::revision() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return revision_;
 }
 
@@ -119,7 +119,7 @@ bool KvStore::compare_holds_locked(const Compare& c) const {
 TxnResult KvStore::txn(const std::vector<Compare>& compares,
                        const std::vector<TxnOp>& then_ops,
                        const std::vector<TxnOp>& else_ops) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   TxnResult result;
   result.succeeded =
       std::all_of(compares.begin(), compares.end(),
@@ -151,14 +151,14 @@ bool KvStore::compare_and_swap(const std::string& key, const std::string& expect
 }
 
 WatchId KvStore::watch(const std::string& prefix, WatchCallback cb) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const WatchId id = next_watch_++;
   watchers_.push_back(Watcher{id, prefix, std::move(cb)});
   return id;
 }
 
 bool KvStore::unwatch(WatchId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = std::find_if(watchers_.begin(), watchers_.end(),
                          [&](const Watcher& w) { return w.id == id; });
   if (it == watchers_.end()) return false;
@@ -167,7 +167,7 @@ bool KvStore::unwatch(WatchId id) {
 }
 
 LeaseId KvStore::grant_lease(SimTime ttl) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   GFAAS_CHECK(ttl > 0) << "lease ttl must be positive";
   const LeaseId id = next_lease_++;
   leases_[id] = LeaseInfo{ttl, now() + ttl};
@@ -175,7 +175,7 @@ LeaseId KvStore::grant_lease(SimTime ttl) {
 }
 
 bool KvStore::keepalive(LeaseId lease) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = leases_.find(lease);
   if (it == leases_.end()) return false;
   it->second.expires_at = now() + it->second.ttl;
@@ -183,7 +183,7 @@ bool KvStore::keepalive(LeaseId lease) {
 }
 
 bool KvStore::revoke_lease(LeaseId lease) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = leases_.find(lease);
   if (it == leases_.end()) return false;
   leases_.erase(it);
@@ -196,7 +196,7 @@ bool KvStore::revoke_lease(LeaseId lease) {
 }
 
 std::size_t KvStore::expire_leases() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const SimTime t = now();
   std::vector<LeaseId> due;
   for (const auto& [id, info] : leases_) {

@@ -23,13 +23,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/time.h"
 #include "sim/simulator.h"
 
@@ -136,25 +136,25 @@ class KvStore {
   };
 
   Revision apply_put_locked(const std::string& key, const std::string& value,
-                            LeaseId lease);
-  bool apply_erase_locked(const std::string& key);
-  bool compare_holds_locked(const Compare& c) const;
-  void notify_locked(const WatchEvent& event);
+                            LeaseId lease) REQUIRES(mu_);
+  bool apply_erase_locked(const std::string& key) REQUIRES(mu_);
+  bool compare_holds_locked(const Compare& c) const REQUIRES(mu_);
+  void notify_locked(const WatchEvent& event) REQUIRES(mu_);
   SimTime now() const { return clock_ ? clock_->now() : 0; }
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   const sim::Clock* clock_;
-  Revision revision_ = 0;
-  std::map<std::string, KeyValue> data_;
-  std::unordered_map<LeaseId, LeaseInfo> leases_;
-  LeaseId next_lease_ = 1;
-  WatchId next_watch_ = 1;
+  Revision revision_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, KeyValue> data_ GUARDED_BY(mu_);
+  std::unordered_map<LeaseId, LeaseInfo> leases_ GUARDED_BY(mu_);
+  LeaseId next_lease_ GUARDED_BY(mu_) = 1;
+  WatchId next_watch_ GUARDED_BY(mu_) = 1;
   struct Watcher {
     WatchId id;
     std::string prefix;
     WatchCallback cb;
   };
-  std::vector<Watcher> watchers_;
+  std::vector<Watcher> watchers_ GUARDED_BY(mu_);
 };
 
 }  // namespace gfaas::datastore

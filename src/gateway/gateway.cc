@@ -87,6 +87,7 @@ void Gateway::set_telemetry(telemetry::Telemetry* telemetry) {
   // occupancy and per-model SLO attainment (model gauges register
   // lazily as models first complete).
   telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+    serial_.AssertHeld();  // probes run on the executor worker thread
     reg.gauge("gateway.in_flight")->set(static_cast<double>(in_flight_));
     reg.gauge("gateway.pending")->set(static_cast<double>(pending_.size()));
     for (const auto& [model, stats] : model_stats_) {
@@ -97,10 +98,12 @@ void Gateway::set_telemetry(telemetry::Telemetry* telemetry) {
 }
 
 void Gateway::submit(core::Request request, ResultCallback done) {
+  serial_.AssertHeld();
   submit_one(std::move(request), std::move(done), nullptr);
 }
 
 void Gateway::submit_batch(std::vector<Submission> batch) {
+  serial_.AssertHeld();
   BatchMemo memo;
   for (Submission& cell : batch) {
     submit_one(std::move(cell.request), std::move(cell.done), &memo);
@@ -163,6 +166,7 @@ void Gateway::submit_one(core::Request request, ResultCallback done,
 }
 
 SimTime Gateway::estimated_completion(const core::Request& request) const {
+  serial_.AssertHeld();
   return estimated_completion_impl(request, nullptr);
 }
 
@@ -241,6 +245,7 @@ void Gateway::admit(core::Request request, ResultCallback done,
   // string, no visit history, no hook copy — the admitted fast path
   // then allocates nothing per flight beyond the map node).
   request.on_complete = [this](const core::CompletionRecord& record) {
+    serial_.AssertHeld();  // engine completions fire on the worker thread
     on_engine_result(record);
   };
   Flight flight;
@@ -274,8 +279,10 @@ void Gateway::arm_hedge_timer(Flight& flight, SimTime fire_at) {
   const std::int64_t id = flight.request.id.value();
   const SimTime delay =
       std::max<SimTime>(0, fire_at - cluster_->executor().now());
-  flight.hedge_event = cluster_->executor().schedule_after(
-      delay, [this, id] { on_hedge_timer(id); });
+  flight.hedge_event = cluster_->executor().schedule_after(delay, [this, id] {
+    serial_.AssertHeld();  // timer callbacks fire on the worker thread
+    on_hedge_timer(id);
+  });
 }
 
 void Gateway::on_hedge_timer(std::int64_t id) {
@@ -526,12 +533,14 @@ void Gateway::trim_window(SimTime now) const {
 }
 
 double Gateway::slo_attainment() const {
+  serial_.AssertHeld();
   return counters_.completed > 0 ? static_cast<double>(counters_.slo_met) /
                                        static_cast<double>(counters_.completed)
                                  : 0.0;
 }
 
 WindowedOutcomes Gateway::windowed_outcomes() const {
+  serial_.AssertHeld();
   trim_window(cluster_->executor().now());
   WindowedOutcomes out;
   out.completions = window_latencies_.size();

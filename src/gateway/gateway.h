@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "cluster/elastic_cluster.h"
+#include "common/thread_annotations.h"
 #include "core/request.h"
 #include "metrics/stats.h"
 
@@ -251,19 +252,37 @@ class Gateway {
   SimTime estimated_completion(const core::Request& request) const;
 
   // --- observability ---
-  std::size_t in_flight() const { return in_flight_; }
-  std::size_t pending() const { return pending_.size(); }
-  const GatewayCounters& counters() const { return counters_; }
+  // Like every other Gateway method, these run on the executor's worker
+  // thread (or after it has quiesced — drain() is the happens-before
+  // edge that lets the driving thread read results when a run ends).
+  std::size_t in_flight() const {
+    serial_.AssertHeld();
+    return in_flight_;
+  }
+  std::size_t pending() const {
+    serial_.AssertHeld();
+    return pending_.size();
+  }
+  const GatewayCounters& counters() const {
+    serial_.AssertHeld();
+    return counters_;
+  }
   // Whole-run SLO attainment over completed requests.
   double slo_attainment() const;
   // Per-model stats, keyed by model id (ordered for stable reports).
   const std::map<std::int64_t, ModelServingStats>& model_stats() const {
+    serial_.AssertHeld();
     return model_stats_;
   }
   // Trailing-window outcome record (the SLO-aware scaling signal).
   WindowedOutcomes windowed_outcomes() const;
 
  private:
+  // Seam for tests/negative_compile: the probe reads guarded members
+  // WITHOUT the capability and must fail thread-safety analysis — which
+  // proves the GUARDED_BY annotations below are actually present.
+  friend class ThreadSafetyProbe;
+
   struct PendingRequest {
     core::Request request;
     ResultCallback done;
@@ -311,27 +330,32 @@ class Gateway {
     std::size_t global_queue = 0;
   };
 
-  void submit_one(core::Request request, ResultCallback done, BatchMemo* memo);
+  void submit_one(core::Request request, ResultCallback done, BatchMemo* memo)
+      REQUIRES(serial_);
   SimTime estimated_completion_impl(const core::Request& request,
-                                    BatchMemo* memo) const;
-  void admit(core::Request request, ResultCallback done, SimTime estimate = 0);
+                                    BatchMemo* memo) const REQUIRES(serial_);
+  void admit(core::Request request, ResultCallback done, SimTime estimate = 0)
+      REQUIRES(serial_);
   void resolve_locally(const core::Request& request, Disposition disposition,
-                       ResultCallback& done);
+                       ResultCallback& done) REQUIRES(serial_);
   // Invokes `done` with `result` — inline, or posted to the callback
   // executor when one is attached. Consumes `done`.
-  void deliver(ResultCallback&& done, const GatewayResult& result);
-  void on_engine_result(const core::CompletionRecord& record);
+  void deliver(ResultCallback&& done, const GatewayResult& result)
+      REQUIRES(serial_);
+  void on_engine_result(const core::CompletionRecord& record)
+      REQUIRES(serial_);
   // Resolves the flight's callback with `record` (id already normalized
   // to the caller's), retiring the flight and its pending hedge timer.
-  void resolve_flight(FlightMap::iterator it, const core::CompletionRecord& record);
+  void resolve_flight(FlightMap::iterator it, const core::CompletionRecord& record)
+      REQUIRES(serial_);
   // Schedules the flight's hedge trigger at hedge_budget_fraction of its
   // SLO budget (no-op when hedging is off or the deadline is infinite).
-  void arm_hedge_timer(Flight& flight, SimTime fire_at);
-  void on_hedge_timer(std::int64_t id);
+  void arm_hedge_timer(Flight& flight, SimTime fire_at) REQUIRES(serial_);
+  void on_hedge_timer(std::int64_t id) REQUIRES(serial_);
   // Admits from the pending queue while the window has room, expiring
   // requests whose deadline passed while they waited.
-  void drain_pending();
-  void trim_window(SimTime now) const;
+  void drain_pending() REQUIRES(serial_);
+  void trim_window(SimTime now) const REQUIRES(serial_);
 
   struct OutcomeSample {
     SimTime completed;
@@ -351,22 +375,28 @@ class Gateway {
   struct TelemetryHandles;
   std::unique_ptr<TelemetryHandles> tel_;
 
-  std::size_t in_flight_ = 0;
-  std::deque<PendingRequest> pending_;
+  // Thread-affinity capability: all mutable serving state below is
+  // worker-thread-only by contract (see the header comment), checked
+  // statically via GUARDED_BY under Clang and, when a worker binds the
+  // capability, dynamically via the asserts at each entry point.
+  common::ExecutorAffinity serial_;
+
+  std::size_t in_flight_ GUARDED_BY(serial_) = 0;
+  std::deque<PendingRequest> pending_ GUARDED_BY(serial_);
 
   // Admitted-but-unresolved requests by their original (caller) id, and
   // the engine-side id -> original id routing for completions. Hedge
   // duplicates get ids from a disjoint namespace so they can never
   // collide with client ids. route_ is only populated when resilient_.
-  FlightMap flights_;
-  std::unordered_map<std::int64_t, std::int64_t> route_;
-  std::int64_t next_hedge_id_ = std::int64_t{1} << 40;
+  FlightMap flights_ GUARDED_BY(serial_);
+  std::unordered_map<std::int64_t, std::int64_t> route_ GUARDED_BY(serial_);
+  std::int64_t next_hedge_id_ GUARDED_BY(serial_) = std::int64_t{1} << 40;
 
-  GatewayCounters counters_;
-  std::map<std::int64_t, ModelServingStats> model_stats_;
+  GatewayCounters counters_ GUARDED_BY(serial_);
+  std::map<std::int64_t, ModelServingStats> model_stats_ GUARDED_BY(serial_);
   // Trailing-window outcome samples, trimmed lazily against stats_window.
-  mutable std::deque<OutcomeSample> window_latencies_;
-  mutable std::deque<SimTime> window_sheds_;
+  mutable std::deque<OutcomeSample> window_latencies_ GUARDED_BY(serial_);
+  mutable std::deque<SimTime> window_sheds_ GUARDED_BY(serial_);
 };
 
 }  // namespace gfaas::gateway

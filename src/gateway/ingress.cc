@@ -37,7 +37,10 @@ bool ConcurrentIngress::try_submit(Submission& cell) {
   // publish against the drainer's disarm: whoever flips the flag
   // false->true owns posting the (single) wakeup for the burst.
   if (!drain_armed_.exchange(true)) {
-    executor_->post([this] { drain(); });
+    executor_->post([this] {
+      consumer_serial_.AssertHeld();  // posted work runs on the worker
+      drain();
+    });
   }
   return true;
 }

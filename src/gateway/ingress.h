@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
 #include "concurrent/mpsc_queue.h"
 #include "gateway/gateway.h"
 #include "sim/simulator.h"
@@ -62,10 +63,16 @@ class ConcurrentIngress {
   std::size_t backlog() const { return queue_.approx_size(); }
 
  private:
-  void drain();
+  // Runs on the executor worker thread only: the ring's consumer side is
+  // single-consumer by contract, and that contract is the capability.
+  void drain() REQUIRES(consumer_serial_);
 
   Gateway* gateway_;
   sim::Executor* executor_;
+  // Consumer-side affinity: try_pop()/drain() of the MPSC ring must all
+  // happen on the one drainer thread (the producers' try_push side is
+  // genuinely concurrent and stays annotation-free).
+  common::ExecutorAffinity consumer_serial_;
   concurrent::BoundedMpscQueue<Submission> queue_;
   // True while a drain task is posted-but-not-yet-disarmed; gates the
   // one-post-per-burst wakeup.

@@ -110,7 +110,7 @@ void dump_snapshot(const MetricsSnapshot& snapshot, std::FILE* out) {
 }
 
 Counter* MetricRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = counter_names_.find(name);
   if (it != counter_names_.end()) return it->second;
   counters_.emplace_back();
@@ -118,7 +118,7 @@ Counter* MetricRegistry::counter(const std::string& name) {
 }
 
 Gauge* MetricRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = gauge_names_.find(name);
   if (it != gauge_names_.end()) return it->second;
   gauges_.emplace_back();
@@ -127,7 +127,7 @@ Gauge* MetricRegistry::gauge(const std::string& name) {
 
 Histogram* MetricRegistry::histogram(const std::string& name,
                                      HistogramOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = histogram_names_.find(name);
   if (it != histogram_names_.end()) return it->second;
   histograms_.emplace_back(options);
@@ -135,7 +135,7 @@ Histogram* MetricRegistry::histogram(const std::string& name,
 }
 
 MetricsSnapshot MetricRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   MetricsSnapshot snap;
   snap.values.reserve(counter_names_.size() + gauge_names_.size() +
                       4 * histogram_names_.size());

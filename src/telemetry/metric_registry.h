@@ -21,12 +21,12 @@
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/time.h"
 
 namespace gfaas::telemetry {
@@ -149,13 +149,16 @@ class MetricRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Counter*> counter_names_;
-  std::map<std::string, Gauge*> gauge_names_;
-  std::map<std::string, Histogram*> histogram_names_;
+  mutable common::Mutex mu_;
+  // The deques guard *registration* (growth) only: the instruments
+  // themselves are internally wait-free and recorded through the stable
+  // pointers handed out at lookup, never through the registry.
+  std::deque<Counter> counters_ GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ GUARDED_BY(mu_);
+  std::map<std::string, Counter*> counter_names_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge*> gauge_names_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram*> histogram_names_ GUARDED_BY(mu_);
 };
 
 }  // namespace gfaas::telemetry

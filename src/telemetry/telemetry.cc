@@ -5,12 +5,12 @@ namespace gfaas::telemetry {
 Telemetry::Telemetry(TelemetryConfig config) : spans_(config.spans) {}
 
 void Telemetry::add_probe(std::function<void(MetricRegistry&)> probe) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   probes_.push_back(std::move(probe));
 }
 
 void Telemetry::run_probes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& probe : probes_) probe(metrics_);
 }
 

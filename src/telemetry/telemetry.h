@@ -18,9 +18,9 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_span.h"
 
@@ -51,8 +51,8 @@ class Telemetry {
  private:
   MetricRegistry metrics_;
   SpanRecorder spans_;
-  std::mutex mu_;
-  std::vector<std::function<void(MetricRegistry&)>> probes_;
+  common::Mutex mu_;
+  std::vector<std::function<void(MetricRegistry&)>> probes_ GUARDED_BY(mu_);
 };
 
 }  // namespace gfaas::telemetry

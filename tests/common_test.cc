@@ -1,15 +1,20 @@
 // Unit tests for src/common: time units, Status/StatusOr, RNG
 // determinism and distribution sanity, Zipf sampling, byte formatting,
-// and typed identifiers.
+// typed identifiers, and the annotated synchronization vocabulary
+// (Mutex/MutexLock/CondVar/ExecutorAffinity runtime contracts — the
+// static half lives in tests/negative_compile/).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <thread>
 #include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/id.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/time.h"
 
 namespace gfaas {
@@ -354,6 +359,112 @@ TEST(TimeTest, NegativeSecondsConversionRoundTrips) {
   for (SimTime t : {msec(1), sec(7), minutes(3), usec(1)}) {
     EXPECT_EQ(seconds_to_sim(sim_to_seconds(t)), t);
   }
+}
+
+TEST(MutexTest, AssertHeldPassesUnderLock) {
+  common::Mutex mu;
+  common::MutexLock lock(&mu);
+  mu.AssertHeld();  // must not die
+  EXPECT_TRUE(mu.held_by_current_thread());
+}
+
+TEST(MutexTest, OwnerShadowTracksLockCycle) {
+  common::Mutex mu;
+  EXPECT_FALSE(mu.held_by_current_thread());
+  mu.lock();
+  EXPECT_TRUE(mu.held_by_current_thread());
+  mu.unlock();
+  EXPECT_FALSE(mu.held_by_current_thread());
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_TRUE(mu.held_by_current_thread());
+  mu.unlock();
+}
+
+TEST(MutexTest, HeldByCurrentThreadIsPerThread) {
+  common::Mutex mu;
+  common::MutexLock lock(&mu);
+  bool other_thread_sees_held = true;
+  std::thread([&] { other_thread_sees_held = mu.held_by_current_thread(); })
+      .join();
+  EXPECT_FALSE(other_thread_sees_held);
+}
+
+TEST(MutexDeathTest, AssertHeldDiesWhenUnlocked) {
+  common::Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "does not hold");
+}
+
+TEST(MutexDeathTest, AssertHeldDiesOnForeignThread) {
+  common::Mutex mu;
+  common::MutexLock lock(&mu);
+  EXPECT_DEATH(std::thread([&] { mu.AssertHeld(); }).join(), "does not hold");
+}
+
+TEST(MutexLockTest, MidScopeUnlockReleasesAndLockReacquires) {
+  common::Mutex mu;
+  common::MutexLock lock(&mu);
+  lock.Unlock();
+  EXPECT_FALSE(mu.held_by_current_thread());
+  lock.Lock();
+  EXPECT_TRUE(mu.held_by_current_thread());
+}
+
+TEST(CondVarTest, WaitReleasesLockWhileBlockedAndRestoresOwner) {
+  common::Mutex mu;
+  common::CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    common::MutexLock lock(&mu);
+    while (!ready) {
+      cv.wait(lock);
+    }
+    // Wakeup re-established the owner shadow for this thread.
+    mu.AssertHeld();
+  });
+  {
+    common::MutexLock lock(&mu);  // acquirable: the waiter released it
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+}
+
+TEST(CondVarTest, WaitUntilTimesOut) {
+  common::Mutex mu;
+  common::CondVar cv;
+  common::MutexLock lock(&mu);
+  EXPECT_FALSE(cv.wait_until(
+      lock, std::chrono::steady_clock::now() + std::chrono::milliseconds(1)));
+  mu.AssertHeld();  // lock reacquired after the timeout
+}
+
+TEST(ExecutorAffinityTest, UnboundAssertsPassAnywhere) {
+  common::ExecutorAffinity affinity;
+  EXPECT_FALSE(affinity.bound());
+  affinity.AssertHeld();  // must not die
+  std::thread([&] { affinity.AssertHeld(); }).join();
+}
+
+TEST(ExecutorAffinityTest, BoundThreadPassesAndRebindIsIdempotent) {
+  common::ExecutorAffinity affinity;
+  affinity.bind_current_thread();
+  EXPECT_TRUE(affinity.bound());
+  affinity.AssertHeld();
+  affinity.bind_current_thread();  // same thread: allowed
+}
+
+TEST(ExecutorAffinityDeathTest, BoundAssertDiesOnForeignThread) {
+  common::ExecutorAffinity affinity;
+  affinity.bind_current_thread();
+  EXPECT_DEATH(std::thread([&] { affinity.AssertHeld(); }).join(),
+               "bound worker");
+}
+
+TEST(ExecutorAffinityDeathTest, RebindDiesOnForeignThread) {
+  common::ExecutorAffinity affinity;
+  affinity.bind_current_thread();
+  EXPECT_DEATH(std::thread([&] { affinity.bind_current_thread(); }).join(),
+               "foreign thread");
 }
 
 }  // namespace

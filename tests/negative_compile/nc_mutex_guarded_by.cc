@@ -1,0 +1,27 @@
+// Negative-compile probe: writing a GUARDED_BY member without taking the
+// mutex must fail Clang thread-safety analysis ("writing variable 'value_'
+// requires holding mutex 'mu_' exclusively"). Registered in CMake as a
+// WILL_FAIL build test; if this file ever compiles, the Mutex/GUARDED_BY
+// plumbing in common/thread_annotations.h has been broken.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {  // BUG: touches value_ with mu_ unheld
+    ++value_;
+  }
+
+ private:
+  gfaas::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  return 0;
+}

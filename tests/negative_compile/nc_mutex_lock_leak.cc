@@ -1,0 +1,10 @@
+// Negative-compile probe: returning with the mutex still locked must fail
+// Clang thread-safety analysis ("mutex 'mu' is still held at the end of
+// function").
+#include "common/thread_annotations.h"
+
+int main() {
+  gfaas::common::Mutex mu;
+  mu.lock();  // BUG: never unlocked
+  return 0;
+}

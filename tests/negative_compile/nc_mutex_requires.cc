@@ -1,0 +1,27 @@
+// Negative-compile probe: calling a REQUIRES(mu_) function without holding
+// the mutex must fail Clang thread-safety analysis ("calling function
+// 'unsafe_add' requires holding mutex 'mu_' exclusively").
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int n) {  // BUG: calls the REQUIRES helper with mu_ unheld
+    unsafe_add(n);
+  }
+
+ private:
+  void unsafe_add(int n) REQUIRES(mu_) { value_ += n; }
+
+  gfaas::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

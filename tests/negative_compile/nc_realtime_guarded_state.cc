@@ -1,0 +1,22 @@
+// Negative-compile probe for the RealTimeExecutor's lock contract: reading
+// a member GUARDED_BY(mu_) without holding the mutex must fail
+// thread-safety analysis. Reverting the GUARDED_BY on
+// RealTimeExecutor::stop_ (or the friend seam) makes this file compile —
+// and the WILL_FAIL ctest entry catch it.
+#include "cluster/realtime.h"
+
+namespace gfaas::cluster {
+
+class ThreadSafetyProbe {
+ public:
+  // BUG: reads RealTimeExecutor::stop_ without taking mu_.
+  static bool unguarded_stop(const RealTimeExecutor& executor) {
+    return executor.stop_;
+  }
+};
+
+}  // namespace gfaas::cluster
+
+int main() {
+  return 0;
+}
