@@ -50,6 +50,8 @@
 #include "concurrent/callback_executor.h"
 #include "gateway/ingress.h"
 #include "models/zoo.h"
+#include "shard/ingress_router.h"
+#include "shard/router.h"
 #include "telemetry/telemetry.h"
 
 // ---------------------------------------------------------------------------
@@ -113,6 +115,8 @@ struct RunResult {
   double allocs_per_req = 0;
   std::int64_t shed = 0;
   std::int64_t submitted = 0;
+  // Per-shard routed counts (sharded row only).
+  std::vector<std::uint64_t> routed;
   // Final telemetry state, dumped to stderr on acceptance failure.
   gfaas::telemetry::MetricsSnapshot snapshot;
 };
@@ -124,6 +128,9 @@ struct Options {
   std::size_t capacity = 4096;
   double floor = 3.0;
   int models = 3;
+  // Sharded-ingestion row: shard count and the JSON result sink.
+  int shards = 4;
+  std::string json = "BENCH_shard.json";
 };
 
 core::Request make_request(std::int64_t id, std::int64_t model) {
@@ -306,6 +313,180 @@ RunResult run_once(const Options& options, int producers, bool mpsc) {
   return result;
 }
 
+// The multi-shard ingestion row: `shards` independent RealTimeCluster +
+// Gateway + ConcurrentIngress stacks behind one ShardedIngress front
+// door. Producers route by model affinity, so each shard's ring, drain
+// wakeup and bulk admission run with zero cross-shard coupling — the
+// aggregate ingest rate is the sum of per-shard rates.
+RunResult run_once_sharded(const Options& options, int producers, int shards) {
+  const std::int64_t total = options.requests;
+  const auto& catalog = models::table1_catalog();
+  // Spread models across shards: affinity hashing with too few models
+  // would leave shards idle, which measures routing, not ingestion.
+  const int model_count = std::min(static_cast<int>(catalog.size()),
+                                   std::max(options.models, 2 * shards));
+  models::ModelRegistry registry;
+  for (int m = 0; m < model_count; ++m) {
+    GFAAS_CHECK(registry.register_model(catalog[static_cast<std::size_t>(m)]).ok());
+  }
+
+  struct Stack {
+    std::unique_ptr<cluster::RealTimeCluster> cluster;
+    std::unique_ptr<gateway::Gateway> gateway;
+    std::unique_ptr<concurrent::CallbackExecutor> callbacks;
+    std::unique_ptr<telemetry::Telemetry> telemetry;
+    std::unique_ptr<gateway::ConcurrentIngress> ingress;
+    int warm = 0;
+  };
+  gateway::ResultCallback on_done = [](const gateway::GatewayResult& result) {
+    GFAAS_CHECK(result.disposition == gateway::Disposition::kCompleted);
+  };
+  const int gpus_per_shard = std::max(2, options.gpus / shards);
+  std::vector<Stack> stacks(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    Stack& stack = stacks[static_cast<std::size_t>(s)];
+    cluster::ClusterConfig config;
+    config.nodes = 2;
+    config.gpus_per_node = (gpus_per_shard + 1) / 2;
+    config.policy = core::PolicyName::kLb;
+    stack.cluster = std::make_unique<cluster::RealTimeCluster>(
+        config, registry, /*time_scale=*/1.0);
+    stack.warm = 2 * gpus_per_shard;
+    gateway::GatewayConfig gconfig;
+    gconfig.max_in_flight = static_cast<std::size_t>(stack.warm);
+    gconfig.max_pending = std::numeric_limits<std::size_t>::max();
+    gconfig.default_slo = 0;  // no deadlines: nothing sheds or expires
+    stack.gateway =
+        std::make_unique<gateway::Gateway>(stack.cluster.get(), gconfig);
+    stack.callbacks = std::make_unique<concurrent::CallbackExecutor>();
+    stack.telemetry = std::make_unique<telemetry::Telemetry>();
+    stack.telemetry->set_shard(s);
+    stack.gateway->set_telemetry(stack.telemetry.get());
+    stack.gateway->set_callback_executor(stack.callbacks.get());
+    stack.ingress = std::make_unique<gateway::ConcurrentIngress>(
+        stack.gateway.get(), &stack.cluster->executor(), options.capacity);
+    stack.ingress->set_telemetry(stack.telemetry.get());
+  }
+  shard::ShardRouter router(static_cast<std::size_t>(shards));
+  std::vector<gateway::ConcurrentIngress*> fronts;
+  for (Stack& stack : stacks) fronts.push_back(stack.ingress.get());
+  shard::ShardedIngress sharded(std::move(fronts), &router);
+
+  auto on_worker = [](sim::Executor& executor, auto fn) {
+    using R = decltype(fn());
+    std::promise<R> promise;
+    auto future = promise.get_future();
+    executor.post([&promise, &fn] { promise.set_value(fn()); });
+    return future.get();
+  };
+
+  // Warmup each shard exactly as the single-stack runs do: park loads on
+  // every GPU and fill the admission window, so every measured
+  // submission pays the saturated shed-vs-queue decision.
+  for (Stack& stack : stacks) {
+    sim::Executor& executor = stack.cluster->executor();
+    for (int g = 0; g < stack.warm; ++g) {
+      core::Request warm = make_request(total + g, g % model_count);
+      executor.post([&stack, warm = std::move(warm), on_done]() mutable {
+        stack.gateway->submit(std::move(warm), on_done);
+      });
+    }
+    const std::size_t idle = on_worker(executor, [&stack] {
+      return stack.cluster->engine().idle_gpu_count();
+    });
+    GFAAS_CHECK(idle == 0) << idle << " GPUs still idle after warmup";
+    const std::int64_t admitted = on_worker(executor, [&stack] {
+      return stack.gateway->counters().admitted;
+    });
+    GFAAS_CHECK(admitted == stack.warm)
+        << "admission window not saturated: " << admitted << "/" << stack.warm;
+  }
+
+  // ---- measured window ----
+  const std::int64_t per_producer = total / producers;
+  const std::int64_t measured = per_producer * producers;
+  std::vector<std::vector<std::int64_t>> enqueue_ns(
+      static_cast<std::size_t>(producers));
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      auto& samples = enqueue_ns[static_cast<std::size_t>(p)];
+      samples.reserve(static_cast<std::size_t>(per_producer));
+      while (!start.load()) std::this_thread::yield();
+      for (std::int64_t i = 0; i < per_producer; ++i) {
+        const std::int64_t id = static_cast<std::int64_t>(p) * per_producer + i;
+        core::Request request = make_request(id, id % model_count);
+        const auto t0 = Clock::now();
+        gateway::Submission cell{std::move(request), on_done};
+        while (!sharded.try_submit(cell)) std::this_thread::yield();
+        samples.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - t0)
+                              .count());
+      }
+    });
+  }
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto wall_start = Clock::now();
+  start.store(true);
+  for (auto& t : threads) t.join();
+  // Per-shard FIFO sentinel: every shard must have admitted everything
+  // routed to it (plus its warmup).
+  for (std::size_t s = 0; s < stacks.size(); ++s) {
+    Stack& stack = stacks[s];
+    const std::int64_t target =
+        static_cast<std::int64_t>(sharded.routed(s)) + stack.warm;
+    std::int64_t submitted = 0;
+    do {
+      submitted = on_worker(stack.cluster->executor(), [&stack] {
+        return stack.gateway->counters().submitted;
+      });
+    } while (submitted < target);
+  }
+  const auto wall_end = Clock::now();
+  const std::uint64_t allocs_after = g_allocs.load(std::memory_order_relaxed);
+
+  RunResult result;
+  const double elapsed_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.rps = static_cast<double>(measured) / elapsed_s;
+  std::vector<std::int64_t> all_ns;
+  all_ns.reserve(static_cast<std::size_t>(measured));
+  for (auto& v : enqueue_ns) all_ns.insert(all_ns.end(), v.begin(), v.end());
+  result.enq_p50_us = percentile_us(all_ns, 0.50);
+  result.enq_p99_us = percentile_us(all_ns, 0.99);
+  result.allocs_per_req = static_cast<double>(allocs_after - allocs_before) /
+                          static_cast<double>(measured);
+  std::uint64_t drained = 0;
+  for (std::size_t s = 0; s < stacks.size(); ++s) {
+    Stack& stack = stacks[s];
+    result.routed.push_back(sharded.routed(s));
+    result.submitted += on_worker(stack.cluster->executor(), [&stack] {
+                          return stack.gateway->counters().submitted;
+                        }) -
+                        stack.warm;
+    result.shed += on_worker(stack.cluster->executor(), [&stack] {
+      return stack.gateway->counters().shed;
+    });
+    drained += stack.ingress->drained();
+  }
+  GFAAS_CHECK(drained == static_cast<std::uint64_t>(measured))
+      << "sharded ingress drained " << drained << " of " << measured;
+  result.snapshot = on_worker(stacks[0].cluster->executor(), [&stacks] {
+    return stacks[0].telemetry->snapshot_now(0);
+  });
+  result.snapshot.label = "sharded";
+
+  for (Stack& stack : stacks) {
+    stack.cluster.reset();
+    stack.ingress.reset();
+    stack.gateway.reset();
+    stack.callbacks.reset();
+  }
+  return result;
+}
+
 void print_run(int producers, const char* mode, const RunResult& r) {
   std::printf(
       "producers=%d mode=%s submitted=%lld rps=%.0f enq_p50_us=%.2f "
@@ -352,6 +533,56 @@ int run(const Options& options) {
               max_producers, speedup_at_max, options.floor,
               floor_met ? "PASS" : "FAIL");
   if (!floor_met) ++failures;
+
+  // Multi-shard row: max producers over `shards` independent stacks.
+  const RunResult sharded =
+      run_once_sharded(options, max_producers, options.shards);
+  char mode[32];
+  std::snprintf(mode, sizeof(mode), "sharded%d", options.shards);
+  print_run(max_producers, mode, sharded);
+  std::printf("  routed=[");
+  for (std::size_t s = 0; s < sharded.routed.size(); ++s) {
+    std::printf("%s%llu", s == 0 ? "" : ",",
+                static_cast<unsigned long long>(sharded.routed[s]));
+  }
+  std::printf("]\n");
+  if (sharded.shed != last_mpsc.shed) {
+    std::printf("FAIL sharded row unequal shed rate (mpsc=%lld sharded=%lld)\n",
+                static_cast<long long>(last_mpsc.shed),
+                static_cast<long long>(sharded.shed));
+    ++failures;
+  }
+  if (!options.json.empty()) {
+    FILE* out = std::fopen(options.json.c_str(), "w");
+    GFAAS_CHECK(out != nullptr) << "cannot write " << options.json;
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"ingest_throughput_sharded\",\n"
+                 "  \"producers\": %d,\n"
+                 "  \"shards\": %d,\n"
+                 "  \"requests\": %lld,\n"
+                 "  \"single_shard\": {\"rps\": %.1f, \"enq_p50_us\": %.3f, "
+                 "\"enq_p99_us\": %.3f, \"allocs_per_req\": %.3f, \"shed\": %lld},\n"
+                 "  \"sharded\": {\"rps\": %.1f, \"enq_p50_us\": %.3f, "
+                 "\"enq_p99_us\": %.3f, \"allocs_per_req\": %.3f, \"shed\": %lld,\n"
+                 "              \"routed\": [",
+                 max_producers, options.shards,
+                 static_cast<long long>(options.requests), last_mpsc.rps,
+                 last_mpsc.enq_p50_us, last_mpsc.enq_p99_us,
+                 last_mpsc.allocs_per_req, static_cast<long long>(last_mpsc.shed),
+                 sharded.rps, sharded.enq_p50_us, sharded.enq_p99_us,
+                 sharded.allocs_per_req, static_cast<long long>(sharded.shed));
+    for (std::size_t s = 0; s < sharded.routed.size(); ++s) {
+      std::fprintf(out, "%s%llu", s == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(sharded.routed[s]));
+    }
+    std::fprintf(out,
+                 "]},\n"
+                 "  \"sharded_vs_single_rps\": %.3f\n"
+                 "}\n",
+                 sharded.rps / last_mpsc.rps);
+    std::fclose(out);
+  }
   if (failures != 0) {
     std::fprintf(stderr, "acceptance failed; final telemetry snapshots "
                          "(producers=%d):\n", max_producers);
@@ -394,6 +625,10 @@ int main(int argc, char** argv) {
       options.floor = std::atof(v);
     } else if (const char* v = value("--models")) {
       options.models = std::atoi(v);
+    } else if (const char* v = value("--shards")) {
+      options.shards = std::atoi(v);
+    } else if (const char* v = value("--json")) {
+      options.json = v;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;

@@ -31,8 +31,23 @@
 // observes (no RNG consumption, no event reordering):
 //
 //   ./build/bench_seed_digest --via-gateway --telemetry | diff direct.txt -
+//
+// --sharded=N runs every grid cell through the sharded serving tier
+// (shard::run_sharded_experiment: model-affinity routing, epoch-barrier
+// replay, cross-shard work stealing) instead of the direct runner. With
+// N=1 the output must STILL be byte-identical to the direct run — the
+// proof that the sharding machinery (arrival-lane injection, epoch
+// barriers, the steal balancer wiring) adds nothing and reorders
+// nothing when there is only one shard:
+//
+//   ./build/bench_seed_digest --sharded=1 | diff direct.txt -
+//
+// Stolen requests surface in the digest via the steal_hops bits of the
+// flags word, so any cross-shard move is digest-visible (and N=1, which
+// never steals, contributes zero).
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -41,6 +56,7 @@
 #include "bench_common.h"
 #include "common/log.h"
 #include "gateway/gateway.h"
+#include "shard/experiment.h"
 #include "telemetry/telemetry.h"
 
 namespace gfaas::bench {
@@ -69,7 +85,8 @@ std::uint64_t completion_digest(const std::vector<core::CompletionRecord>& recor
     fnv.add(static_cast<std::uint64_t>(r.dispatched));
     fnv.add(static_cast<std::uint64_t>(r.completed));
     fnv.add((r.cache_hit ? 1u : 0u) | (r.false_miss ? 2u : 0u) |
-            (r.via_local_queue ? 4u : 0u));
+            (r.via_local_queue ? 4u : 0u) |
+            (static_cast<std::uint64_t>(r.steal_hops) << 3));
   }
   return fnv.value();
 }
@@ -126,7 +143,7 @@ cluster::BatchIngestFactory gateway_batch_ingest(bool with_telemetry) {
   };
 }
 
-int run(bool via_gateway, bool batch, bool with_telemetry) {
+int run(bool via_gateway, bool batch, bool with_telemetry, int sharded) {
   GridOptions options;
   for (std::size_t ws : options.working_sets) {
     trace::WorkloadConfig wconfig;
@@ -141,7 +158,13 @@ int run(bool via_gateway, bool batch, bool with_telemetry) {
       config.cache_policy = options.cache_policy;
       std::vector<core::CompletionRecord> records;
       const auto r =
-          batch ? cluster::run_experiment_batched(config, *workload, &records,
+          sharded > 0
+              ? shard::run_sharded_experiment(config,
+                                              static_cast<std::size_t>(sharded),
+                                              *workload, shard::ShardedOptions{},
+                                              &records)
+                    .result
+          : batch ? cluster::run_experiment_batched(config, *workload, &records,
                                                   gateway_batch_ingest(with_telemetry))
                 : cluster::run_experiment(config, *workload, &records,
                                           via_gateway ? gateway_ingest(with_telemetry)
@@ -169,6 +192,7 @@ int main(int argc, char** argv) {
   bool via_gateway = false;
   bool batch = false;
   bool with_telemetry = false;
+  int sharded = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--via-gateway") == 0) {
       via_gateway = true;
@@ -176,6 +200,12 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       with_telemetry = true;
+    } else if (std::strncmp(argv[i], "--sharded=", 10) == 0) {
+      sharded = std::atoi(argv[i] + 10);
+      if (sharded < 1) {
+        std::fprintf(stderr, "--sharded needs a positive shard count\n");
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -189,5 +219,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--telemetry requires --via-gateway\n");
     return 1;
   }
-  return gfaas::bench::run(via_gateway, batch, with_telemetry);
+  if (sharded > 0 && (via_gateway || batch || with_telemetry)) {
+    std::fprintf(stderr, "--sharded is exclusive with the gateway legs\n");
+    return 1;
+  }
+  return gfaas::bench::run(via_gateway, batch, with_telemetry, sharded);
 }

@@ -279,6 +279,7 @@ void Autoscaler::record_fleet() {
   powered_.set(now, schedulable + static_cast<double>(provisioning_) +
                         static_cast<double>(draining_.size()));
   schedulable_.set(now, schedulable);
+  if (config_.membership_hook) config_.membership_hook();
 }
 
 }  // namespace gfaas::autoscale

@@ -68,6 +68,13 @@ struct AutoscalerConfig {
   // test model a container pull stalling or an instance arriving late,
   // and assert the controller's accounting survives it. Null = none.
   std::function<SimTime(std::int64_t cold_start_index)> cold_start_delay_hook;
+  // Membership-rebalancing hook, fired after every fleet-membership
+  // change this controller observes (cold start completed, drain begun,
+  // GPU retired or found dead). The sharded tier wires
+  // shard::ShardedCluster::membership_hook here so the shard router's
+  // ring weight tracks this partition's schedulable capacity. Null =
+  // none. Runs on the controller's executor thread.
+  std::function<void()> membership_hook;
 };
 
 struct AutoscalerCounters {

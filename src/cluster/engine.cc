@@ -47,30 +47,53 @@ void SchedulerEngine::set_telemetry(telemetry::Telemetry* telemetry) {
   auto handles = std::make_unique<TelemetryHandles>();
   telemetry::MetricRegistry& m = telemetry->metrics();
   handles->spans = &telemetry->spans();
-  handles->dispatches = m.counter("engine.dispatches");
-  handles->completions = m.counter("engine.completions");
-  handles->failures = m.counter("engine.failures");
-  handles->cancellations = m.counter("engine.cancellations");
-  handles->execution_time_us = m.counter("engine.execution_time_us");
+  // Instrument names resolve through qualified(): on a sharded stack
+  // every engine.* / cache.* series carries the owning shard's
+  // `{shard=i}` label; on a single-engine stack qualified() is the
+  // identity and the names below are the registry keys verbatim.
+  handles->dispatches = m.counter(telemetry->qualified("engine.dispatches"));
+  handles->completions = m.counter(telemetry->qualified("engine.completions"));
+  handles->failures = m.counter(telemetry->qualified("engine.failures"));
+  handles->cancellations =
+      m.counter(telemetry->qualified("engine.cancellations"));
+  handles->execution_time_us =
+      m.counter(telemetry->qualified("engine.execution_time_us"));
   handles->cancelled_execution_time_us =
-      m.counter("engine.cancelled_execution_time_us");
+      m.counter(telemetry->qualified("engine.cancelled_execution_time_us"));
   tel_ = std::move(handles);
-  // Point-in-time scheduler state the exporter samples each tick.
-  telemetry->add_probe([this](telemetry::MetricRegistry& reg) {
+  // Point-in-time scheduler state the exporter samples each tick. The
+  // gauge names are pre-qualified once; the probe itself allocates
+  // nothing new per tick beyond the registry lookups it always did.
+  struct ProbeNames {
+    std::string queue_global, queue_local, in_flight, gpus_idle,
+        gpus_schedulable, cache_hits, cache_misses, cache_evictions,
+        cache_hit_ratio;
+  };
+  ProbeNames names{telemetry->qualified("engine.queue.global"),
+                   telemetry->qualified("engine.queue.local"),
+                   telemetry->qualified("engine.in_flight"),
+                   telemetry->qualified("engine.gpus.idle"),
+                   telemetry->qualified("engine.gpus.schedulable"),
+                   telemetry->qualified("cache.hits"),
+                   telemetry->qualified("cache.misses"),
+                   telemetry->qualified("cache.evictions"),
+                   telemetry->qualified("cache.hit_ratio")};
+  telemetry->add_probe([this, names = std::move(names)](
+                           telemetry::MetricRegistry& reg) {
     serial_.AssertHeld();  // probes run on the executor worker thread
-    reg.gauge("engine.queue.global")
+    reg.gauge(names.queue_global)
         ->set(static_cast<double>(global_queue_.size()));
-    reg.gauge("engine.queue.local")
+    reg.gauge(names.queue_local)
         ->set(static_cast<double>(local_queues_.total_pending()));
-    reg.gauge("engine.in_flight")->set(static_cast<double>(in_flight_));
-    reg.gauge("engine.gpus.idle")->set(static_cast<double>(idle_gpu_count()));
-    reg.gauge("engine.gpus.schedulable")
+    reg.gauge(names.in_flight)->set(static_cast<double>(in_flight_));
+    reg.gauge(names.gpus_idle)->set(static_cast<double>(idle_gpu_count()));
+    reg.gauge(names.gpus_schedulable)
         ->set(static_cast<double>(schedulable_gpu_count()));
     const cache::CacheStats& cs = cache_->stats();
-    reg.gauge("cache.hits")->set(static_cast<double>(cs.hits));
-    reg.gauge("cache.misses")->set(static_cast<double>(cs.misses));
-    reg.gauge("cache.evictions")->set(static_cast<double>(cs.evictions));
-    reg.gauge("cache.hit_ratio")->set(1.0 - cs.miss_ratio());
+    reg.gauge(names.cache_hits)->set(static_cast<double>(cs.hits));
+    reg.gauge(names.cache_misses)->set(static_cast<double>(cs.misses));
+    reg.gauge(names.cache_evictions)->set(static_cast<double>(cs.evictions));
+    reg.gauge(names.cache_hit_ratio)->set(1.0 - cs.miss_ratio());
   });
 }
 
@@ -379,6 +402,42 @@ bool SchedulerEngine::cancel_request(RequestId id) {
   }
   run_policy();
   return true;
+}
+
+std::vector<core::Request> SchedulerEngine::steal_from_global(
+    std::size_t max_count,
+    const std::function<bool(const core::Request&)>& eligible) {
+  serial_.AssertHeld();
+  std::vector<core::Request> stolen;
+  if (max_count == 0 || global_queue_.empty()) return stolen;
+  // Walk backward from the tail to pick the victims (newest arrivals
+  // first, skipping any the filter rejects), then extract in arrival
+  // order so the returned batch replays into the thief's queue in the
+  // order the requests arrived.
+  std::vector<RequestId> victims;
+  victims.reserve(std::min(max_count, global_queue_.size()));
+  auto it = global_queue_.end();
+  while (victims.size() < max_count && it != global_queue_.begin()) {
+    --it;
+    if (eligible != nullptr && !eligible(*it)) continue;
+    victims.push_back(it->id);
+  }
+  stolen.reserve(victims.size());
+  for (auto v = victims.rbegin(); v != victims.rend(); ++v) {
+    auto req = global_queue_.take(*v);
+    GFAAS_CHECK(req.ok()) << req.status().to_string();
+    core::Request request = std::move(req).value();
+    // The hook rides with the request: from this engine's point of view
+    // the request was never here, so exactly-once delivery is now the
+    // thief's obligation (killing THIS shard later cannot touch it).
+    auto hook = request_hooks_.find(request.id.value());
+    if (hook != request_hooks_.end()) {
+      request.on_complete = std::move(hook->second);
+      request_hooks_.erase(hook);
+    }
+    stolen.push_back(std::move(request));
+  }
+  return stolen;
 }
 
 bool SchedulerEngine::request_waiting(RequestId id) const {

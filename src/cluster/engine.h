@@ -146,6 +146,24 @@ class SchedulerEngine final : public core::SchedulingContext {
     return cancellations_;
   }
 
+  // --- cross-shard work stealing (src/shard) ---
+  // Removes up to `max_count` requests from the BACK of the global queue
+  // — the newest arrivals, which have waited least, hold no O3 skip
+  // credit, and whose departure can invalidate no placement already made
+  // — and returns them in arrival order with their detached completion
+  // hooks re-attached, ready to be submit()ed into another engine. The
+  // caller (shard::ShardedCluster's steal balancer) stamps the steal
+  // marker; this engine only forgets the requests. Requests parked in
+  // local queues or executing are never stolen: they hold model pins and
+  // committed GPU state here.
+  // `eligible` (when set) filters victims: ineligible requests are
+  // skipped during the backward walk and stay queued here — the steal
+  // balancer passes "warm on some other shard" so stolen work lands on
+  // its cached copies while cold tail-model work keeps its home shard.
+  std::vector<core::Request> steal_from_global(
+      std::size_t max_count,
+      const std::function<bool(const core::Request&)>& eligible = nullptr);
+
   // Optional per-completion hook (e.g. the Gateway resolving a future).
   void set_completion_hook(std::function<void(const core::CompletionRecord&)> hook) {
     completion_hook_ = std::move(hook);

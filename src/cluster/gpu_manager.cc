@@ -134,6 +134,7 @@ StatusOr<SimTime> GpuManager::execute(const core::Request& request, GpuId gpu,
   record.false_miss = false_miss;
   record.via_local_queue = via_local_queue;
   record.deadline = request.deadline;
+  record.steal_hops = request.steal_hops;
 
   auto complete = [this, request, gpu, record, done](SimTime finish) mutable {
     // Under the wall-clock executor now() keeps moving, so the remaining

@@ -39,6 +39,14 @@ struct Request {
   // scheduling policies never read it, so deadline-carrying replays stay
   // bit-identical to the seed engine.
   SimTime deadline = kSimTimeMax;
+  // --- sharded-serving metadata (src/shard) ---
+  // Cross-shard steal hops taken so far: 0 = the request runs on the
+  // shard its model hashed to; each work-steal rebalance that moves it
+  // to another shard's engine increments it. Single-engine runs never
+  // touch it, so steal-marker-carrying replays stay bit-identical to
+  // the seed engine (the digest folds it into the flags byte, where a
+  // zero adds nothing).
+  std::int32_t steal_hops = 0;
   // Per-request completion hook. The engine detaches it at submit() and
   // invokes it after the global completion hook, so it survives the
   // request's trip through the global/local queues by id, not by copy.
@@ -66,6 +74,9 @@ struct CompletionRecord {
   bool failed = false;
   // Deadline carried over from the request (kSimTimeMax = none).
   SimTime deadline = kSimTimeMax;
+  // Steal marker carried over from the request: how many cross-shard
+  // hops it took before completing (0 outside sharded mode).
+  std::int32_t steal_hops = 0;
 
   SimTime latency() const { return completed - arrival; }
   // Whether the invocation finished within its deadline (vacuously true

@@ -1,0 +1,28 @@
+#include "shard/ingress_router.h"
+
+#include "common/log.h"
+
+namespace gfaas::shard {
+
+ShardedIngress::ShardedIngress(
+    std::vector<gateway::ConcurrentIngress*> ingresses, ShardRouter* router)
+    : ingresses_(std::move(ingresses)),
+      router_(router),
+      routed_(ingresses_.size()) {
+  GFAAS_CHECK(!ingresses_.empty());
+  GFAAS_CHECK(router_ != nullptr);
+  GFAAS_CHECK(router_->shard_count() == ingresses_.size());
+  for (gateway::ConcurrentIngress* ingress : ingresses_) {
+    GFAAS_CHECK(ingress != nullptr);
+  }
+}
+
+bool ShardedIngress::try_submit(gateway::Submission& cell) {
+  const std::size_t shard = router_->route(
+      cell.request.model, static_cast<std::uint64_t>(cell.request.id.value()));
+  if (!ingresses_[shard]->try_submit(cell)) return false;
+  routed_[shard].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace gfaas::shard

@@ -1,0 +1,52 @@
+// Sharded front door for the deployment-mode (real-time) stack: producer
+// threads submit through ONE object, and each submission is routed by
+// model affinity to one of N per-shard ConcurrentIngress rings — so N
+// independent gateway/engine stacks ingest in parallel with no shared
+// producer-side state beyond the router's ring (a read-mostly lock).
+//
+// This is the multi-shard leg of bench_ingest_throughput: the MPSC ring,
+// drain wakeup, and bulk admission all stay per-shard; the only cross-
+// shard coupling is route(), a hash plus a binary search.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gateway/ingress.h"
+#include "shard/router.h"
+
+namespace gfaas::shard {
+
+class ShardedIngress {
+ public:
+  // `ingresses[i]` is shard i's front door; all must outlive this object.
+  // `router` must be sized to ingresses.size() and is shared with (not
+  // owned by) the caller, so membership re-weighting applies here too.
+  ShardedIngress(std::vector<gateway::ConcurrentIngress*> ingresses,
+                 ShardRouter* router);
+
+  ShardedIngress(const ShardedIngress&) = delete;
+  ShardedIngress& operator=(const ShardedIngress&) = delete;
+
+  // Routes by cell.request.model and enqueues on that shard's ring.
+  // Thread-safe; false means THAT shard's ring is full (the cell stays
+  // with the caller — model affinity forbids spilling it elsewhere, or
+  // the model's warm-copy locality would silently leak across shards).
+  bool try_submit(gateway::Submission& cell);
+
+  std::size_t shard_count() const { return ingresses_.size(); }
+  // Requests accepted onto shard i's ring through this router.
+  std::uint64_t routed(std::size_t shard) const {
+    return routed_[shard].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<gateway::ConcurrentIngress*> ingresses_;
+  ShardRouter* router_;
+  // Per-shard accept counters; a deque-of-atomics is non-copyable, so
+  // size once at construction.
+  std::vector<std::atomic<std::uint64_t>> routed_;
+};
+
+}  // namespace gfaas::shard

@@ -4,13 +4,22 @@
 
 namespace gfaas::sim {
 
-std::uint64_t Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+std::uint64_t Simulator::schedule_on_lane(SimTime when, std::uint8_t lane,
+                                          std::function<void()> fn) {
   GFAAS_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
   GFAAS_CHECK(fn != nullptr);
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  queue_.push(Event{when, lane, next_seq_++, id, std::move(fn)});
   live_.insert(id);
   return id;
+}
+
+std::uint64_t Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  return schedule_on_lane(when, kDefaultLane, std::move(fn));
+}
+
+std::uint64_t Simulator::schedule_arrival_at(SimTime when, std::function<void()> fn) {
+  return schedule_on_lane(when, kArrivalLane, std::move(fn));
 }
 
 bool Simulator::cancel(std::uint64_t event_id) {

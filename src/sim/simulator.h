@@ -59,6 +59,18 @@ class Simulator final : public Executor {
   // Schedules fn at the absolute simulated time `when` (>= now()).
   std::uint64_t schedule_at(SimTime when, std::function<void()> fn);
 
+  // Schedules fn at `when` on the ARRIVAL lane: among events sharing a
+  // time, arrival-lane events run before every normally scheduled event,
+  // regardless of insertion order (FIFO among themselves). This exists
+  // for epoch-chunked replays (shard::ShardedCluster): the seed replay
+  // schedules every submission upfront, so its submissions hold the
+  // lowest sequence numbers and win every same-time tie against
+  // completion events scheduled during the run. A replay that injects
+  // arrivals mid-run cannot win those ties by sequence number — the lane
+  // restores the seed ordering exactly. Runs that never use this method
+  // are unaffected: all-default-lane ordering degenerates to (time, seq).
+  std::uint64_t schedule_arrival_at(SimTime when, std::function<void()> fn);
+
   std::uint64_t schedule_after(SimTime delay, std::function<void()> fn) override {
     GFAAS_CHECK(delay >= 0) << "negative delay " << delay;
     return schedule_at(now_ + delay, std::move(fn));
@@ -82,15 +94,27 @@ class Simulator final : public Executor {
   std::uint64_t events_executed() const { return executed_; }
 
  private:
+  // Same-time ordering is (lane, seq): the arrival lane first, then
+  // insertion order. Everything scheduled through the Executor interface
+  // uses kDefaultLane, so the lane only matters to callers that opt into
+  // schedule_arrival_at().
+  static constexpr std::uint8_t kArrivalLane = 0;
+  static constexpr std::uint8_t kDefaultLane = 1;
+
+  std::uint64_t schedule_on_lane(SimTime when, std::uint8_t lane,
+                                 std::function<void()> fn);
+
   struct Event {
     SimTime time;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::uint8_t lane;  // first tie-breaker: arrivals beat scheduled work
+    std::uint64_t seq;  // second tie-breaker: FIFO among same-lane events
     std::uint64_t id;
     std::function<void()> fn;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.lane != b.lane) return a.lane > b.lane;
       return a.seq > b.seq;
     }
   };

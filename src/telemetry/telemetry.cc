@@ -4,6 +4,11 @@ namespace gfaas::telemetry {
 
 Telemetry::Telemetry(TelemetryConfig config) : spans_(config.spans) {}
 
+std::string Telemetry::qualified(std::string_view name) const {
+  if (shard_ < 0) return std::string(name);
+  return std::string(name) + "{shard=" + std::to_string(shard_) + "}";
+}
+
 void Telemetry::add_probe(std::function<void(MetricRegistry&)> probe) {
   common::MutexLock lock(&mu_);
   probes_.push_back(std::move(probe));

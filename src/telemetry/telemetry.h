@@ -17,7 +17,10 @@
 // TelemetryExporter::finish() before tearing down the stack.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -39,6 +42,21 @@ class Telemetry {
   SpanRecorder& spans() { return spans_; }
   const SpanRecorder& spans() const { return spans_; }
 
+  // Shard-id label dimension (src/shard): set_shard(i) makes every
+  // instrument name resolved through qualified() carry a `{shard=i}`
+  // suffix — one Telemetry per shard, same instrument code in the
+  // engine, distinct time series per shard in the registry/exporter —
+  // and stamps the shard onto every span record. Unset (-1, the
+  // default), qualified() is the identity, so single-engine wiring and
+  // its metric names are untouched. Wiring time, before set_telemetry()
+  // resolves handles.
+  void set_shard(std::int32_t shard) {
+    shard_ = shard;
+    spans_.set_shard(shard);
+  }
+  std::int32_t shard() const { return shard_; }
+  std::string qualified(std::string_view name) const;
+
   // Registers a pull-style gauge probe (wiring time, mutex-guarded).
   void add_probe(std::function<void(MetricRegistry&)> probe);
 
@@ -51,6 +69,7 @@ class Telemetry {
  private:
   MetricRegistry metrics_;
   SpanRecorder spans_;
+  std::int32_t shard_ = -1;
   common::Mutex mu_;
   std::vector<std::function<void(MetricRegistry&)>> probes_ GUARDED_BY(mu_);
 };

@@ -33,6 +33,8 @@ const char* span_event_name(SpanEvent event) {
       return "complete";
     case SpanEvent::kFail:
       return "fail";
+    case SpanEvent::kSteal:
+      return "steal";
   }
   return "unknown";
 }
@@ -74,6 +76,7 @@ void SpanRecorder::record(std::int64_t request_id, SpanEvent event, SimTime at,
   slot.at = at;
   slot.event = event;
   slot.gpu = gpu;
+  slot.shard = shard_;
   slot.detail = detail;
   head_ = (head_ + 1) % ring_.size();
   ++recorded_;

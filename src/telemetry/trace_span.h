@@ -36,6 +36,7 @@ enum class SpanEvent : std::uint8_t {
   kHedge,      // gateway launched a duplicate against the straggler
   kComplete,   // resolved back to the client successfully
   kFail,       // resolved back to the client as failed
+  kSteal,      // work-steal moved it to another shard (detail: target shard)
 };
 
 const char* span_event_name(SpanEvent event);
@@ -45,6 +46,7 @@ struct SpanRecord {
   SimTime at = 0;
   SpanEvent event = SpanEvent::kSubmit;
   std::int32_t gpu = -1;     // -1 when no GPU is involved
+  std::int32_t shard = -1;   // owning shard (the recorder's; -1 unsharded)
   std::int64_t detail = 0;   // event-specific payload (see SpanEvent)
 };
 
@@ -65,6 +67,13 @@ class SpanRecorder {
   void record(std::int64_t request_id, SpanEvent event, SimTime at,
               std::int32_t gpu = -1, std::int64_t detail = 0);
 
+  // Shard-id label: every record stamped from here on carries `shard` as
+  // its owning shard (a stolen request's trail therefore reads kSteal on
+  // the donor shard, then kDispatch/kExecute on the thief's). Set at
+  // wiring time, before any record().
+  void set_shard(std::int32_t shard) { shard_ = shard; }
+  std::int32_t shard() const { return shard_; }
+
   // Observes every sampled event at record time (e.g. streaming to a
   // log). The sink runs on the recording thread; keep it cheap.
   void set_sink(std::function<void(const SpanRecord&)> sink) {
@@ -80,6 +89,7 @@ class SpanRecorder {
 
  private:
   SpanRecorderConfig config_;
+  std::int32_t shard_ = -1;
   std::uint64_t sample_threshold_;  // ids hashing below this are sampled
   std::vector<SpanRecord> ring_;
   std::size_t head_ = 0;  // next write position

@@ -1,0 +1,25 @@
+// Negative-compile probe for the shard router's membership contract:
+// reading the consistent-hash ring (the guarded membership table) without
+// holding mu_ must fail thread-safety analysis — route() on producer
+// threads races set_weight() from autoscaler hooks otherwise. Reverting
+// the GUARDED_BY on ShardRouter::ring_ (or the friend seam) makes this
+// file compile — and the WILL_FAIL ctest entry catch it.
+#include <cstddef>
+
+#include "shard/router.h"
+
+namespace gfaas::shard {
+
+class ThreadSafetyProbe {
+ public:
+  // BUG: reads ShardRouter::ring_ without mu_.
+  static std::size_t unguarded_ring_size(const ShardRouter& router) {
+    return router.ring_.size();
+  }
+};
+
+}  // namespace gfaas::shard
+
+int main() {
+  return 0;
+}
